@@ -1,0 +1,45 @@
+//! Baseline matrix-completion solvers the paper compares NOMAD against.
+//!
+//! Every algorithm referenced in Section 5 of the paper is implemented
+//! here, runs the same arithmetic kernels (from `nomad-sgd`) on the same
+//! data structures (from `nomad-matrix`), and reports its convergence on
+//! the same virtual-time axis (cost models from `nomad-cluster`), so the
+//! comparisons in the figure-reproduction binaries are apples to apples:
+//!
+//! | Module | Algorithm | Paper reference |
+//! |---|---|---|
+//! | [`serial_sgd`] | plain serial SGD | Section 2.3 |
+//! | [`als`] | alternating least squares | Section 2.1, Zhou et al. |
+//! | [`ccdpp`] | CCD++ coordinate descent with residual maintenance | Section 2.2, Yu et al. |
+//! | [`dsgd`] | bulk-synchronous distributed SGD (strata) | Gemulla et al., Section 4.1 |
+//! | [`dsgdpp`] | DSGD++ with overlapped communication and 2p blocks | Teflioudi et al., Section 4.1 |
+//! | [`fpsgd`] | FPSGD** shared-memory block scheduler | Zhuang et al., Section 4.1 |
+//! | [`asgd`] | asynchronous parameter-server SGD (Hogwild!/ASGD-style, non-serializable) | Section 4.2/4.3 |
+//! | [`graphlab`] | distributed ALS with network read-locks (GraphLab-style) | Section 4.2, Appendix F |
+//!
+//! The distributed solvers are *simulations in time, not in arithmetic*:
+//! the model updates they perform are the real algorithm's updates, while
+//! barriers, stratum exchanges, all-reduces and lock round-trips advance a
+//! virtual clock according to the cluster's cost models.  This is what
+//! allows the repository to reproduce the relative behaviour of the
+//! paper's HPC and commodity clusters on a single development machine.
+
+pub mod als;
+pub mod asgd;
+pub mod ccdpp;
+pub mod common;
+pub mod dsgd;
+pub mod dsgdpp;
+pub mod fpsgd;
+pub mod graphlab;
+pub mod serial_sgd;
+
+pub use als::{Als, AlsConfig};
+pub use asgd::{Asgd, AsgdConfig};
+pub use ccdpp::{CcdPlusPlus, CcdConfig};
+pub use common::{BaselineStop, EpochClock};
+pub use dsgd::{Dsgd, DsgdConfig};
+pub use dsgdpp::{DsgdPlusPlus, DsgdPlusPlusConfig};
+pub use fpsgd::{Fpsgd, FpsgdConfig};
+pub use graphlab::{GraphLabAls, GraphLabConfig};
+pub use serial_sgd::{SerialSgd, SerialSgdConfig};

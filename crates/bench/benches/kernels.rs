@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the arithmetic kernels every solver is built from:
+//! the SGD pair update (Eqs. 9–10), the ALS row solve (Eq. 3), the CCD
+//! coordinate update (Eq. 6), and the step-size schedule evaluation.
+//!
+//! These are the constants `a` (compute cost per update) of the paper's
+//! complexity analysis, measured on the host machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use nomad_linalg::vec_ops::sgd_pair_update;
+use nomad_sgd::schedule::StepSchedule;
+use nomad_sgd::{als_solve_row, ccd_coordinate_update, NomadStep};
+
+fn bench_sgd_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_pair_update");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &[10usize, 20, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut w = vec![0.1f64; k];
+            let mut h = vec![0.2f64; k];
+            b.iter(|| {
+                sgd_pair_update(
+                    black_box(&mut w),
+                    black_box(&mut h),
+                    black_box(3.5),
+                    1e-3,
+                    0.05,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_als_row_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_row_solve");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for &k in &[10usize, 50, 100] {
+        let neighbors: Vec<(Vec<f64>, f64)> = (0..50)
+            .map(|i| {
+                (
+                    (0..k).map(|l| ((i * k + l) as f64).sin() * 0.1).collect(),
+                    (i as f64).cos(),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                als_solve_row(
+                    neighbors.iter().map(|(h, a)| (h.as_slice(), *a)),
+                    k,
+                    black_box(0.05 * 50.0),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ccd_coordinate(c: &mut Criterion) {
+    let pairs: Vec<(f64, f64)> = (0..100)
+        .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect();
+    c.bench_function("ccd_coordinate_update_100_ratings", |b| {
+        b.iter(|| ccd_coordinate_update(black_box(pairs.iter().copied()), 0.3, 0.05))
+    });
+}
+
+fn bench_step_schedule(c: &mut Criterion) {
+    let schedule = NomadStep::new(0.012, 0.05);
+    c.bench_function("nomad_step_schedule", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            schedule.step(black_box(t))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_sgd_update,
+    bench_als_row_solve,
+    bench_ccd_coordinate,
+    bench_step_schedule
+);
+criterion_main!(kernels);

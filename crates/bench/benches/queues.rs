@@ -1,0 +1,88 @@
+//! Ablation: lock-free queue vs mutex-protected queue for token passing.
+//!
+//! Section 3.5 of the paper: "NOMAD can be implemented with lock-free data
+//! structures since the only interaction between threads is via operations
+//! on the queue."  This bench compares the `crossbeam` lock-free `SegQueue`
+//! used by `nomad_core::threaded` against a `parking_lot::Mutex<VecDeque>`
+//! under a single-threaded producer/consumer pattern and under contention
+//! from multiple threads.
+
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::time::Duration;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+/// A token-sized payload (item id + a k=100 factor vector).
+fn payload() -> (u32, Vec<f64>) {
+    (7, vec![0.25f64; 100])
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_push_pop_single_thread");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("crossbeam_segqueue", |b| {
+        let q: SegQueue<(u32, Vec<f64>)> = SegQueue::new();
+        b.iter(|| {
+            q.push(black_box(payload()));
+            black_box(q.pop())
+        });
+    });
+    group.bench_function("mutex_vecdeque", |b| {
+        let q: Mutex<VecDeque<(u32, Vec<f64>)>> = Mutex::new(VecDeque::new());
+        b.iter(|| {
+            q.lock().push_back(black_box(payload()));
+            black_box(q.lock().pop_front())
+        });
+    });
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_throughput_4_threads");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    const OPS_PER_THREAD: usize = 20_000;
+
+    group.bench_function("crossbeam_segqueue", |b| {
+        b.iter(|| {
+            let q = Arc::new(SegQueue::new());
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        for i in 0..OPS_PER_THREAD {
+                            q.push((i as u32, vec![0.5f64; 100]));
+                            black_box(q.pop());
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.bench_function("mutex_vecdeque", |b| {
+        b.iter(|| {
+            let q = Arc::new(Mutex::new(VecDeque::new()));
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        for i in 0..OPS_PER_THREAD {
+                            q.lock().push_back((i as u32, vec![0.5f64; 100]));
+                            black_box(q.lock().pop_front());
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(queues, bench_single_thread, bench_contended);
+criterion_main!(queues);

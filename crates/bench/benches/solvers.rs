@@ -1,0 +1,153 @@
+//! End-to-end solver benchmarks and design-choice ablations on a tiny
+//! synthetic dataset (netflix-sim, tiny tier).
+//!
+//! * `solver_epoch` — virtual-cluster epoch cost of NOMAD vs every baseline
+//!   (the per-table comparison engine behind Figures 5, 8, 11, 12).
+//! * `ablation_routing` — uniform vs load-balanced token routing (§3.3).
+//! * `ablation_batching` — message batch 1 vs 100 (§3.5).
+//! * `ablation_hybrid` — intra-machine circulation on vs off (§3.4).
+//! * `ablation_stepsize` — Eq. 11 schedule vs a constant step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use nomad_core::{NomadConfig, RoutingPolicy, SimNomad, StopCondition};
+use nomad_data::{named_dataset, GeneratedDataset, SizeTier};
+use nomad_eval::{run_solver, ClusterSpec, SolverKind};
+use nomad_sgd::HyperParams;
+
+fn dataset() -> GeneratedDataset {
+    named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build()
+}
+
+fn params() -> HyperParams {
+    HyperParams::netflix().with_k(16).with_step(0.05, 0.0)
+}
+
+fn bench_solver_epoch(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = ClusterSpec::hpc(4);
+    let mut group = c.benchmark_group("solver_one_epoch");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for kind in [
+        SolverKind::Nomad,
+        SolverKind::NomadLeastLoaded,
+        SolverKind::Dsgd,
+        SolverKind::DsgdPlusPlus,
+        SolverKind::CcdPlusPlus,
+        SolverKind::Fpsgd,
+        SolverKind::Asgd,
+        SolverKind::SerialSgd,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(run_solver(kind, &ds, &spec, params(), 1, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn nomad_engine(ds: &GeneratedDataset, config: NomadConfig, spec: ClusterSpec) -> f64 {
+    let out = SimNomad::new(config, spec.topology, spec.network, spec.compute)
+        .run(&ds.matrix, &ds.test);
+    out.trace.final_rmse().unwrap_or(f64::NAN)
+}
+
+fn bench_ablation_routing(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = ClusterSpec::hpc(4);
+    let updates = ds.matrix.nnz() as u64;
+    let mut group = c.benchmark_group("ablation_routing");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, routing) in [
+        ("uniform", RoutingPolicy::UniformRandom),
+        ("least_loaded", RoutingPolicy::LeastLoaded),
+        ("round_robin", RoutingPolicy::RoundRobin),
+    ] {
+        let config = NomadConfig::new(params())
+            .with_stop(StopCondition::Updates(updates))
+            .with_routing(routing)
+            .with_snapshot_every(1e-3);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(nomad_engine(&ds, config, spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_batching(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = ClusterSpec::commodity(4);
+    let updates = ds.matrix.nnz() as u64;
+    let mut group = c.benchmark_group("ablation_batching");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for batch in [1usize, 10, 100] {
+        let config = NomadConfig::new(params())
+            .with_stop(StopCondition::Updates(updates))
+            .with_message_batch(batch)
+            .with_snapshot_every(1e-3);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| black_box(nomad_engine(&ds, config, spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_hybrid(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = ClusterSpec::commodity(4);
+    let updates = ds.matrix.nnz() as u64;
+    let mut group = c.benchmark_group("ablation_hybrid_circulation");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, circulation) in [("on", true), ("off", false)] {
+        let config = NomadConfig::new(params())
+            .with_stop(StopCondition::Updates(updates))
+            .with_circulation(circulation)
+            .with_snapshot_every(1e-3);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(nomad_engine(&ds, config, spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_stepsize(c: &mut Criterion) {
+    let ds = dataset();
+    let spec = ClusterSpec::hpc(4);
+    let updates = ds.matrix.nnz() as u64;
+    let mut group = c.benchmark_group("ablation_stepsize");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, alpha, beta) in [
+        ("eq11_decay", 0.05, 0.05),
+        ("constant", 0.05, 0.0),
+        ("fast_decay", 0.05, 0.5),
+    ] {
+        let config = NomadConfig::new(params().with_step(alpha, beta))
+            .with_stop(StopCondition::Updates(updates))
+            .with_snapshot_every(1e-3);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(nomad_engine(&ds, config, spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    solvers,
+    bench_solver_epoch,
+    bench_ablation_routing,
+    bench_ablation_batching,
+    bench_ablation_hybrid,
+    bench_ablation_stepsize
+);
+criterion_main!(solvers);

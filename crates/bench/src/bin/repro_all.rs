@@ -1,0 +1,11 @@
+//! Runs every table and figure reproduction in sequence (quick scale by
+//! default).  Useful for regenerating all of EXPERIMENTS.md in one go.
+fn main() {
+    println!("{}", nomad_eval::figures::table1());
+    let scale = nomad_eval::ReproScale::from_env();
+    println!("{}", nomad_eval::figures::table2(&scale));
+    for id in nomad_eval::figures::all_figure_ids() {
+        eprintln!("== {id} ==");
+        nomad_bench::run_figure(id);
+    }
+}

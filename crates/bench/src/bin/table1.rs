@@ -1,0 +1,4 @@
+//! Reproduces Table 1 of the NOMAD paper: the per-dataset hyper-parameters.
+fn main() {
+    print!("{}", nomad_eval::figures::table1());
+}

@@ -1,0 +1,6 @@
+//! Reproduces Table 2 of the NOMAD paper: dataset shapes, paper vs. the
+//! generated synthetic stand-ins at the selected scale.
+fn main() {
+    let scale = nomad_eval::ReproScale::from_env();
+    print!("{}", nomad_eval::figures::table2(&scale));
+}

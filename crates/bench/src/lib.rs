@@ -1,0 +1,30 @@
+//! Benchmark harness support code.
+//!
+//! The `fig*` and `table*` binaries in `src/bin/` regenerate every table
+//! and figure of the paper's evaluation section (they print CSV to stdout
+//! and a markdown summary to stderr); the Criterion benches in `benches/`
+//! measure the kernels and ablate the design choices listed in `DESIGN.md`.
+
+use nomad_eval::{figure_to_csv, figure_to_markdown, Figure, ReproScale};
+
+/// Runs the registered figure generator for `id` at the scale selected by
+/// the `NOMAD_SCALE` environment variable (`quick` by default, `standard`
+/// for the larger runs) and prints CSV to stdout plus a markdown summary to
+/// stderr.
+///
+/// # Panics
+/// Panics if `id` is not a known figure identifier.
+pub fn run_figure(id: &str) {
+    let scale = ReproScale::from_env();
+    let figures = nomad_eval::figures::by_id(id, &scale)
+        .unwrap_or_else(|| panic!("unknown figure id {id}"));
+    print_figures(&figures);
+}
+
+/// Prints a set of figures (CSV to stdout, markdown summary to stderr).
+pub fn print_figures(figures: &[Figure]) {
+    for figure in figures {
+        println!("{}", figure_to_csv(figure));
+        eprintln!("{}", figure_to_markdown(figure));
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic timestamped event queue.
+//!
+//! The simulator is a classic discrete-event loop: pop the earliest event,
+//! let the owning worker react (which usually schedules more events), and
+//! repeat.  Determinism matters — the experiments in `EXPERIMENTS.md` must
+//! be exactly reproducible — so ties in time are broken by a monotonically
+//! increasing sequence number (insertion order) rather than by whatever
+//! order a binary heap happens to produce.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its scheduled delivery time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Tie-breaking sequence number (assigned by the queue).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+/// Internal heap entry: min-heap by `(time, seq)` implemented on top of the
+/// standard max-heap by reversing the ordering.
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that the BinaryHeap (a max-heap) pops the smallest
+        // (time, seq) first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    /// Largest time popped so far; used to detect time travel.
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// Scheduling an event earlier than the last popped time would mean the
+    /// simulation observed an effect before its cause; this panics because
+    /// it is always a bug in the calling algorithm.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.last_popped,
+            "cannot schedule an event at {time} before already-processed time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        self.heap.pop().map(|entry| {
+            self.last_popped = entry.time;
+            QueuedEvent {
+                time: entry.time,
+                seq: entry.seq,
+                event: entry.event,
+            }
+        })
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The largest timestamp handed out by [`EventQueue::pop`] so far.
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), "c");
+        q.push(SimTime::from_secs(1.0), "a");
+        q.push(SimTime::from_secs(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_popped_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_secs(5.0), ());
+        q.push(SimTime::from_secs(2.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2.0));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5.0));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scheduling_at_current_time_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), 1);
+        q.pop();
+        q.push(SimTime::from_secs(1.0), 2); // same time as last popped: fine
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before already-processed time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2.0), ());
+        q.pop();
+        q.push(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn len_and_default() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert_eq!(q.len(), 0);
+        q.push(SimTime::from_secs(0.0), 1);
+        q.push(SimTime::from_secs(0.0), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(4.0), 4);
+        assert_eq!(q.pop().unwrap().event, 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        q.push(SimTime::from_secs(3.0), 3);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(rest, vec![2, 3, 4]);
+    }
+}

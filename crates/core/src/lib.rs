@@ -1,0 +1,43 @@
+//! NOMAD: Non-locking, stOchastic, Multi-machine, Asynchronous and
+//! Decentralized matrix completion (Yun et al., VLDB 2014).
+//!
+//! This crate implements the paper's contribution itself.  The key idea
+//! (Section 3): user factors `w_i` are statically partitioned across
+//! workers and never move; item factors `h_j` are *nomadic* — each
+//! `(j, h_j)` pair is owned by exactly one worker at any time, sits in that
+//! worker's queue, is processed against the worker's locally stored ratings
+//! `Ω̄_j^{(q)}` (owner-computes, hence no locks), and is then forwarded to
+//! another worker chosen uniformly at random or by queue length (dynamic
+//! load balancing, Section 3.3).  Because the variables a worker touches
+//! are always exclusively owned, the resulting update sequence is
+//! serializable: there is an equivalent serial ordering of the updates
+//! (Section 1), which this crate's tests verify explicitly.
+//!
+//! Three execution engines are provided:
+//!
+//! * [`serial::SerialNomad`] — a single-worker reference implementation of
+//!   Algorithm 1; the ground truth for serializability tests.
+//! * [`threaded::ThreadedNomad`] — a real multi-threaded implementation on
+//!   `crossbeam` lock-free queues, one queue per worker thread, exactly as
+//!   the paper's shared-memory implementation uses Intel TBB's concurrent
+//!   queue (Section 3.5).
+//! * [`sim::SimNomad`] — a deterministic discrete-event implementation that
+//!   runs the identical arithmetic on the cluster simulator from
+//!   `nomad-cluster`, reproducing the multi-machine (Sections 5.3–5.5) and
+//!   hybrid (Section 3.4) configurations: per-machine intra-circulation,
+//!   two reserved communication threads, message batching (Section 3.5),
+//!   and both uniform and load-balanced token routing.
+
+pub mod config;
+pub mod routing;
+pub mod serial;
+pub mod sim;
+pub mod threaded;
+pub mod worker;
+
+pub use config::{NomadConfig, StopCondition};
+pub use routing::RoutingPolicy;
+pub use serial::SerialNomad;
+pub use sim::SimNomad;
+pub use threaded::ThreadedNomad;
+pub use worker::WorkerData;

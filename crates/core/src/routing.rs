@@ -1,0 +1,192 @@
+//! Token routing: choosing the next owner of a `(j, h_j)` pair.
+//!
+//! Algorithm 1 (line 22) samples the recipient uniformly at random.
+//! Section 3.3 describes the dynamic load-balancing refinement: prefer
+//! workers with shorter queues, using the queue-size payload piggybacked on
+//! every message.  Both policies are implemented here, plus a round-robin
+//! policy used by ablation benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// Policy for selecting the worker a processed token is sent to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Uniformly random among all workers (Algorithm 1, line 22).
+    UniformRandom,
+    /// Sample two workers uniformly and send to the one with the shorter
+    /// queue ("power of two choices"); degenerates to uniform when queue
+    /// lengths are equal.  This implements the dynamic load balancing of
+    /// Section 3.3 using only the piggybacked queue sizes.
+    LeastLoaded,
+    /// Deterministic round-robin; an ablation that removes randomness from
+    /// token movement entirely.
+    RoundRobin,
+}
+
+/// Stateful router: owns the per-policy bookkeeping (round-robin cursor).
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    cursor: usize,
+}
+
+impl Router {
+    /// Creates a router with the given policy.
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Self { policy, cursor: 0 }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Chooses the next destination among `num_workers` workers.
+    ///
+    /// * `queue_lengths` — the sender's (possibly slightly stale) view of
+    ///   every worker's queue length; only consulted by
+    ///   [`RoutingPolicy::LeastLoaded`].
+    /// * `draw` — a closure returning a uniform draw in `[0, n)`; the
+    ///   caller supplies its own RNG so the choice stays deterministic
+    ///   under a fixed seed.
+    ///
+    /// # Panics
+    /// Panics if `num_workers == 0` or if `queue_lengths.len() != num_workers`.
+    pub fn next_destination<F>(
+        &mut self,
+        num_workers: usize,
+        queue_lengths: &[usize],
+        mut draw: F,
+    ) -> usize
+    where
+        F: FnMut(usize) -> usize,
+    {
+        assert!(num_workers > 0, "cannot route among zero workers");
+        assert_eq!(
+            queue_lengths.len(),
+            num_workers,
+            "queue length vector must cover every worker"
+        );
+        match self.policy {
+            RoutingPolicy::UniformRandom => draw(num_workers),
+            RoutingPolicy::LeastLoaded => {
+                let a = draw(num_workers);
+                let b = draw(num_workers);
+                if queue_lengths[b] < queue_lengths[a] {
+                    b
+                } else {
+                    a
+                }
+            }
+            RoutingPolicy::RoundRobin => {
+                let dest = self.cursor % num_workers;
+                self.cursor = self.cursor.wrapping_add(1);
+                dest
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_draws(values: Vec<usize>) -> impl FnMut(usize) -> usize {
+        let mut iter = values.into_iter();
+        move |n| iter.next().expect("enough scripted draws") % n
+    }
+
+    #[test]
+    fn uniform_uses_a_single_draw() {
+        let mut r = Router::new(RoutingPolicy::UniformRandom);
+        let lens = vec![0; 4];
+        let dest = r.next_destination(4, &lens, fixed_draws(vec![2]));
+        assert_eq!(dest, 2);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_shorter_queue() {
+        let mut r = Router::new(RoutingPolicy::LeastLoaded);
+        let lens = vec![10, 0, 5, 7];
+        // Draw workers 0 and 1: queue 0 has 10 pending, queue 1 has 0.
+        let dest = r.next_destination(4, &lens, fixed_draws(vec![0, 1]));
+        assert_eq!(dest, 1);
+        // Ties go to the first draw.
+        let lens_tied = vec![3, 3, 3, 3];
+        let dest = r.next_destination(4, &lens_tied, fixed_draws(vec![2, 0]));
+        assert_eq!(dest, 2);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_workers() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let lens = vec![0; 3];
+        let seq: Vec<usize> = (0..7)
+            .map(|_| r.next_destination(3, &lens, |_| unreachable!("round robin never draws")))
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn policy_accessor() {
+        assert_eq!(
+            Router::new(RoutingPolicy::LeastLoaded).policy(),
+            RoutingPolicy::LeastLoaded
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero workers")]
+    fn zero_workers_panics() {
+        let mut r = Router::new(RoutingPolicy::UniformRandom);
+        let _ = r.next_destination(0, &[], |_| 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every worker")]
+    fn mismatched_queue_lengths_panics() {
+        let mut r = Router::new(RoutingPolicy::UniformRandom);
+        let _ = r.next_destination(3, &[0, 0], |_| 0);
+    }
+
+    #[test]
+    fn least_loaded_spreads_load_better_than_uniform_under_skew() {
+        // Simulate routing many tokens where worker 0 drains slowly: count
+        // how many tokens each policy parks on the slow worker.
+        use nomad_linalg::SmallRng64;
+        let n = 8;
+        let tokens = 4000;
+        let run = |policy: RoutingPolicy| -> usize {
+            let mut router = Router::new(policy);
+            let mut rng = SmallRng64::new(99);
+            let mut queues = vec![0usize; n];
+            let mut sent_to_slow = 0usize;
+            for round in 0..tokens {
+                let dest = router.next_destination(n, &queues, |bound| rng.next_below(bound));
+                queues[dest] += 1;
+                if dest == 0 {
+                    sent_to_slow += 1;
+                }
+                // Fast workers drain their whole queue every round; the slow
+                // worker only drains one token every 16 rounds, so under
+                // uniform routing its backlog keeps growing.
+                for (q, len) in queues.iter_mut().enumerate() {
+                    if q == 0 {
+                        if round % 16 == 0 {
+                            *len = len.saturating_sub(1);
+                        }
+                    } else {
+                        *len = 0;
+                    }
+                }
+            }
+            sent_to_slow
+        };
+        let uniform = run(RoutingPolicy::UniformRandom);
+        let balanced = run(RoutingPolicy::LeastLoaded);
+        assert!(
+            balanced < uniform,
+            "least-loaded ({balanced}) should send fewer tokens to the slow worker than uniform ({uniform})"
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Serial reference implementation of Algorithm 1, plus the schedule-replay
+//! primitive used to verify serializability of the parallel engines.
+//!
+//! NOMAD's central correctness claim is that although updates run fully
+//! asynchronously in parallel, "there is an equivalent update ordering in a
+//! serial implementation" (Section 1).  The parallel engines in this crate
+//! therefore log the order in which `(worker, item)` processing events were
+//! linearized; [`replay_schedule`] re-executes exactly that sequence on a
+//! single thread.  If NOMAD is serializable — and implemented correctly —
+//! the replay produces bit-identical factor matrices, which the integration
+//! tests assert.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nomad_cluster::{ComputeModel, RunTrace, SimTime, TracePoint};
+use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_sgd::schedule::StepSchedule;
+use nomad_sgd::{FactorModel, HyperParams};
+
+use crate::config::{NomadConfig, StopCondition};
+use crate::routing::Router;
+use crate::worker::WorkerData;
+
+/// One linearized token-processing event: worker `q` processed item `j`.
+///
+/// The parallel engines emit these in their serialization order; the serial
+/// engine consumes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessingEvent {
+    /// The worker that owned the token when it was processed.
+    pub worker: usize,
+    /// The item the token carries.
+    pub item: Idx,
+}
+
+/// Serial NOMAD: Algorithm 1 executed on a single thread.
+///
+/// With `num_workers = 1` this is plain serial SGD over items in nomadic
+/// order; with `num_workers > 1` it simulates `p` workers taking turns in
+/// round-robin fashion, which preserves the algorithm's structure (static
+/// user partition, per-worker queues, token passing) while remaining
+/// strictly sequential.  It is the reference against which the simulated
+/// and threaded engines are checked.
+#[derive(Debug, Clone)]
+pub struct SerialNomad {
+    config: NomadConfig,
+}
+
+impl SerialNomad {
+    /// Creates the solver.
+    pub fn new(config: NomadConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs Algorithm 1 with `num_workers` virtual workers on one thread.
+    ///
+    /// Returns the trained model and the convergence trace; the trace's
+    /// time axis charges every update at the given compute model's rate
+    /// (all workers share the single physical core, as in the paper's
+    /// single-core baseline configuration).
+    pub fn run(
+        &self,
+        data: &RatingMatrix,
+        test: &TripletMatrix,
+        num_workers: usize,
+        compute: &ComputeModel,
+    ) -> (FactorModel, RunTrace) {
+        assert!(num_workers > 0, "need at least one worker");
+        let cfg = &self.config;
+        let params = cfg.params;
+        let mut model = FactorModel::init(data.nrows(), data.ncols(), params.k, cfg.seed);
+        let partition = RowPartition::contiguous(data.nrows(), num_workers);
+        let mut workers = WorkerData::build_all(data, &partition);
+        let schedule = params.nomad_schedule();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E41A1);
+        let mut router = Router::new(cfg.routing);
+
+        // Initial token placement: each item goes to a uniformly random
+        // worker's queue (Algorithm 1, lines 7–10).
+        let mut queues: Vec<std::collections::VecDeque<Idx>> =
+            vec![std::collections::VecDeque::new(); num_workers];
+        for j in 0..data.ncols() as Idx {
+            let q = rng.gen_range(0..num_workers);
+            queues[q].push_back(j);
+        }
+
+        let mut trace = RunTrace::new("NOMAD-serial", "", 1, 1, num_workers);
+        let per_update = compute.sgd_update_time(params.k);
+        let per_item = compute.per_item_overhead;
+        let mut elapsed = 0.0f64;
+        let mut total_updates = 0u64;
+        let mut next_snapshot = 0.0f64;
+
+        // Round-robin over workers: each worker that has a token processes
+        // exactly one and forwards it, mirroring Algorithm 1's outer loop.
+        'outer: loop {
+            let mut any_processed = false;
+            for q in 0..num_workers {
+                if cfg.stop.reached(elapsed, total_updates) {
+                    break 'outer;
+                }
+                let Some(item) = queues[q].pop_front() else {
+                    continue;
+                };
+                any_processed = true;
+                let t = workers[q].record_pass(item);
+                let step = schedule.step(t);
+                let mut local_updates = 0u64;
+                for (user, rating) in workers[q].local_cols.col(item as usize) {
+                    nomad_sgd::sgd_update(&mut model, user, item, rating, step, params.lambda);
+                    local_updates += 1;
+                }
+                total_updates += local_updates;
+                elapsed += per_item + local_updates as f64 * per_update;
+                trace.metrics.updates += local_updates;
+                trace.metrics.tokens_processed += 1;
+                trace.metrics.record_busy(q, per_item + local_updates as f64 * per_update);
+
+                let queue_lens: Vec<usize> = queues.iter().map(|qu| qu.len()).collect();
+                let dest =
+                    router.next_destination(num_workers, &queue_lens, |n| rng.gen_range(0..n));
+                queues[dest].push_back(item);
+                trace.metrics.record_message(0, true);
+
+                if elapsed >= next_snapshot {
+                    trace.push(TracePoint {
+                        seconds: elapsed,
+                        updates: total_updates,
+                        test_rmse: nomad_sgd::rmse(&model, test),
+                        objective: None,
+                    });
+                    next_snapshot = elapsed + cfg.snapshot_every;
+                }
+            }
+            if !any_processed {
+                // Every queue empty — cannot happen while tokens exist, but
+                // guard against an empty item set.
+                break;
+            }
+        }
+        trace.push(TracePoint {
+            seconds: elapsed,
+            updates: total_updates,
+            test_rmse: nomad_sgd::rmse(&model, test),
+            objective: None,
+        });
+        trace.metrics.finished_at = SimTime::from_secs(elapsed);
+        (model, trace)
+    }
+}
+
+/// Re-executes an explicit linearized schedule of token-processing events
+/// on a single thread, starting from the model initialization that `seed`
+/// and `params` define.
+///
+/// The schedule must have been produced by an engine that used the same
+/// `partition` (worker `q` of an event only touches users in `I_q`); the
+/// per-item ratings are processed in ascending-user order, the same order
+/// every engine in this crate uses, so a serializable engine's factors are
+/// reproduced *bit for bit*.
+pub fn replay_schedule(
+    data: &RatingMatrix,
+    partition: &RowPartition,
+    params: HyperParams,
+    seed: u64,
+    schedule: &[ProcessingEvent],
+) -> FactorModel {
+    let mut model = FactorModel::init(data.nrows(), data.ncols(), params.k, seed);
+    let mut workers = WorkerData::build_all(data, partition);
+    let step_schedule = params.nomad_schedule();
+    for event in schedule {
+        let q = event.worker;
+        let t = workers[q].record_pass(event.item);
+        let step = step_schedule.step(t);
+        for (user, rating) in workers[q].local_cols.col(event.item as usize) {
+            nomad_sgd::sgd_update(&mut model, user, event.item, rating, step, params.lambda);
+        }
+    }
+    model
+}
+
+/// Convenience: the stop condition used by quick tests — a small number of
+/// updates.
+pub fn quick_stop(updates: u64) -> StopCondition {
+    StopCondition::Updates(updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomad_data::{named_dataset, SizeTier};
+    use nomad_matrix::PartitionStrategy;
+
+    fn tiny_dataset() -> (RatingMatrix, TripletMatrix) {
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        (ds.matrix, ds.test)
+    }
+
+    fn quick_config(k: usize) -> NomadConfig {
+        NomadConfig::new(HyperParams::netflix().with_k(k))
+            .with_stop(StopCondition::Updates(40_000))
+            .with_snapshot_every(1e-3)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn serial_nomad_reduces_test_rmse() {
+        let (data, test) = tiny_dataset();
+        let solver = SerialNomad::new(quick_config(8));
+        let (_, trace) = solver.run(&data, &test, 1, &ComputeModel::hpc_core());
+        let first = trace.points.first().unwrap().test_rmse;
+        let last = trace.final_rmse().unwrap();
+        assert!(
+            last < first * 0.95,
+            "RMSE should drop: first {first}, last {last}"
+        );
+        assert!(trace.metrics.updates >= 40_000);
+    }
+
+    #[test]
+    fn multi_worker_serial_matches_algorithm_structure() {
+        let (data, test) = tiny_dataset();
+        let solver = SerialNomad::new(quick_config(4));
+        let (_, trace) = solver.run(&data, &test, 4, &ComputeModel::hpc_core());
+        assert!(trace.metrics.tokens_processed > 0);
+        assert!(trace.final_rmse().unwrap().is_finite());
+        // All four workers did some work.
+        assert!(trace.metrics.busy_time.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let (data, test) = tiny_dataset();
+        let solver = SerialNomad::new(quick_config(4));
+        let (m1, t1) = solver.run(&data, &test, 2, &ComputeModel::hpc_core());
+        let (m2, t2) = solver.run(&data, &test, 2, &ComputeModel::hpc_core());
+        assert_eq!(m1, m2);
+        assert_eq!(t1.points, t2.points);
+    }
+
+    #[test]
+    fn replay_schedule_is_deterministic_and_touches_only_owned_users() {
+        let (data, _) = tiny_dataset();
+        let partition = RowPartition::new(data.nrows(), 3, PartitionStrategy::Contiguous);
+        let params = HyperParams::netflix().with_k(4);
+        // A hand-built schedule that bounces two items around.
+        let schedule = vec![
+            ProcessingEvent { worker: 0, item: 0 },
+            ProcessingEvent { worker: 1, item: 0 },
+            ProcessingEvent { worker: 2, item: 1 },
+            ProcessingEvent { worker: 0, item: 1 },
+            ProcessingEvent { worker: 0, item: 0 },
+        ];
+        let a = replay_schedule(&data, &partition, params, 5, &schedule);
+        let b = replay_schedule(&data, &partition, params, 5, &schedule);
+        assert_eq!(a, b);
+        // A different schedule ordering changes the result (SGD is order
+        // dependent), which is exactly why serializability needs the log.
+        let mut reversed = schedule.clone();
+        reversed.reverse();
+        let c = replay_schedule(&data, &partition, params, 5, &reversed);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_schedule_returns_initial_model() {
+        let (data, _) = tiny_dataset();
+        let partition = RowPartition::contiguous(data.nrows(), 2);
+        let params = HyperParams::netflix().with_k(4);
+        let replayed = replay_schedule(&data, &partition, params, 9, &[]);
+        let fresh = FactorModel::init(data.nrows(), data.ncols(), 4, 9);
+        assert_eq!(replayed, fresh);
+    }
+
+    #[test]
+    fn quick_stop_builds_update_budget() {
+        assert_eq!(quick_stop(7).updates(), Some(7));
+    }
+}

@@ -1,0 +1,34 @@
+//! Dataset substrate for the NOMAD reproduction.
+//!
+//! The paper evaluates on three proprietary/large datasets (Netflix,
+//! Yahoo! Music, Hugewiki — Table 2) plus synthetic Netflix-shaped data for
+//! the scaling study of Section 5.5.  The real datasets cannot be shipped,
+//! so this crate provides:
+//!
+//! * [`DatasetProfile`] — the published shape of each dataset (rows,
+//!   columns, non-zeros, rating range) and scaled-down variants that keep
+//!   the rows:cols:nnz proportions (and hence the ratings-per-item ratio
+//!   that drives the paper's compute-vs-communication trade-off),
+//! * [`SyntheticConfig`] / [`generate`] — a skewed low-rank + noise
+//!   generator that produces rating matrices matching a profile,
+//! * [`scaling`] — the Section 5.5 generator where the number of users (and
+//!   hence ratings) grows proportionally to the number of machines,
+//! * [`registry`] — named ready-to-use dataset recipes (`netflix-sim`,
+//!   `yahoo-sim`, `hugewiki-sim`, …) used by examples, tests and the
+//!   benchmark harness,
+//! * a re-export of the text loader so that users who *do* have a licensed
+//!   copy of the original data can run the experiments on it.
+
+pub mod generator;
+pub mod profiles;
+pub mod registry;
+pub mod scaling;
+
+pub use generator::{generate, GeneratedDataset, SyntheticConfig, ValueModel};
+pub use profiles::DatasetProfile;
+pub use registry::{named_dataset, registry_names, DatasetRecipe, SizeTier};
+pub use scaling::{scaling_dataset, ScalingConfig};
+
+/// Re-export of the plain-text `user item rating` loader for users that have
+/// the original datasets on disk.
+pub use nomad_matrix::io::read_text;

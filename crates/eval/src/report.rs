@@ -1,0 +1,101 @@
+//! CSV and markdown rendering of figures.
+
+use crate::figures::Figure;
+
+/// Renders a figure as CSV: one row per point, columns
+/// `figure,series,x,y` with the axis labels in a header comment.
+pub fn figure_to_csv(figure: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} — {} | x: {} | y: {}\n",
+        figure.id, figure.title, figure.x_label, figure.y_label
+    ));
+    out.push_str("figure,series,x,y\n");
+    for series in &figure.series {
+        for &(x, y) in &series.points {
+            out.push_str(&format!("{},{},{:.9},{:.6}\n", figure.id, series.label, x, y));
+        }
+    }
+    out
+}
+
+/// Renders a compact markdown summary of a figure: for every series, its
+/// final y value and (when y is an RMSE) its best value.  This is the
+/// "who wins" table recorded in `EXPERIMENTS.md`.
+pub fn figure_to_markdown(figure: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {} — {}\n\n", figure.id, figure.title));
+    out.push_str(&format!(
+        "| series | points | final {} | best {} |\n|---|---|---|---|\n",
+        figure.y_label, figure.y_label
+    ));
+    for series in &figure.series {
+        let last = series.points.last().map(|&(_, y)| y).unwrap_or(f64::NAN);
+        let best = series
+            .points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::INFINITY, f64::min);
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {:.4} |\n",
+            series.label,
+            series.points.len(),
+            last,
+            best
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders several figures end to end.
+pub fn figures_to_csv(figures: &[Figure]) -> String {
+    figures.iter().map(figure_to_csv).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".to_string(),
+            title: "sample".to_string(),
+            x_label: "seconds".to_string(),
+            y_label: "test RMSE".to_string(),
+            series: vec![
+                Series {
+                    label: "NOMAD".to_string(),
+                    points: vec![(0.0, 1.0), (1.0, 0.8)],
+                },
+                Series {
+                    label: "DSGD".to_string(),
+                    points: vec![(0.0, 1.0), (1.0, 0.9)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_all_points() {
+        let csv = figure_to_csv(&sample());
+        assert!(csv.starts_with("# figX"));
+        assert_eq!(csv.lines().count(), 2 + 4);
+        assert!(csv.contains("figX,NOMAD,1.000000000,0.800000"));
+    }
+
+    #[test]
+    fn markdown_summarizes_final_and_best() {
+        let md = figure_to_markdown(&sample());
+        assert!(md.contains("### figX"));
+        assert!(md.contains("| NOMAD | 2 | 0.8000 | 0.8000 |"));
+        assert!(md.contains("| DSGD | 2 | 0.9000 | 0.9000 |"));
+    }
+
+    #[test]
+    fn multi_figure_rendering_concatenates() {
+        let out = figures_to_csv(&[sample(), sample()]);
+        assert_eq!(out.matches("# figX").count(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cholesky factorization of small symmetric positive-definite systems.
+//!
+//! ALS (Eq. 3 of the paper) solves `(HᵀH + λ|Ω_i| I) w_i = Hᵀ a_i` for each
+//! user, and symmetrically for each item.  The system matrix is symmetric
+//! positive definite whenever `λ > 0`, so Cholesky (`M = L Lᵀ`) is the
+//! canonical solver: one factorization plus two triangular solves.
+
+use crate::matrix::DenseMatrix;
+
+/// Errors produced by [`Cholesky::factor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// A non-positive pivot was encountered; the matrix is not positive
+    /// definite (up to round-off).
+    NotPositiveDefinite {
+        /// Index of the offending pivot.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `M = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major lower triangle (entries above the diagonal are zero).
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `m`.
+    ///
+    /// Only the lower triangle of `m` is read, so callers that fill both
+    /// triangles (e.g. a Gram matrix) and callers that only fill the lower
+    /// one get identical results.
+    pub fn factor(m: &DenseMatrix) -> Result<Self, CholeskyError> {
+        if m.rows() != m.cols() {
+            return Err(CholeskyError::NotSquare);
+        }
+        let n = m.rows();
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = m[(i, j)];
+                for p in 0..j {
+                    sum -= l[i * n + p] * l[j * n + p];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(CholeskyError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(Self { n, l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `M x = b` via forward/backward substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `M x = b` in place, overwriting `b` with `x`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "solve: length mismatch");
+        let n = self.n;
+        let l = &self.l;
+        // Forward solve L y = b.
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= l[i * n + j] * b[j];
+            }
+            b[i] = sum / l[i * n + i];
+        }
+        // Backward solve Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in (i + 1)..n {
+                sum -= l[j * n + i] * b[j];
+            }
+            b[i] = sum / l[i * n + i];
+        }
+    }
+
+    /// Log-determinant of `M` (twice the sum of the log diagonal of `L`);
+    /// handy for debugging conditioning problems in tests.
+    pub fn log_det(&self) -> f64 {
+        let n = self.n;
+        (0..n).map(|i| self.l[i * n + i].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Convenience wrapper: solves `M x = b` for symmetric positive definite `M`.
+///
+/// This is the call sites' one-liner for ALS subproblems.
+pub fn solve_spd(m: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+    Ok(Cholesky::factor(m)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_from_factor(n: usize, seed: u64) -> DenseMatrix {
+        // Build M = B Bᵀ + I which is SPD by construction.
+        let mut state = seed.max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..n {
+                    s += b[i * n + p] * b[j * n + p];
+                }
+                m[(i, j)] = s + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn factor_identity_is_identity() {
+        let m = DenseMatrix::identity(5);
+        let c = Cholesky::factor(&m).unwrap();
+        let x = c.solve(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(c.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for n in [1_usize, 2, 3, 5, 8, 16] {
+            let m = spd_from_factor(n, 42 + n as u64);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let b = m.matvec(&x_true);
+            let x = solve_spd(&m, &b).unwrap();
+            for i in 0..n {
+                assert!(
+                    (x[i] - x_true[i]).abs() < 1e-8,
+                    "n={n} i={i}: {} vs {}",
+                    x[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hand_checked_2x2() {
+        // M = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+        let m = DenseMatrix::from_rows(2, 2, &[4.0, 2.0, 2.0, 3.0]);
+        let c = Cholesky::factor(&m).unwrap();
+        let x = c.solve(&[8.0, 7.0]);
+        // Solution of [[4,2],[2,3]] x = [8,7] is x = [1.25, 1.5].
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert_eq!(Cholesky::factor(&m).unwrap_err(), CholeskyError::NotSquare);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let m = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        match Cholesky::factor(&m) {
+            Err(CholeskyError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_matrix_is_rejected() {
+        let m = DenseMatrix::zeros(3, 3);
+        assert!(matches!(
+            Cholesky::factor(&m),
+            Err(CholeskyError::NotPositiveDefinite { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let m = spd_from_factor(6, 7);
+        let b: Vec<f64> = (0..6).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let c = Cholesky::factor(&m).unwrap();
+        let x1 = c.solve(&b);
+        let mut x2 = b.clone();
+        c.solve_in_place(&mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CholeskyError::NotPositiveDefinite { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+        assert!(CholeskyError::NotSquare.to_string().contains("square"));
+    }
+}

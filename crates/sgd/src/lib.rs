@@ -1,0 +1,29 @@
+//! Matrix-factorization optimization substrate shared by NOMAD and every
+//! baseline solver.
+//!
+//! The paper's objective (Eq. 1) factorizes the rating matrix `A ≈ W Hᵀ`
+//! with `W ∈ R^{m×k}`, `H ∈ R^{n×k}` under a weighted L2 regularizer.  This
+//! crate provides:
+//!
+//! * [`FactorMatrix`] / [`FactorModel`] — the dense factor matrices with the
+//!   paper's `Uniform(0, 1/√k)` initialization (Section 5.1),
+//! * [`objective`] — the regularized training objective (Eq. 1) and test
+//!   RMSE (Section 5.1),
+//! * [`update`] — the three update rules the paper discusses: SGD
+//!   (Eqs. 9–10), ALS (Eq. 3) and coordinate descent (Eq. 6),
+//! * [`schedule`] — step-size schedules: the NOMAD schedule
+//!   `s_t = α / (1 + β t^{1.5})` (Eq. 11), the bold-driver heuristic used by
+//!   DSGD/DSGD++, plus constant and `1/t` schedules for ablations,
+//! * [`params`] — the per-dataset hyper-parameters of Table 1.
+
+pub mod model;
+pub mod objective;
+pub mod params;
+pub mod schedule;
+pub mod update;
+
+pub use model::{FactorMatrix, FactorModel, InitStrategy};
+pub use objective::{regularized_objective, rmse, squared_error_sum};
+pub use params::HyperParams;
+pub use schedule::{BoldDriver, ConstantStep, InverseTimeStep, NomadStep, StepSchedule};
+pub use update::{als_solve_row, ccd_coordinate_update, sgd_update, SgdOutcome};

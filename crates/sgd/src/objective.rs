@@ -1,0 +1,153 @@
+//! The training objective (Eq. 1 of the paper) and test RMSE (Section 5.1).
+
+use nomad_matrix::{CsrMatrix, TripletMatrix};
+
+use crate::model::FactorModel;
+
+/// Sum of squared prediction errors over the observed entries of `data`:
+/// `Σ_{(i,j)∈Ω} (A_ij − ⟨w_i, h_j⟩)²`.
+pub fn squared_error_sum(model: &FactorModel, data: &CsrMatrix) -> f64 {
+    let mut total = 0.0;
+    for i in 0..data.nrows() {
+        let wi = model.w.row(i);
+        for (j, a) in data.row(i) {
+            let pred = nomad_linalg::dot(wi, model.h.row(j as usize));
+            let err = a - pred;
+            total += err * err;
+        }
+    }
+    total
+}
+
+/// The paper's regularized objective (Eq. 1):
+///
+/// ```text
+/// J(W, H) = 1/2 Σ_{(i,j)∈Ω} (A_ij − ⟨w_i, h_j⟩)²
+///         + λ/2 ( Σ_i |Ω_i| ‖w_i‖² + Σ_j |Ω̄_j| ‖h_j‖² )
+/// ```
+///
+/// which, as the paper notes, can equivalently be accumulated per observed
+/// entry as `1/2 Σ_{(i,j)∈Ω} [(A_ij − ⟨w_i,h_j⟩)² + λ(‖w_i‖² + ‖h_j‖²)]`.
+pub fn regularized_objective(model: &FactorModel, data: &CsrMatrix, lambda: f64) -> f64 {
+    let mut loss = 0.0;
+    let mut reg = 0.0;
+    for i in 0..data.nrows() {
+        let wi = model.w.row(i);
+        let wi_sq = nomad_linalg::vec_ops::nrm2_sq(wi);
+        for (j, a) in data.row(i) {
+            let hj = model.h.row(j as usize);
+            let pred = nomad_linalg::dot(wi, hj);
+            let err = a - pred;
+            loss += err * err;
+            reg += wi_sq + nomad_linalg::vec_ops::nrm2_sq(hj);
+        }
+    }
+    0.5 * loss + 0.5 * lambda * reg
+}
+
+/// Root-mean-square error over a test set of triplets:
+/// `sqrt( Σ_{(i,j)∈Ω_test} (A_ij − ⟨w_i, h_j⟩)² / |Ω_test| )`.
+///
+/// Returns `0.0` for an empty test set (so callers can plot without NaNs).
+pub fn rmse(model: &FactorModel, test: &TripletMatrix) -> f64 {
+    if test.nnz() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in test.entries() {
+        let err = e.value - model.predict(e.row, e.col);
+        total += err * err;
+    }
+    (total / test.nnz() as f64).sqrt()
+}
+
+/// RMSE over the *training* ratings held in CSR form; used for bold-driver
+/// style step adaptation and overfitting diagnostics.
+pub fn train_rmse(model: &FactorModel, data: &CsrMatrix) -> f64 {
+    if data.nnz() == 0 {
+        return 0.0;
+    }
+    (squared_error_sum(model, data) / data.nnz() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InitStrategy;
+    use nomad_matrix::TripletMatrix;
+
+    fn toy() -> (FactorModel, CsrMatrix, TripletMatrix) {
+        // 2 users, 2 items, k = 2.  W and H chosen by hand.
+        let mut model = FactorModel::init_with(2, 2, 2, InitStrategy::Constant { value: 0.0 }, 0);
+        model.w.set_row(0, &[1.0, 0.0]);
+        model.w.set_row(1, &[0.0, 1.0]);
+        model.h.set_row(0, &[2.0, 0.0]);
+        model.h.set_row(1, &[0.0, 3.0]);
+        // Observed: A_00 = 2 (exact), A_11 = 1 (error 2), A_01 = 1 (error 1).
+        let mut train = TripletMatrix::new(2, 2);
+        train.push(0, 0, 2.0);
+        train.push(1, 1, 1.0);
+        train.push(0, 1, 1.0);
+        let csr = CsrMatrix::from_triplets(&train);
+        (model, csr, train)
+    }
+
+    #[test]
+    fn squared_error_matches_hand_computation() {
+        let (model, csr, _) = toy();
+        // errors: 0, (1-3) = -2, (1-0) = 1  => sum of squares = 5.
+        assert!((squared_error_sum(&model, &csr) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_adds_weighted_regularizer() {
+        let (model, csr, _) = toy();
+        // Per-entry reg: (i,j)=(0,0): ‖w0‖²+‖h0‖² = 1+4 = 5
+        //               (0,1): 1 + 9 = 10
+        //               (1,1): 1 + 9 = 10   => total 25.
+        let lambda = 0.1;
+        let expected = 0.5 * 5.0 + 0.5 * lambda * 25.0;
+        assert!((regularized_objective(&model, &csr, lambda) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_with_zero_lambda_is_half_squared_error() {
+        let (model, csr, _) = toy();
+        assert!(
+            (regularized_objective(&model, &csr, 0.0) - 0.5 * squared_error_sum(&model, &csr))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let (model, _, train) = toy();
+        // Same three entries: sqrt(5/3).
+        assert!((rmse(&model, &train) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_rmse_agrees_with_rmse_on_same_data() {
+        let (model, csr, train) = toy();
+        assert!((train_rmse(&model, &csr) - rmse(&model, &train)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_test_set_gives_zero_rmse() {
+        let (model, _, _) = toy();
+        let empty = TripletMatrix::new(2, 2);
+        assert_eq!(rmse(&model, &empty), 0.0);
+        let empty_csr = CsrMatrix::from_triplets(&empty);
+        assert_eq!(train_rmse(&model, &empty_csr), 0.0);
+    }
+
+    #[test]
+    fn perfect_model_has_zero_error() {
+        let (model, _, _) = toy();
+        let mut exact = TripletMatrix::new(2, 2);
+        exact.push(0, 0, 2.0);
+        exact.push(1, 1, 3.0);
+        assert_eq!(rmse(&model, &exact), 0.0);
+    }
+}

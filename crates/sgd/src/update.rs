@@ -1,0 +1,250 @@
+//! The three update rules discussed in Section 2 of the paper.
+//!
+//! * [`sgd_update`] — stochastic gradient descent on a single observed
+//!   rating (Eqs. 9–10); the workhorse of NOMAD, DSGD, DSGD++, FPSGD** and
+//!   Hogwild!.
+//! * [`als_solve_row`] — the exact alternating-least-squares row update
+//!   (Eq. 3), a small positive-definite solve.
+//! * [`ccd_coordinate_update`] — the single-coordinate closed-form update
+//!   (Eq. 6) used by CCD and CCD++ (via the residual formulation of Yu et
+//!   al. that CCD++ maintains).
+
+use nomad_linalg::{Cholesky, DenseMatrix};
+use nomad_matrix::Idx;
+
+use crate::model::FactorModel;
+
+/// What a single SGD update observed, returned for loss bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdOutcome {
+    /// Pre-update residual `⟨w_i, h_j⟩ − A_ij`.
+    pub residual: f64,
+    /// Pre-update squared error `(A_ij − ⟨w_i, h_j⟩)²`.
+    pub squared_error: f64,
+}
+
+/// Performs one SGD update (Eqs. 9–10) on `model` for the observed rating
+/// `(user, item, rating)` with step size `step` and regularization `lambda`.
+///
+/// Both factor rows are updated using the inner product computed *before*
+/// the update, exactly as in Algorithm 1 of the paper (lines 19–20).
+#[inline]
+pub fn sgd_update(
+    model: &mut FactorModel,
+    user: Idx,
+    item: Idx,
+    rating: f64,
+    step: f64,
+    lambda: f64,
+) -> SgdOutcome {
+    let wi = model.w.row_mut(user as usize);
+    let hj = model.h.row_mut(item as usize);
+    let residual = nomad_linalg::vec_ops::sgd_pair_update(wi, hj, rating, step, lambda);
+    SgdOutcome {
+        residual,
+        squared_error: residual * residual,
+    }
+}
+
+/// Solves the ALS subproblem (Eq. 2/3 of the paper) for one row:
+///
+/// ```text
+/// w ← argmin_w 1/2 Σ_{j∈Ω} (a_j − ⟨w, h_j⟩)² + (λ_w/2) ‖w‖²
+///   = (Hᵀ_Ω H_Ω + λ_w I)^{-1} Hᵀ_Ω a
+/// ```
+///
+/// `neighbors` yields the `(h_j, a_j)` pairs for `j ∈ Ω`; `lambda_weighted`
+/// is the effective regularizer, i.e. `λ · |Ω|` under the paper's weighted
+/// regularization.  If `Ω` is empty the solution is the zero vector
+/// (the regularizer alone).
+pub fn als_solve_row<'a, I>(neighbors: I, k: usize, lambda_weighted: f64) -> Vec<f64>
+where
+    I: IntoIterator<Item = (&'a [f64], f64)>,
+{
+    let mut gram = DenseMatrix::zeros(k, k);
+    let mut rhs = vec![0.0; k];
+    let mut count = 0usize;
+    for (h, a) in neighbors {
+        debug_assert_eq!(h.len(), k);
+        gram.rank1_update(1.0, h, h);
+        nomad_linalg::axpy(a, h, &mut rhs);
+        count += 1;
+    }
+    if count == 0 {
+        return vec![0.0; k];
+    }
+    gram.add_diagonal(lambda_weighted.max(f64::EPSILON));
+    let chol = Cholesky::factor(&gram)
+        .expect("Gram matrix + positive ridge must be positive definite");
+    chol.solve(&rhs)
+}
+
+/// One closed-form coordinate update (Eq. 6, in the residual form used by
+/// CCD++).
+///
+/// For a fixed row `w` and coordinate `l`, given for every rated neighbour
+/// the pair `(h_jl, r_j)` where `r_j = a_j − ⟨w, h_j⟩` is the *current*
+/// residual (including the contribution of the old `w_l`), the minimizer of
+/// the one-dimensional subproblem is
+///
+/// ```text
+/// w_l* = Σ_j (r_j + w_l · h_jl) · h_jl / (λ_w + Σ_j h_jl²)
+/// ```
+///
+/// Returns the new value `w_l*`; the caller is responsible for updating the
+/// residuals (`r_j ← r_j − (w_l* − w_l) · h_jl`).
+#[inline]
+pub fn ccd_coordinate_update<I>(pairs: I, w_l_old: f64, lambda_weighted: f64) -> f64
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let mut numerator = 0.0;
+    let mut denominator = lambda_weighted;
+    for (h_l, r) in pairs {
+        numerator += (r + w_l_old * h_l) * h_l;
+        denominator += h_l * h_l;
+    }
+    if denominator <= 0.0 {
+        return 0.0;
+    }
+    numerator / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InitStrategy;
+
+    #[test]
+    fn sgd_update_reduces_error_on_that_entry() {
+        let mut model = FactorModel::init(4, 4, 8, 3);
+        let before = (5.0 - model.predict(1, 2)).powi(2);
+        let out = sgd_update(&mut model, 1, 2, 5.0, 0.05, 0.0);
+        let after = (5.0 - model.predict(1, 2)).powi(2);
+        assert!(after < before, "after {after} must be below before {before}");
+        assert!((out.squared_error - before).abs() < 1e-12);
+        assert!(out.residual < 0.0, "prediction starts below the rating 5.0");
+    }
+
+    #[test]
+    fn sgd_update_only_touches_the_two_rows() {
+        let mut model = FactorModel::init(3, 3, 4, 7);
+        let w_before = model.w.clone();
+        let h_before = model.h.clone();
+        sgd_update(&mut model, 0, 2, 1.0, 0.1, 0.05);
+        for i in 0..3 {
+            if i != 0 {
+                assert_eq!(model.w.row(i), w_before.row(i));
+            }
+            if i != 2 {
+                assert_eq!(model.h.row(i), h_before.row(i));
+            }
+        }
+        assert_ne!(model.w.row(0), w_before.row(0));
+        assert_ne!(model.h.row(2), h_before.row(2));
+    }
+
+    #[test]
+    fn als_solve_row_recovers_exact_least_squares() {
+        // Two items with orthogonal embeddings and consistent ratings:
+        // the unregularized solution is exact.
+        let h0 = [1.0, 0.0];
+        let h1 = [0.0, 2.0];
+        let w = als_solve_row([(h0.as_slice(), 3.0), (h1.as_slice(), 4.0)], 2, 1e-12);
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn als_solve_row_shrinks_with_regularization() {
+        let h0 = [1.0, 0.0];
+        let small = als_solve_row([(h0.as_slice(), 2.0)], 2, 0.01);
+        let large = als_solve_row([(h0.as_slice(), 2.0)], 2, 10.0);
+        assert!(small[0] > large[0]);
+        assert!(large[0] > 0.0);
+    }
+
+    #[test]
+    fn als_solve_row_empty_neighbourhood_is_zero() {
+        let w = als_solve_row(std::iter::empty::<(&[f64], f64)>(), 3, 0.5);
+        assert_eq!(w, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn als_decreases_objective_on_toy_problem() {
+        use nomad_matrix::{CsrMatrix, TripletMatrix};
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                t.push(i, j, (i + j) as f64);
+            }
+        }
+        let csr = CsrMatrix::from_triplets(&t);
+        let lambda = 0.1;
+        let mut model = FactorModel::init(3, 3, 2, 11);
+        let before = crate::objective::regularized_objective(&model, &csr, lambda);
+        // One ALS sweep over users.
+        for i in 0..3usize {
+            let neighbors: Vec<(&[f64], f64)> = csr
+                .row(i)
+                .map(|(j, a)| (model.h.row(j as usize), a))
+                .collect();
+            let w = als_solve_row(neighbors, 2, lambda * csr.row_nnz(i) as f64);
+            model.w.set_row(i, &w);
+        }
+        let after = crate::objective::regularized_objective(&model, &csr, lambda);
+        assert!(after < before, "ALS user sweep must decrease the objective");
+    }
+
+    #[test]
+    fn ccd_coordinate_update_matches_closed_form() {
+        // Single neighbour: minimize (r + w_old*h - z*h)^2 + λ z².
+        let h = 2.0;
+        let r = 0.5;
+        let w_old = 1.0;
+        let lambda = 0.1;
+        let z = ccd_coordinate_update([(h, r)], w_old, lambda);
+        let expected = (r + w_old * h) * h / (lambda + h * h);
+        assert!((z - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ccd_coordinate_update_is_a_minimizer() {
+        // Verify by perturbation that the returned value minimizes the
+        // one-dimensional objective.
+        let pairs = [(1.5, 0.3), (-0.7, -0.2), (0.9, 1.1)];
+        let w_old = 0.4;
+        let lambda = 0.25;
+        let obj = |z: f64| -> f64 {
+            pairs
+                .iter()
+                .map(|&(h, r)| {
+                    let err = r + w_old * h - z * h;
+                    err * err
+                })
+                .sum::<f64>()
+                + lambda * z * z
+        };
+        let z_star = ccd_coordinate_update(pairs, w_old, lambda);
+        for delta in [-0.01, 0.01, -0.1, 0.1] {
+            assert!(obj(z_star) <= obj(z_star + delta) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ccd_coordinate_update_degenerate_returns_zero() {
+        // No neighbours and no regularizer: defined to return 0.
+        assert_eq!(ccd_coordinate_update(std::iter::empty(), 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn constant_init_plus_sgd_breaks_symmetry_via_ratings() {
+        // Even from a symmetric start, different ratings produce different
+        // factors: sanity check that the update uses the rating value.
+        let mut model =
+            FactorModel::init_with(2, 2, 3, InitStrategy::Constant { value: 0.1 }, 0);
+        sgd_update(&mut model, 0, 0, 5.0, 0.1, 0.0);
+        sgd_update(&mut model, 1, 1, 1.0, 0.1, 0.0);
+        assert_ne!(model.w.row(0), model.w.row(1));
+    }
+}

@@ -1,0 +1,63 @@
+//! Dynamic load balancing (Section 3.3 of the paper): run NOMAD on a
+//! cluster with one deliberately slow (straggler) worker and compare
+//! uniform token routing against queue-length-aware routing.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example load_balancing
+//! ```
+
+use nomad::cluster::{ClusterTopology, ComputeModel, NetworkModel};
+use nomad::core::{NomadConfig, RoutingPolicy, SimNomad, StopCondition};
+use nomad::data::{named_dataset, SizeTier};
+use nomad::sgd::HyperParams;
+
+fn main() {
+    let dataset = named_dataset("netflix-sim", SizeTier::Small)
+        .expect("registered dataset")
+        .build();
+    let params = HyperParams::netflix().with_k(32);
+    let topology = ClusterTopology::single_machine(8);
+
+    // Worker 0 runs at one quarter speed — a loaded or thermally throttled
+    // core, or a machine sharing its CPU with another tenant.
+    let mut speeds = vec![1.0; topology.num_workers()];
+    speeds[0] = 0.25;
+
+    // Fixed virtual-time budget: whoever schedules around the straggler
+    // better gets more updates done and a lower RMSE.
+    let budget_seconds = dataset.matrix.nnz() as f64 * 6.0
+        * ComputeModel::hpc_core().sgd_update_time(params.k)
+        / topology.num_workers() as f64;
+
+    println!("straggler experiment: 8 workers, worker 0 at 25% speed");
+    println!("routing,updates_done,final_rmse,mean_utilization");
+    for (label, routing) in [
+        ("uniform", RoutingPolicy::UniformRandom),
+        ("least-loaded", RoutingPolicy::LeastLoaded),
+    ] {
+        let config = NomadConfig::new(params)
+            .with_stop(StopCondition::Seconds(budget_seconds))
+            .with_routing(routing)
+            .with_snapshot_every(budget_seconds / 20.0);
+        let out = SimNomad::new(
+            config,
+            topology,
+            NetworkModel::shared_memory(),
+            ComputeModel::hpc_core(),
+        )
+        .with_worker_speeds(&speeds)
+        .run(&dataset.matrix, &dataset.test);
+        println!(
+            "{label},{},{:.4},{:.3}",
+            out.trace.metrics.updates,
+            out.trace.final_rmse().unwrap(),
+            out.trace.metrics.mean_utilization(),
+        );
+    }
+    println!();
+    println!(
+        "The queue-length payload lets NOMAD route fewer tokens to the slow worker, \
+         which raises total throughput under the same virtual-time budget (Section 3.3)."
+    );
+}

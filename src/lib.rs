@@ -1,0 +1,75 @@
+//! # nomad
+//!
+//! A full Rust reproduction of *NOMAD: Non-locking, stOchastic,
+//! Multi-machine algorithm for Asynchronous and Decentralized matrix
+//! completion* (Yun, Yu, Hsieh, Vishwanathan, Dhillon — VLDB 2014).
+//!
+//! This facade crate re-exports the workspace's public API so that
+//! applications (and the `examples/`) can depend on a single crate:
+//!
+//! * [`matrix`] — sparse rating storage, partitioning, train/test splits,
+//! * [`linalg`] — the small dense kernels (dot/axpy, Cholesky),
+//! * [`data`] — synthetic dataset generators shaped like Netflix,
+//!   Yahoo! Music and Hugewiki, plus loaders for real data,
+//! * [`sgd`] — the factor model, objective/RMSE, SGD/ALS/CCD update rules
+//!   and step-size schedules,
+//! * [`cluster`] — the discrete-event cluster simulator (virtual time,
+//!   network and compute cost models, topologies),
+//! * [`core`] — the NOMAD algorithm itself: serial reference, real
+//!   multi-threaded engine on lock-free queues, and the simulated
+//!   multi-machine/hybrid engine,
+//! * [`baselines`] — every comparison algorithm from the paper's
+//!   evaluation (DSGD, DSGD++, CCD++, FPSGD**, ALS, ASGD, GraphLab-ALS,
+//!   serial SGD),
+//! * [`eval`] — the experiment harness that regenerates the paper's
+//!   figures and tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nomad::data::{named_dataset, SizeTier};
+//! use nomad::core::{NomadConfig, SimNomad, StopCondition};
+//! use nomad::eval::ClusterSpec;
+//! use nomad::sgd::HyperParams;
+//!
+//! // A tiny Netflix-shaped synthetic dataset (train/test already split).
+//! let dataset = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+//!
+//! // NOMAD on a simulated 4-machine HPC cluster, two epochs of updates.
+//! let spec = ClusterSpec::hpc(4);
+//! let updates = dataset.matrix.nnz() as u64 * 2;
+//! let config = NomadConfig::new(HyperParams::netflix().with_k(8))
+//!     .with_stop(StopCondition::Updates(updates));
+//! let out = SimNomad::new(config, spec.topology, spec.network, spec.compute)
+//!     .run(&dataset.matrix, &dataset.test);
+//!
+//! let first = out.trace.points.first().unwrap().test_rmse;
+//! let last = out.trace.final_rmse().unwrap();
+//! assert!(last < first, "test RMSE improves: {first} -> {last}");
+//! ```
+
+/// Sparse rating-matrix substrate (re-export of `nomad-matrix`).
+pub use nomad_matrix as matrix;
+
+/// Small dense linear algebra (re-export of `nomad-linalg`).
+pub use nomad_linalg as linalg;
+
+/// Dataset generators and loaders (re-export of `nomad-data`).
+pub use nomad_data as data;
+
+/// Optimization substrate: model, objective, updates, schedules
+/// (re-export of `nomad-sgd`).
+pub use nomad_sgd as sgd;
+
+/// Discrete-event cluster simulation substrate (re-export of
+/// `nomad-cluster`).
+pub use nomad_cluster as cluster;
+
+/// The NOMAD algorithm (re-export of `nomad-core`).
+pub use nomad_core as core;
+
+/// Baseline solvers (re-export of `nomad-baselines`).
+pub use nomad_baselines as baselines;
+
+/// Experiment harness (re-export of `nomad-eval`).
+pub use nomad_eval as eval;
