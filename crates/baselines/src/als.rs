@@ -113,7 +113,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

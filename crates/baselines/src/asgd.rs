@@ -134,7 +134,11 @@ impl Asgd {
                         let wi = server.w.row_mut(e.row as usize);
                         let hj = replica.row_mut(e.col as usize);
                         nomad_linalg::vec_ops::sgd_pair_update(
-                            wi, hj, e.value, step, params.lambda,
+                            wi,
+                            hj,
+                            e.value,
+                            step,
+                            params.lambda,
                         );
                         // Record the delta produced on the stale replica.
                         let delta_row = deltas.row_mut(e.col as usize);
@@ -154,8 +158,8 @@ impl Asgd {
                 // and every machine refreshes its replica: this is the
                 // non-serializable merge step.
                 let mut touched_items = 0usize;
-                for j in 0..data.ncols() {
-                    if !touched[j] {
+                for (j, &was_touched) in touched.iter().enumerate() {
+                    if !was_touched {
                         continue;
                     }
                     touched_items += 1;
@@ -196,7 +200,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

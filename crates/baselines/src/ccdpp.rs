@@ -100,7 +100,9 @@ impl CcdPlusPlus {
             for &i in csc.col_rows(j) {
                 // Find the CSR slot of (i, j) by binary search within row i.
                 let cols = csr.row_cols(i as usize);
-                let offset = cols.binary_search(&(j as Idx)).expect("entry exists in both views");
+                let offset = cols
+                    .binary_search(&(j as Idx))
+                    .expect("entry exists in both views");
                 csr_pos_of_csc.push(row_start[i as usize] + offset);
             }
         }
@@ -110,7 +112,13 @@ impl CcdPlusPlus {
         }
 
         let mut clock = EpochClock::new(machines);
-        let mut trace = RunTrace::new("CCD++", "", machines, topology.cores_per_machine(), machines);
+        let mut trace = RunTrace::new(
+            "CCD++",
+            "",
+            machines,
+            topology.cores_per_machine(),
+            machines,
+        );
         let mut updates = 0u64;
         trace.push(TracePoint {
             seconds: 0.0,
@@ -147,7 +155,11 @@ impl CcdPlusPlus {
                             numerator += (r + w_old * h_l) * h_l;
                             denominator += h_l * h_l;
                         }
-                        let w_new = if denominator > 0.0 { numerator / denominator } else { 0.0 };
+                        let w_new = if denominator > 0.0 {
+                            numerator / denominator
+                        } else {
+                            0.0
+                        };
                         // Fold the change into the residuals of row i.
                         for (offset, (j, _)) in csr.row(i).enumerate() {
                             let h_l = model.h.row(j as usize)[l];
@@ -167,10 +179,15 @@ impl CcdPlusPlus {
                             numerator += (r + h_old * w_l) * w_l;
                             denominator += w_l * w_l;
                         }
-                        let h_new = if denominator > 0.0 { numerator / denominator } else { 0.0 };
+                        let h_new = if denominator > 0.0 {
+                            numerator / denominator
+                        } else {
+                            0.0
+                        };
                         for (offset, (i, _)) in csc.col(j).enumerate() {
                             let w_l = model.w.row(i as usize)[l];
-                            residual[csr_pos_of_csc[col_start[j] + offset]] -= (h_new - h_old) * w_l;
+                            residual[csr_pos_of_csc[col_start[j] + offset]] -=
+                                (h_new - h_old) * w_l;
                         }
                         model.h.row_mut(j)[l] = h_new;
                         updates += 1;
@@ -210,7 +227,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

@@ -36,8 +36,7 @@ impl BaselineStop {
 
     /// `true` once the budget is exhausted.
     pub fn reached(&self, epoch: usize, elapsed_seconds: f64) -> bool {
-        epoch >= self.max_epochs
-            || self.max_seconds.is_some_and(|s| elapsed_seconds >= s)
+        epoch >= self.max_epochs || self.max_seconds.is_some_and(|s| elapsed_seconds >= s)
     }
 }
 
@@ -97,11 +96,7 @@ impl EpochClock {
     /// *maximum* per-machine compute time, and every faster machine's slack
     /// is recorded as barrier waiting.
     pub fn barrier(&mut self) {
-        let slowest = self
-            .phase_compute
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let slowest = self.phase_compute.iter().copied().fold(0.0f64, f64::max);
         for (machine, &used) in self.phase_compute.iter().enumerate() {
             self.metrics.record_barrier_wait(machine, slowest - used);
         }
@@ -144,11 +139,7 @@ impl EpochClock {
     /// Ends a phase whose duration is the maximum of the per-machine
     /// compute time and an overlapped communication cost (DSGD++-style).
     pub fn barrier_overlapped(&mut self, comm_seconds: f64) {
-        let slowest_compute = self
-            .phase_compute
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let slowest_compute = self.phase_compute.iter().copied().fold(0.0f64, f64::max);
         let phase = slowest_compute.max(comm_seconds);
         for (machine, &used) in self.phase_compute.iter().enumerate() {
             self.metrics.record_barrier_wait(machine, phase - used);

@@ -170,8 +170,7 @@ pub(crate) fn run_stratified(
                 }
                 updates += count;
                 // The machine's threads split the stratum's updates evenly.
-                let seconds =
-                    count as f64 * compute.sgd_update_time(params.k) / threads as f64;
+                let seconds = count as f64 * compute.sgd_update_time(params.k) / threads as f64;
                 clock.compute(machine, seconds);
             }
             if opts.overlap_communication {
@@ -208,7 +207,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

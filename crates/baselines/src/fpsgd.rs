@@ -112,14 +112,14 @@ impl Fpsgd {
         // Picks the least-processed block whose row and column are free and
         // starts it on `worker` at `now`; returns false when nothing is free.
         let start_block = |worker: usize,
-                               now: SimTime,
-                               model: &mut FactorModel,
-                               row_busy: &mut Vec<bool>,
-                               col_busy: &mut Vec<bool>,
-                               passes: &mut Vec<u64>,
-                               events: &mut EventQueue<BlockDone>,
-                               rng: &mut StdRng,
-                               updates: &mut u64|
+                           now: SimTime,
+                           model: &mut FactorModel,
+                           row_busy: &mut Vec<bool>,
+                           col_busy: &mut Vec<bool>,
+                           passes: &mut Vec<u64>,
+                           events: &mut EventQueue<BlockDone>,
+                           rng: &mut StdRng,
+                           updates: &mut u64|
          -> bool {
             let mut candidates: Vec<(u64, usize, usize)> = Vec::new();
             for rb in 0..g {
@@ -169,8 +169,15 @@ impl Fpsgd {
         // Kick off: every worker grabs a block at time zero.
         for worker in 0..threads {
             start_block(
-                worker, SimTime::ZERO, &mut model, &mut row_busy, &mut col_busy, &mut passes,
-                &mut events, &mut rng, &mut updates,
+                worker,
+                SimTime::ZERO,
+                &mut model,
+                &mut row_busy,
+                &mut col_busy,
+                &mut passes,
+                &mut events,
+                &mut rng,
+                &mut updates,
             );
         }
 
@@ -196,8 +203,15 @@ impl Fpsgd {
                 break;
             }
             start_block(
-                done.event.worker, done.time, &mut model, &mut row_busy, &mut col_busy,
-                &mut passes, &mut events, &mut rng, &mut updates,
+                done.event.worker,
+                done.time,
+                &mut model,
+                &mut row_busy,
+                &mut col_busy,
+                &mut passes,
+                &mut events,
+                &mut rng,
+                &mut updates,
             );
         }
 
@@ -219,7 +233,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 
@@ -265,5 +281,4 @@ mod tests {
         let (data, test) = tiny();
         let _ = Fpsgd::new(config(1)).run(&data, &test, 0, &ComputeModel::hpc_core());
     }
-
 }

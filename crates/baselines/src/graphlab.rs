@@ -72,8 +72,13 @@ impl GraphLabAls {
             + (k * 8 + network.per_message_overhead_bytes) as f64 / network.inter_machine_bandwidth;
 
         let mut clock = EpochClock::new(machines);
-        let mut trace =
-            RunTrace::new("GraphLab-ALS", "", machines, topology.cores_per_machine(), machines);
+        let mut trace = RunTrace::new(
+            "GraphLab-ALS",
+            "",
+            machines,
+            topology.cores_per_machine(),
+            machines,
+        );
         let mut updates = 0u64;
         trace.push(TracePoint {
             seconds: 0.0,
@@ -101,8 +106,7 @@ impl GraphLabAls {
                 let w = als_solve_row(neighbors, k, params.lambda * nnz as f64);
                 model.w.set_row(i, &w);
                 updates += 1;
-                let seconds = (compute.als_row_time(k, nnz)
-                    + remote as f64 * remote_neighbor_cost)
+                let seconds = (compute.als_row_time(k, nnz) + remote as f64 * remote_neighbor_cost)
                     / threads as f64;
                 clock.compute(machine, seconds);
                 for _ in 0..remote {
@@ -127,8 +131,7 @@ impl GraphLabAls {
                 let h = als_solve_row(neighbors, k, params.lambda * nnz as f64);
                 model.h.set_row(j, &h);
                 updates += 1;
-                let seconds = (compute.als_row_time(k, nnz)
-                    + remote as f64 * remote_neighbor_cost)
+                let seconds = (compute.als_row_time(k, nnz) + remote as f64 * remote_neighbor_cost)
                     / threads as f64;
                 clock.compute(machine, seconds);
                 for _ in 0..remote {
@@ -160,7 +163,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

@@ -36,7 +36,7 @@ pub mod serial_sgd;
 
 pub use als::{Als, AlsConfig};
 pub use asgd::{Asgd, AsgdConfig};
-pub use ccdpp::{CcdPlusPlus, CcdConfig};
+pub use ccdpp::{CcdConfig, CcdPlusPlus};
 pub use common::{BaselineStop, EpochClock};
 pub use dsgd::{Dsgd, DsgdConfig};
 pub use dsgdpp::{DsgdPlusPlus, DsgdPlusPlusConfig};

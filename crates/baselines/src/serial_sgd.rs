@@ -84,7 +84,9 @@ impl SerialSgd {
             epoch += 1;
             elapsed += order.len() as f64 * per_update;
             trace.metrics.updates = updates;
-            trace.metrics.record_busy(0, order.len() as f64 * per_update);
+            trace
+                .metrics
+                .record_busy(0, order.len() as f64 * per_update);
             trace.push(TracePoint {
                 seconds: elapsed,
                 updates,
@@ -103,7 +105,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

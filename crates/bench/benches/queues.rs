@@ -9,8 +9,8 @@
 
 use std::collections::VecDeque;
 use std::hint::black_box;
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use crossbeam::queue::SegQueue;

@@ -18,7 +18,9 @@ use nomad_eval::{run_solver, ClusterSpec, SolverKind};
 use nomad_sgd::HyperParams;
 
 fn dataset() -> GeneratedDataset {
-    named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build()
+    named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build()
 }
 
 fn params() -> HyperParams {
@@ -42,16 +44,20 @@ fn bench_solver_epoch(c: &mut Criterion) {
         SolverKind::Asgd,
         SolverKind::SerialSgd,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| black_box(run_solver(kind, &ds, &spec, params(), 1, 1)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_solver(kind, &ds, &spec, params(), 1, 1)));
+            },
+        );
     }
     group.finish();
 }
 
 fn nomad_engine(ds: &GeneratedDataset, config: NomadConfig, spec: ClusterSpec) -> f64 {
-    let out = SimNomad::new(config, spec.topology, spec.network, spec.compute)
-        .run(&ds.matrix, &ds.test);
+    let out =
+        SimNomad::new(config, spec.topology, spec.network, spec.compute).run(&ds.matrix, &ds.test);
     out.trace.final_rmse().unwrap_or(f64::NAN)
 }
 

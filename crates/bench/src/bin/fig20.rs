@@ -1,5 +1,9 @@
 //! Reproduces Figure 20 of the NOMAD paper (see DESIGN.md for the mapping).
 //! Prints CSV series to stdout; set NOMAD_SCALE=standard for larger runs.
 fn main() {
+    nomad_bench::handle_cli_args(
+        "fig20",
+        "Reproduces Figure 20 of the NOMAD paper (see DESIGN.md for the mapping)",
+    );
     nomad_bench::run_figure("fig20");
 }

@@ -1,6 +1,10 @@
 //! Runs every table and figure reproduction in sequence (quick scale by
 //! default).  Useful for regenerating all of EXPERIMENTS.md in one go.
 fn main() {
+    nomad_bench::handle_cli_args(
+        "repro_all",
+        "Runs every table and figure reproduction in sequence",
+    );
     println!("{}", nomad_eval::figures::table1());
     let scale = nomad_eval::ReproScale::from_env();
     println!("{}", nomad_eval::figures::table2(&scale));

@@ -1,4 +1,8 @@
 //! Reproduces Table 1 of the NOMAD paper: the per-dataset hyper-parameters.
 fn main() {
+    nomad_bench::handle_cli_args(
+        "table1",
+        "Reproduces Table 1 of the NOMAD paper: the per-dataset hyper-parameters",
+    );
     print!("{}", nomad_eval::figures::table1());
 }

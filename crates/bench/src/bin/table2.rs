@@ -1,6 +1,10 @@
 //! Reproduces Table 2 of the NOMAD paper: dataset shapes, paper vs. the
 //! generated synthetic stand-ins at the selected scale.
 fn main() {
+    nomad_bench::handle_cli_args(
+        "table2",
+        "Reproduces Table 2 of the NOMAD paper: dataset shapes, paper vs. generated stand-ins",
+    );
     let scale = nomad_eval::ReproScale::from_env();
     print!("{}", nomad_eval::figures::table2(&scale));
 }

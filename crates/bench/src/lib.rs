@@ -7,6 +7,33 @@
 
 use nomad_eval::{figure_to_csv, figure_to_markdown, Figure, ReproScale};
 
+/// Handles the shared command-line surface of every reproduction binary.
+///
+/// All `fig*`/`table*`/`repro_all` binaries are configured through the
+/// `NOMAD_SCALE` environment variable rather than flags, so the only
+/// arguments they accept are `--help`/`-h` (print usage, exit 0). Any other
+/// argument is rejected with exit code 2 so that typos are not silently
+/// ignored before a long experiment run.
+pub fn handle_cli_args(name: &str, about: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Unknown arguments are rejected even when `--help` is also present, so
+    // a typoed flag can never slip through by riding along with a valid one.
+    if let Some(bad) = args.iter().find(|a| *a != "--help" && *a != "-h") {
+        eprintln!("{name}: unrecognized argument {bad:?} (try --help)");
+        std::process::exit(2);
+    }
+    if !args.is_empty() {
+        println!(
+            "{name}: {about}\n\n\
+             Usage: {name} [--help]\n\n\
+             Output: CSV series on stdout, a markdown summary on stderr.\n\n\
+             Environment:\n  \
+             NOMAD_SCALE=quick|standard   experiment scale (default: quick)"
+        );
+        std::process::exit(0);
+    }
+}
+
 /// Runs the registered figure generator for `id` at the scale selected by
 /// the `NOMAD_SCALE` environment variable (`quick` by default, `standard`
 /// for the larger runs) and prints CSV to stdout plus a markdown summary to
@@ -16,8 +43,8 @@ use nomad_eval::{figure_to_csv, figure_to_markdown, Figure, ReproScale};
 /// Panics if `id` is not a known figure identifier.
 pub fn run_figure(id: &str) {
     let scale = ReproScale::from_env();
-    let figures = nomad_eval::figures::by_id(id, &scale)
-        .unwrap_or_else(|| panic!("unknown figure id {id}"));
+    let figures =
+        nomad_eval::figures::by_id(id, &scale).unwrap_or_else(|| panic!("unknown figure id {id}"));
     print_figures(&figures);
 }
 

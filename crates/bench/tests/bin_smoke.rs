@@ -1,0 +1,78 @@
+//! Smoke tests for the reproduction binaries: every `fig*`/`table*`/
+//! `repro_all` binary must link, answer `--help` with a usage message and
+//! exit 0, and reject unknown arguments with exit 2 — all without starting
+//! an actual experiment run.
+
+use std::process::Command;
+
+/// `CARGO_BIN_EXE_<name>` is set by Cargo for every `[[bin]]` target of
+/// this crate when compiling its integration tests, so referencing it here
+/// also forces all binaries to build (the "link" half of the smoke test).
+const BINS: &[(&str, &str)] = &[
+    ("fig5", env!("CARGO_BIN_EXE_fig5")),
+    ("fig6", env!("CARGO_BIN_EXE_fig6")),
+    ("fig7", env!("CARGO_BIN_EXE_fig7")),
+    ("fig8", env!("CARGO_BIN_EXE_fig8")),
+    ("fig9", env!("CARGO_BIN_EXE_fig9")),
+    ("fig10", env!("CARGO_BIN_EXE_fig10")),
+    ("fig11", env!("CARGO_BIN_EXE_fig11")),
+    ("fig12", env!("CARGO_BIN_EXE_fig12")),
+    ("fig13", env!("CARGO_BIN_EXE_fig13")),
+    ("fig14", env!("CARGO_BIN_EXE_fig14")),
+    ("fig15", env!("CARGO_BIN_EXE_fig15")),
+    ("fig16", env!("CARGO_BIN_EXE_fig16")),
+    ("fig17", env!("CARGO_BIN_EXE_fig17")),
+    ("fig18", env!("CARGO_BIN_EXE_fig18")),
+    ("fig19", env!("CARGO_BIN_EXE_fig19")),
+    ("fig20", env!("CARGO_BIN_EXE_fig20")),
+    ("fig21", env!("CARGO_BIN_EXE_fig21")),
+    ("fig22", env!("CARGO_BIN_EXE_fig22")),
+    ("fig23", env!("CARGO_BIN_EXE_fig23")),
+    ("table1", env!("CARGO_BIN_EXE_table1")),
+    ("table2", env!("CARGO_BIN_EXE_table2")),
+    ("repro_all", env!("CARGO_BIN_EXE_repro_all")),
+];
+
+#[test]
+fn every_bin_answers_help() {
+    for (name, path) in BINS {
+        let out = Command::new(path)
+            .arg("--help")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "{name} --help exited with {:?}",
+            out.status.code()
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("Usage:") && stdout.contains(name),
+            "{name} --help printed no usage:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("NOMAD_SCALE"),
+            "{name} --help must document the NOMAD_SCALE variable"
+        );
+    }
+}
+
+#[test]
+fn every_bin_rejects_unknown_arguments() {
+    for (name, path) in BINS {
+        let out = Command::new(path)
+            .arg("--definitely-not-a-flag")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name} must exit 2 on an unknown argument"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unrecognized argument"),
+            "{name} printed no diagnostic:\n{stderr}"
+        );
+    }
+}

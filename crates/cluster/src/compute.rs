@@ -90,10 +90,11 @@ impl ComputeModel {
     #[inline]
     pub fn als_row_time(&self, k: usize, nnz: usize) -> f64 {
         let kf = k as f64;
-        let flops_equivalent = nnz as f64 * kf + kf * kf / 3.0;
-        (self.per_item_overhead + self.seconds_per_update_per_k * kf.max(1.0) * 0.0
-            + self.seconds_per_update_per_k * flops_equivalent)
-            / self.speed_factor
+        // One SGD update costs `seconds_per_update_per_k · k` and touches
+        // `k` components, so the per-component rate is
+        // `seconds_per_update_per_k` itself.
+        let components = nnz as f64 * kf * kf + kf * kf * kf / 3.0;
+        (self.per_item_overhead + self.seconds_per_update_per_k * components) / self.speed_factor
     }
 
     /// Seconds for one CCD coordinate sweep over a row/column with `nnz`

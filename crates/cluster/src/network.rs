@@ -123,8 +123,8 @@ impl NetworkModel {
     #[inline]
     pub fn token_wire_time(&self, k: usize, batch: usize) -> f64 {
         assert!(batch > 0, "batch size must be positive");
-        let bytes = Self::token_bytes(k) as f64
-            + self.per_message_overhead_bytes as f64 / batch as f64;
+        let bytes =
+            Self::token_bytes(k) as f64 + self.per_message_overhead_bytes as f64 / batch as f64;
         bytes / self.inter_machine_bandwidth
     }
 
@@ -208,9 +208,7 @@ mod tests {
     fn token_latency_amortizes_over_batch() {
         let net = NetworkModel::commodity_1gbps();
         assert!((net.token_latency(1) - net.inter_machine_latency).abs() < 1e-15);
-        assert!(
-            (net.token_latency(100) - net.inter_machine_latency / 100.0).abs() < 1e-15
-        );
+        assert!((net.token_latency(100) - net.inter_machine_latency / 100.0).abs() < 1e-15);
     }
 
     #[test]

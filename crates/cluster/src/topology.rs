@@ -86,7 +86,10 @@ impl ClusterTopology {
 
     /// An explicit topology.
     pub fn new(machines: usize, compute_threads: usize, comm_threads: usize) -> Self {
-        assert!(machines > 0 && compute_threads > 0, "topology must be non-empty");
+        assert!(
+            machines > 0 && compute_threads > 0,
+            "topology must be non-empty"
+        );
         Self {
             machines,
             compute_threads,

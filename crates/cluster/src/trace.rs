@@ -113,10 +113,7 @@ impl RunTrace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("seconds,updates,test_rmse,objective\n");
         for p in &self.points {
-            let obj = p
-                .objective
-                .map(|o| format!("{o:.6}"))
-                .unwrap_or_default();
+            let obj = p.objective.map(|o| format!("{o:.6}")).unwrap_or_default();
             out.push_str(&format!(
                 "{:.6},{},{:.6},{}\n",
                 p.seconds, p.updates, p.test_rmse, obj
@@ -137,7 +134,12 @@ mod tests {
 
     fn sample_trace() -> RunTrace {
         let mut t = RunTrace::new("NOMAD", "netflix-sim", 4, 4, 16);
-        for (s, u, r) in [(0.0, 0, 1.2), (1.0, 100, 1.0), (2.0, 200, 0.95), (3.0, 300, 0.96)] {
+        for (s, u, r) in [
+            (0.0, 0, 1.2),
+            (1.0, 100, 1.0),
+            (2.0, 200, 0.95),
+            (3.0, 300, 0.96),
+        ] {
             t.push(TracePoint {
                 seconds: s,
                 updates: u,

@@ -91,7 +91,7 @@ impl NomadConfig {
             intra_machine_circulation: true,
             snapshot_every: 0.5,
             stop: StopCondition::Seconds(30.0),
-            seed: 0x4E4F_4D41_44, // "NOMAD" in ASCII
+            seed: 0x4E4F4D4144, // "NOMAD" in ASCII
         }
     }
 
@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn default_configuration_matches_the_paper() {
         let cfg = NomadConfig::new(HyperParams::netflix());
-        assert_eq!(cfg.message_batch, 100, "paper batches ~100 pairs per message");
-        assert!(cfg.intra_machine_circulation, "hybrid circulation is on by default");
+        assert_eq!(
+            cfg.message_batch, 100,
+            "paper batches ~100 pairs per message"
+        );
+        assert!(
+            cfg.intra_machine_circulation,
+            "hybrid circulation is on by default"
+        );
         assert_eq!(cfg.routing, RoutingPolicy::UniformRandom);
     }
 

@@ -116,7 +116,9 @@ impl SerialNomad {
                 elapsed += per_item + local_updates as f64 * per_update;
                 trace.metrics.updates += local_updates;
                 trace.metrics.tokens_processed += 1;
-                trace.metrics.record_busy(q, per_item + local_updates as f64 * per_update);
+                trace
+                    .metrics
+                    .record_busy(q, per_item + local_updates as f64 * per_update);
 
                 let queue_lens: Vec<usize> = queues.iter().map(|qu| qu.len()).collect();
                 let dest =
@@ -194,7 +196,9 @@ mod tests {
     use nomad_matrix::PartitionStrategy;
 
     fn tiny_dataset() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

@@ -256,9 +256,7 @@ impl SimNomad {
             };
 
             let same_machine = self.topology.same_machine(q, dest);
-            trace
-                .metrics
-                .record_message(token_bytes, same_machine);
+            trace.metrics.record_message(token_bytes, same_machine);
             let arrival = if same_machine {
                 visited[item as usize] |= 1u64 << (self.topology.worker(dest).thread as u64);
                 finish + intra_cost
@@ -314,7 +312,9 @@ mod tests {
     use nomad_sgd::HyperParams;
 
     fn tiny_dataset() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 

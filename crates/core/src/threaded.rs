@@ -247,7 +247,10 @@ fn assemble_model(
         }
         for token in tokens {
             let j = token.item as usize;
-            assert!(!seen[j], "item {j} owned by two queues: token conservation violated");
+            assert!(
+                !seen[j],
+                "item {j} owned by two queues: token conservation violated"
+            );
             seen[j] = true;
             model.h.set_row(j, &token.h);
             queue.push(token);
@@ -278,6 +281,9 @@ fn worker_loop(
     seed: u64,
 ) -> Vec<(u64, ProcessingEvent)> {
     let mut rng = nomad_linalg::SmallRng64::new(seed ^ (q as u64).wrapping_mul(0x9E37_79B9));
+    // Round-robin cursor, staggered per worker so the first destination is
+    // the next thread over (mirrors `Router`'s deterministic cycling).
+    let mut rr_cursor = q;
     let mut events = Vec::new();
     loop {
         if stop_flag.load(Ordering::Relaxed) {
@@ -314,8 +320,10 @@ fn worker_loop(
         updates_done.fetch_add(count, Ordering::Relaxed);
 
         let dest = match routing {
-            RoutingPolicy::UniformRandom | RoutingPolicy::RoundRobin => {
-                rng.next_below(num_threads)
+            RoutingPolicy::UniformRandom => rng.next_below(num_threads),
+            RoutingPolicy::RoundRobin => {
+                rr_cursor = rr_cursor.wrapping_add(1);
+                rr_cursor % num_threads
             }
             RoutingPolicy::LeastLoaded => {
                 let a = rng.next_below(num_threads);
@@ -341,7 +349,9 @@ mod tests {
     use nomad_sgd::HyperParams;
 
     fn tiny_dataset() -> (RatingMatrix, TripletMatrix) {
-        let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         (ds.matrix, ds.test)
     }
 
@@ -399,9 +409,8 @@ mod tests {
     fn least_loaded_routing_also_serializable() {
         let (data, test) = tiny_dataset();
         let threads = 2;
-        let solver = ThreadedNomad::new(
-            quick_config(10_000).with_routing(RoutingPolicy::LeastLoaded),
-        );
+        let solver =
+            ThreadedNomad::new(quick_config(10_000).with_routing(RoutingPolicy::LeastLoaded));
         let out = solver.run(&data, &test, threads, 1);
         let partition = RowPartition::contiguous(data.nrows(), threads);
         let replayed = replay_schedule(

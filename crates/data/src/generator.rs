@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use nomad_matrix::{RatingMatrix, SplitConfig, TripletMatrix};
 use nomad_matrix::split::train_test_split;
+use nomad_matrix::{RatingMatrix, SplitConfig, TripletMatrix};
 
 use crate::profiles::DatasetProfile;
 
@@ -190,7 +190,10 @@ fn sample_cumulative(cum: &[f64], rng: &mut StdRng) -> usize {
 
 /// Generates the full observed matrix (before any train/test split).
 pub fn generate_triplets(config: &SyntheticConfig) -> TripletMatrix {
-    assert!(config.num_users > 0 && config.num_items > 0, "empty dimensions");
+    assert!(
+        config.num_users > 0 && config.num_items > 0,
+        "empty dimensions"
+    );
     assert!(
         config.target_nnz <= config.num_users * config.num_items,
         "target_nnz exceeds the matrix capacity"
@@ -202,7 +205,9 @@ pub fn generate_triplets(config: &SyntheticConfig) -> TripletMatrix {
 
     // Ground-truth factors for the value model (lazily sized).
     let (rank, factor_scale): (usize, f64) = match config.value_model {
-        ValueModel::LowRank { rank, factor_scale, .. } => (rank, factor_scale),
+        ValueModel::LowRank {
+            rank, factor_scale, ..
+        } => (rank, factor_scale),
         ValueModel::ScaledLowRank { rank, .. } => (rank, 1.0),
         ValueModel::UniformNoise { .. } => (0, 0.0),
     };
@@ -221,7 +226,11 @@ pub fn generate_triplets(config: &SyntheticConfig) -> TripletMatrix {
 
     // For the scaled model, map scores so that ±2σ of the score distribution
     // spans the rating range.
-    let score_sigma = if rank > 0 { (rank as f64).sqrt() * factor_scale } else { 1.0 };
+    let score_sigma = if rank > 0 {
+        (rank as f64).sqrt() * factor_scale
+    } else {
+        1.0
+    };
 
     let mut seen = std::collections::HashSet::with_capacity(config.target_nnz * 2);
     let mut t = TripletMatrix::with_capacity(config.num_users, config.num_items, config.target_nnz);
@@ -238,11 +247,22 @@ pub fn generate_triplets(config: &SyntheticConfig) -> TripletMatrix {
         let value = match config.value_model {
             ValueModel::UniformNoise { min, max } => rng.gen_range(min..max),
             ValueModel::LowRank { noise_std, .. } => {
-                let score = nomad_linalg_dot(&w_true[i * rank..(i + 1) * rank], &h_true[j * rank..(j + 1) * rank]);
+                let score = nomad_linalg_dot(
+                    &w_true[i * rank..(i + 1) * rank],
+                    &h_true[j * rank..(j + 1) * rank],
+                );
                 score + gaussian(&mut rng) * noise_std
             }
-            ValueModel::ScaledLowRank { noise_std, min, max, .. } => {
-                let score = nomad_linalg_dot(&w_true[i * rank..(i + 1) * rank], &h_true[j * rank..(j + 1) * rank]);
+            ValueModel::ScaledLowRank {
+                noise_std,
+                min,
+                max,
+                ..
+            } => {
+                let score = nomad_linalg_dot(
+                    &w_true[i * rank..(i + 1) * rank],
+                    &h_true[j * rank..(j + 1) * rank],
+                );
                 let mid = 0.5 * (min + max);
                 let half = 0.5 * (max - min);
                 let scaled = mid + score / (2.0 * score_sigma) * half;
@@ -357,7 +377,10 @@ mod tests {
     #[test]
     fn uniform_noise_model_covers_the_interval() {
         let mut cfg = small_config();
-        cfg.value_model = ValueModel::UniformNoise { min: -1.0, max: 1.0 };
+        cfg.value_model = ValueModel::UniformNoise {
+            min: -1.0,
+            max: 1.0,
+        };
         let t = generate_triplets(&cfg);
         assert!(t.entries().iter().all(|e| (-1.0..1.0).contains(&e.value)));
     }
@@ -367,7 +390,11 @@ mod tests {
         // With symmetric Gaussian factors the mean rating should be near 0.
         let t = generate_triplets(&small_config());
         let mean = t.mean_rating().unwrap();
-        let std = (t.entries().iter().map(|e| (e.value - mean).powi(2)).sum::<f64>()
+        let std = (t
+            .entries()
+            .iter()
+            .map(|e| (e.value - mean).powi(2))
+            .sum::<f64>()
             / t.nnz() as f64)
             .sqrt();
         assert!(mean.abs() < 0.5 * std, "mean {mean} vs std {std}");
@@ -376,7 +403,10 @@ mod tests {
     #[test]
     fn generate_splits_train_and_test() {
         let ds = generate(&small_config(), SplitConfig::standard(9));
-        assert_eq!(ds.train_nnz() + ds.test_nnz(), generate_triplets(&small_config()).nnz());
+        assert_eq!(
+            ds.train_nnz() + ds.test_nnz(),
+            generate_triplets(&small_config()).nnz()
+        );
         assert!(ds.test_nnz() > 0);
         assert_eq!(ds.matrix.nnz(), ds.train_nnz());
         assert!(ds.name.contains("synthetic"));

@@ -88,7 +88,10 @@ impl DatasetProfile {
     /// (Hugewiki ≫ Netflix ≫ Yahoo! Music).
     pub fn scaled_to_nnz(&self, target_nnz: usize, min_density: f64) -> Self {
         assert!(target_nnz > 0, "target_nnz must be positive");
-        assert!(min_density > 0.0 && min_density <= 1.0, "min_density must be in (0, 1]");
+        assert!(
+            min_density > 0.0 && min_density <= 1.0,
+            "min_density must be in (0, 1]"
+        );
         let original_density = self.nnz as f64 / (self.rows as f64 * self.cols as f64);
         let density = min_density.max(original_density).min(1.0);
         // rows' * cols' = target_nnz / density with rows'/cols' = rows/cols.
@@ -157,7 +160,11 @@ mod tests {
         assert!(rpi(&hugewiki) > rpi(&netflix));
         assert!(rpi(&netflix) > rpi(&yahoo));
         for p in [&netflix, &yahoo, &hugewiki] {
-            assert!(p.nnz <= p.rows * p.cols, "{:?} must be representable", p.name);
+            assert!(
+                p.nnz <= p.rows * p.cols,
+                "{:?} must be representable",
+                p.name
+            );
             assert!(p.rows >= 1 && p.cols >= 2);
             let density = p.nnz as f64 / (p.rows as f64 * p.cols as f64);
             assert!(density <= 0.25, "density {density} too high for {}", p.name);

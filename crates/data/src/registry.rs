@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn registry_contains_all_three_paper_datasets() {
         for name in registry_names() {
-            assert!(named_dataset(name, SizeTier::Tiny).is_some(), "{name} missing");
+            assert!(
+                named_dataset(name, SizeTier::Tiny).is_some(),
+                "{name} missing"
+            );
         }
         assert!(named_dataset("unknown", SizeTier::Tiny).is_none());
     }
@@ -119,7 +122,7 @@ mod tests {
         let recipe = named_dataset("netflix-sim", SizeTier::Tiny).unwrap();
         let ds = recipe.build();
         let total = ds.train_nnz() + ds.test_nnz();
-        assert!(total >= 3_000 && total <= 6_000, "total ratings {total}");
+        assert!((3_000..=6_000).contains(&total), "total ratings {total}");
         assert_eq!(ds.name, "netflix-sim");
         // Ratings-per-item stays close to the real Netflix ratio (~5575);
         // integer scaling perturbs it, so allow a generous band.
@@ -131,11 +134,12 @@ mod tests {
     fn yahoo_sim_is_item_sparse_relative_to_netflix_sim() {
         // The key structural property the paper relies on: Yahoo! Music has
         // far fewer ratings per item than Netflix.
-        let netflix = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let netflix = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         let yahoo = named_dataset("yahoo-sim", SizeTier::Tiny).unwrap().build();
-        let rpi = |d: &GeneratedDataset| {
-            (d.train_nnz() + d.test_nnz()) as f64 / d.matrix.ncols() as f64
-        };
+        let rpi =
+            |d: &GeneratedDataset| (d.train_nnz() + d.test_nnz()) as f64 / d.matrix.ncols() as f64;
         assert!(
             rpi(&yahoo) < rpi(&netflix) / 3.0,
             "yahoo-sim {} vs netflix-sim {}",
@@ -146,8 +150,12 @@ mod tests {
 
     #[test]
     fn recipes_are_deterministic() {
-        let a = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
-        let b = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+        let a = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
+        let b = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);
     }

@@ -80,9 +80,7 @@ mod tests {
     fn commodity_network_is_slower_than_hpc() {
         let hpc = ClusterSpec::hpc(4);
         let aws = ClusterSpec::commodity(4);
-        assert!(
-            aws.network.inter_machine_time(800) > hpc.network.inter_machine_time(800)
-        );
+        assert!(aws.network.inter_machine_time(800) > hpc.network.inter_machine_time(800));
         assert!(aws.compute.sgd_update_time(100) > hpc.compute.sgd_update_time(100));
     }
 }

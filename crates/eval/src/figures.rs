@@ -98,7 +98,11 @@ impl Series {
     pub fn rmse_vs_time(label: impl Into<String>, trace: &RunTrace) -> Self {
         Self {
             label: label.into(),
-            points: trace.points.iter().map(|p| (p.seconds, p.test_rmse)).collect(),
+            points: trace
+                .points
+                .iter()
+                .map(|p| (p.seconds, p.test_rmse))
+                .collect(),
         }
     }
 
@@ -162,7 +166,10 @@ pub fn table1() -> String {
     ];
     let mut out = String::from("name,k,lambda,alpha,beta\n");
     for (name, p) in rows {
-        out.push_str(&format!("{name},{},{},{},{}\n", p.k, p.lambda, p.alpha, p.beta));
+        out.push_str(&format!(
+            "{name},{},{},{},{}\n",
+            p.k, p.lambda, p.alpha, p.beta
+        ));
     }
     out
 }
@@ -247,7 +254,14 @@ pub fn fig6(scale: &ReproScale) -> Vec<Figure> {
     let params = scale.params_for("yahoo-sim");
     for &cores in &CORE_SWEEP {
         let spec = ClusterSpec::single_machine(cores);
-        let trace = run_solver(SolverKind::Nomad, &dataset, &spec, params, scale.epochs, scale.seed);
+        let trace = run_solver(
+            SolverKind::Nomad,
+            &dataset,
+            &spec,
+            params,
+            scale.epochs,
+            scale.seed,
+        );
         left.series
             .push(Series::rmse_vs_updates(format!("# cores={cores}"), &trace));
     }
@@ -264,8 +278,14 @@ pub fn fig6(scale: &ReproScale) -> Vec<Figure> {
         let mut points = Vec::new();
         for &cores in &CORE_SWEEP {
             let spec = ClusterSpec::single_machine(cores);
-            let trace =
-                run_solver(SolverKind::Nomad, &dataset, &spec, params, scale.epochs, scale.seed);
+            let trace = run_solver(
+                SolverKind::Nomad,
+                &dataset,
+                &spec,
+                params,
+                scale.epochs,
+                scale.seed,
+            );
             points.push((cores as f64, trace.metrics.updates_per_worker_per_second()));
         }
         right.series.push(Series {
@@ -428,8 +448,14 @@ pub fn fig13(scale: &ReproScale) -> Vec<Figure> {
             for &lambda in lambdas {
                 let params = scale.params_for(name).with_lambda(lambda);
                 let spec = ClusterSpec::hpc(8);
-                let trace =
-                    run_solver(SolverKind::Nomad, &dataset, &spec, params, scale.epochs, scale.seed);
+                let trace = run_solver(
+                    SolverKind::Nomad,
+                    &dataset,
+                    &spec,
+                    params,
+                    scale.epochs,
+                    scale.seed,
+                );
                 fig.series
                     .push(Series::rmse_vs_time(format!("lambda={lambda}"), &trace));
             }
@@ -454,9 +480,16 @@ pub fn fig14(scale: &ReproScale) -> Vec<Figure> {
             for &k in &ks {
                 let params = scale.params_for(name).with_k(k);
                 let spec = ClusterSpec::hpc(8);
-                let trace =
-                    run_solver(SolverKind::Nomad, &dataset, &spec, params, scale.epochs, scale.seed);
-                fig.series.push(Series::rmse_vs_time(format!("k={k}"), &trace));
+                let trace = run_solver(
+                    SolverKind::Nomad,
+                    &dataset,
+                    &spec,
+                    params,
+                    scale.epochs,
+                    scale.seed,
+                );
+                fig.series
+                    .push(Series::rmse_vs_time(format!("k={k}"), &trace));
             }
             fig
         })
@@ -472,7 +505,9 @@ pub fn fig15(scale: &ReproScale) -> Vec<Figure> {
 /// Figure 16 (Appendix C): updates/machine/core/sec on the commodity cluster.
 pub fn fig16(scale: &ReproScale) -> Vec<Figure> {
     let figs = machine_scaling_updates_and_throughput("fig16", ClusterSpec::commodity, scale);
-    figs.into_iter().filter(|f| f.id.contains("right")).collect()
+    figs.into_iter()
+        .filter(|f| f.id.contains("right"))
+        .collect()
 }
 
 /// Figure 17 (Appendix C): RMSE vs `seconds × machines × cores` on the
@@ -681,7 +716,14 @@ fn machine_scaling_updates_and_throughput(
     let params = scale.params_for("yahoo-sim");
     for &machines in &MACHINE_SWEEP {
         let spec = spec_for(machines);
-        let trace = run_solver(SolverKind::Nomad, &dataset, &spec, params, scale.epochs, scale.seed);
+        let trace = run_solver(
+            SolverKind::Nomad,
+            &dataset,
+            &spec,
+            params,
+            scale.epochs,
+            scale.seed,
+        );
         left.series.push(Series::rmse_vs_updates(
             format!("# machines={machines}"),
             &trace,
@@ -699,9 +741,18 @@ fn machine_scaling_updates_and_throughput(
         let mut points = Vec::new();
         for &machines in &MACHINE_SWEEP {
             let spec = spec_for(machines);
-            let trace =
-                run_solver(SolverKind::Nomad, &dataset, &spec, params, scale.epochs, scale.seed);
-            points.push((machines as f64, trace.metrics.updates_per_worker_per_second()));
+            let trace = run_solver(
+                SolverKind::Nomad,
+                &dataset,
+                &spec,
+                params,
+                scale.epochs,
+                scale.seed,
+            );
+            points.push((
+                machines as f64,
+                trace.metrics.updates_per_worker_per_second(),
+            ));
         }
         right.series.push(Series {
             label: name.to_string(),

@@ -3,7 +3,7 @@
 //!
 //! The harness has four layers:
 //!
-//! * [`env`] — cluster specifications (single machine, HPC, commodity) that
+//! * [`mod@env`] — cluster specifications (single machine, HPC, commodity) that
 //!   bundle a topology with the matching network and compute cost models,
 //! * [`solver`] — a single entry point, [`solver::run_solver`], that runs
 //!   any of the algorithms in the workspace on a dataset under a cluster

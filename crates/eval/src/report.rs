@@ -13,7 +13,10 @@ pub fn figure_to_csv(figure: &Figure) -> String {
     out.push_str("figure,series,x,y\n");
     for series in &figure.series {
         for &(x, y) in &series.points {
-            out.push_str(&format!("{},{},{:.9},{:.6}\n", figure.id, series.label, x, y));
+            out.push_str(&format!(
+                "{},{},{:.9},{:.6}\n",
+                figure.id, series.label, x, y
+            ));
         }
     }
     out
@@ -50,7 +53,11 @@ pub fn figure_to_markdown(figure: &Figure) -> String {
 
 /// Renders several figures end to end.
 pub fn figures_to_csv(figures: &[Figure]) -> String {
-    figures.iter().map(figure_to_csv).collect::<Vec<_>>().join("\n")
+    figures
+        .iter()
+        .map(figure_to_csv)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

@@ -58,7 +58,11 @@ impl SolverKind {
 
     /// The solvers compared in the shared-memory experiment (Figure 5).
     pub fn shared_memory_lineup() -> Vec<SolverKind> {
-        vec![SolverKind::Nomad, SolverKind::Fpsgd, SolverKind::CcdPlusPlus]
+        vec![
+            SolverKind::Nomad,
+            SolverKind::Fpsgd,
+            SolverKind::CcdPlusPlus,
+        ]
     }
 
     /// The solvers compared in the distributed experiments (Figures 8, 11, 12).
@@ -91,8 +95,8 @@ pub fn run_solver(
             let updates = dataset.matrix.nnz() as u64 * epochs as u64;
             // Aim for ~30 trace points: estimate the virtual duration from
             // the compute model (communication only adds to it).
-            let est_seconds = updates as f64 * spec.compute.sgd_update_time(params.k)
-                / spec.num_workers() as f64;
+            let est_seconds =
+                updates as f64 * spec.compute.sgd_update_time(params.k) / spec.num_workers() as f64;
             let routing = if kind == SolverKind::NomadLeastLoaded {
                 RoutingPolicy::LeastLoaded
             } else {
@@ -109,34 +113,26 @@ pub fn run_solver(
                 .trace
         }
         SolverKind::Dsgd => {
-            Dsgd::new(DsgdConfig {
-                params,
-                stop,
-                seed,
-            })
-            .run(
-                &dataset.matrix,
-                &dataset.test,
-                &spec.topology,
-                &spec.network,
-                &spec.compute,
-            )
-            .1
+            Dsgd::new(DsgdConfig { params, stop, seed })
+                .run(
+                    &dataset.matrix,
+                    &dataset.test,
+                    &spec.topology,
+                    &spec.network,
+                    &spec.compute,
+                )
+                .1
         }
         SolverKind::DsgdPlusPlus => {
-            DsgdPlusPlus::new(DsgdPlusPlusConfig {
-                params,
-                stop,
-                seed,
-            })
-            .run(
-                &dataset.matrix,
-                &dataset.test,
-                &spec.topology,
-                &spec.network,
-                &spec.compute,
-            )
-            .1
+            DsgdPlusPlus::new(DsgdPlusPlusConfig { params, stop, seed })
+                .run(
+                    &dataset.matrix,
+                    &dataset.test,
+                    &spec.topology,
+                    &spec.network,
+                    &spec.compute,
+                )
+                .1
         }
         SolverKind::CcdPlusPlus => {
             CcdPlusPlus::new(CcdConfig::new(params, stop, seed))
@@ -150,32 +146,24 @@ pub fn run_solver(
                 .1
         }
         SolverKind::Fpsgd => {
-            Fpsgd::new(FpsgdConfig {
-                params,
-                stop,
-                seed,
-            })
-            .run(
-                &dataset.matrix,
-                &dataset.test,
-                spec.num_workers(),
-                &spec.compute,
-            )
-            .1
+            Fpsgd::new(FpsgdConfig { params, stop, seed })
+                .run(
+                    &dataset.matrix,
+                    &dataset.test,
+                    spec.num_workers(),
+                    &spec.compute,
+                )
+                .1
         }
         SolverKind::Als => {
-            Als::new(AlsConfig {
-                params,
-                stop,
-                seed,
-            })
-            .run(
-                &dataset.matrix,
-                &dataset.test,
-                spec.num_workers(),
-                &spec.compute,
-            )
-            .1
+            Als::new(AlsConfig { params, stop, seed })
+                .run(
+                    &dataset.matrix,
+                    &dataset.test,
+                    spec.num_workers(),
+                    &spec.compute,
+                )
+                .1
         }
         SolverKind::Asgd => {
             Asgd::new(AsgdConfig {
@@ -194,28 +182,20 @@ pub fn run_solver(
             .1
         }
         SolverKind::GraphLabAls => {
-            GraphLabAls::new(GraphLabConfig {
-                params,
-                stop,
-                seed,
-            })
-            .run(
-                &dataset.matrix,
-                &dataset.test,
-                &spec.topology,
-                &spec.network,
-                &spec.compute,
-            )
-            .1
+            GraphLabAls::new(GraphLabConfig { params, stop, seed })
+                .run(
+                    &dataset.matrix,
+                    &dataset.test,
+                    &spec.topology,
+                    &spec.network,
+                    &spec.compute,
+                )
+                .1
         }
         SolverKind::SerialSgd => {
-            SerialSgd::new(SerialSgdConfig {
-                params,
-                stop,
-                seed,
-            })
-            .run(&dataset.matrix, &dataset.test, &spec.compute)
-            .1
+            SerialSgd::new(SerialSgdConfig { params, stop, seed })
+                .run(&dataset.matrix, &dataset.test, &spec.compute)
+                .1
         }
     };
     trace.solver = kind.name().to_string();
@@ -231,7 +211,9 @@ mod tests {
     use nomad_data::{named_dataset, SizeTier};
 
     fn tiny() -> GeneratedDataset {
-        named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build()
+        named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build()
     }
 
     #[test]

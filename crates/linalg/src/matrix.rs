@@ -95,11 +95,11 @@ impl DenseMatrix {
     pub fn rank1_update(&mut self, alpha: f64, x: &[f64], y: &[f64]) {
         assert_eq!(x.len(), self.rows, "rank1_update: x length");
         assert_eq!(y.len(), self.cols, "rank1_update: y length");
-        for r in 0..self.rows {
-            let ax = alpha * x[r];
+        for (r, &xr) in x.iter().enumerate() {
+            let ax = alpha * xr;
             let row = self.row_mut(r);
-            for c in 0..row.len() {
-                row[c] += ax * y[c];
+            for (cell, &yc) in row.iter_mut().zip(y) {
+                *cell += ax * yc;
             }
         }
     }
@@ -120,13 +120,13 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
-            for c in 0..row.len() {
-                acc += row[c] * x[c];
+            for (&a, &b) in row.iter().zip(x) {
+                acc += a * b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }

@@ -259,6 +259,9 @@ mod tests {
             sgd_pair_update(&mut w, &mut h, a, 0.05, 1e-6);
         }
         let pred = dot(&w, &h);
-        assert!((pred - a).abs() < 1e-3, "prediction {pred} should approach {a}");
+        assert!(
+            (pred - a).abs() < 1e-3,
+            "prediction {pred} should approach {a}"
+        );
     }
 }

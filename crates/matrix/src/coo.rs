@@ -199,7 +199,11 @@ mod tests {
         t.push(0, 0, 4.0);
         t.dedup();
         assert_eq!(t.nnz(), 2);
-        let vals: Vec<_> = t.entries().iter().map(|e| (e.row, e.col, e.value)).collect();
+        let vals: Vec<_> = t
+            .entries()
+            .iter()
+            .map(|e| (e.row, e.col, e.value))
+            .collect();
         assert_eq!(vals, vec![(0, 0, 4.0), (1, 1, 9.0)]);
     }
 

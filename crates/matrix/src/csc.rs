@@ -130,10 +130,7 @@ impl CscMatrix {
 
     /// Iterates over all entries in column-major order.
     pub fn iter_entries(&self) -> impl Iterator<Item = Entry> + '_ {
-        (0..self.ncols).flat_map(move |j| {
-            self.col(j)
-                .map(move |(i, v)| Entry::new(i, j as Idx, v))
-        })
+        (0..self.ncols).flat_map(move |j| self.col(j).map(move |(i, v)| Entry::new(i, j as Idx, v)))
     }
 
     /// Restricts the matrix to the rows owned by each worker of `partition`,
@@ -144,6 +141,9 @@ impl CscMatrix {
     /// `Ω̄_j^{(q)} = {(i, j) ∈ Ω̄_j : i ∈ I_q}`.  The union of all workers'
     /// entries equals the original matrix and the intersection is empty
     /// (verified by tests and property tests).
+    // The `j` loops index several per-worker tables at once; clippy's
+    // iterator suggestion only sees one of them.
+    #[allow(clippy::needless_range_loop)]
     pub fn restrict_rows(&self, partition: &RowPartition) -> Vec<CscMatrix> {
         assert_eq!(
             partition.num_rows(),
@@ -239,10 +239,20 @@ mod tests {
         let total: usize = parts.iter().map(|p| p.nnz()).sum();
         assert_eq!(total, m.nnz());
         // Worker 0 owns rows {0, 1}, worker 1 owns rows {2, 3}.
-        for &i in parts[0].iter_entries().map(|e| e.row).collect::<Vec<_>>().iter() {
+        for &i in parts[0]
+            .iter_entries()
+            .map(|e| e.row)
+            .collect::<Vec<_>>()
+            .iter()
+        {
             assert!(i < 2);
         }
-        for &i in parts[1].iter_entries().map(|e| e.row).collect::<Vec<_>>().iter() {
+        for &i in parts[1]
+            .iter_entries()
+            .map(|e| e.row)
+            .collect::<Vec<_>>()
+            .iter()
+        {
             assert!(i >= 2);
         }
         // Column structure is preserved: worker 0 sees only user 0,1 ratings of item 2.

@@ -125,15 +125,14 @@ impl CsrMatrix {
     /// Looks up `A_ij`; `None` if the entry is unobserved.
     pub fn get(&self, i: usize, j: Idx) -> Option<Rating> {
         let cols = self.row_cols(i);
-        cols.binary_search(&j).ok().map(|pos| self.row_values(i)[pos])
+        cols.binary_search(&j)
+            .ok()
+            .map(|pos| self.row_values(i)[pos])
     }
 
     /// Iterates over all entries in row-major order.
     pub fn iter_entries(&self) -> impl Iterator<Item = Entry> + '_ {
-        (0..self.nrows).flat_map(move |i| {
-            self.row(i)
-                .map(move |(j, v)| Entry::new(i as Idx, j, v))
-        })
+        (0..self.nrows).flat_map(move |i| self.row(i).map(move |(j, v)| Entry::new(i as Idx, j, v)))
     }
 
     /// Returns the `idx`-th stored entry in row-major order; used for

@@ -53,7 +53,10 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}; not a NOMAD triplet file"),
             IoError::Truncated { expected, found } => {
-                write!(f, "truncated file: expected {expected} entries, found {found}")
+                write!(
+                    f,
+                    "truncated file: expected {expected} entries, found {found}"
+                )
             }
             IoError::BadLine { line, content } => {
                 write!(f, "cannot parse line {line}: {content:?}")
@@ -180,8 +183,16 @@ pub fn read_text<P: AsRef<Path>>(path: P, one_based: bool) -> Result<TripletMatr
         max_col = max_col.max(col);
         entries.push((row, col, value));
     }
-    let nrows = if entries.is_empty() { 0 } else { max_row as usize + 1 };
-    let ncols = if entries.is_empty() { 0 } else { max_col as usize + 1 };
+    let nrows = if entries.is_empty() {
+        0
+    } else {
+        max_row as usize + 1
+    };
+    let ncols = if entries.is_empty() {
+        0
+    } else {
+        max_col as usize + 1
+    };
     let mut t = TripletMatrix::with_capacity(nrows, ncols, entries.len());
     for (r, c, v) in entries {
         t.push(r, c, v);

@@ -62,11 +62,11 @@ impl RowPartition {
         let mut owner = vec![0u32; num_rows];
         let mut members = vec![Vec::new(); num_parts];
         let mut row = 0usize;
-        for q in 0..num_parts {
+        for (q, part) in members.iter_mut().enumerate() {
             let size = base + usize::from(q < extra);
             for _ in 0..size {
                 owner[row] = q as u32;
-                members[q].push(row as Idx);
+                part.push(row as Idx);
                 row += 1;
             }
         }
@@ -84,9 +84,9 @@ impl RowPartition {
         assert!(num_parts > 0, "partition needs at least one part");
         let mut owner = vec![0u32; num_rows];
         let mut members = vec![Vec::new(); num_parts];
-        for i in 0..num_rows {
+        for (i, o) in owner.iter_mut().enumerate() {
             let q = i % num_parts;
-            owner[i] = q as u32;
+            *o = q as u32;
             members[q].push(i as Idx);
         }
         Self {
@@ -109,12 +109,12 @@ impl RowPartition {
         let mut members = vec![Vec::new(); num_parts];
         let mut q = 0usize;
         let mut acc = 0usize;
-        for i in 0..num_rows {
+        for (i, o) in owner.iter_mut().enumerate() {
             // Keep the last worker open so every row gets an owner.
             if q + 1 < num_parts && acc as f64 >= ideal * (q + 1) as f64 {
                 q += 1;
             }
-            owner[i] = q as u32;
+            *o = q as u32;
             members[q].push(i as Idx);
             acc += ratings.row_nnz(i);
         }

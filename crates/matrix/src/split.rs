@@ -52,7 +52,10 @@ impl Default for SplitConfig {
 ///
 /// # Panics
 /// Panics if `test_fraction` is outside `[0, 1]`.
-pub fn train_test_split(data: &TripletMatrix, config: SplitConfig) -> (TripletMatrix, TripletMatrix) {
+pub fn train_test_split(
+    data: &TripletMatrix,
+    config: SplitConfig,
+) -> (TripletMatrix, TripletMatrix) {
     assert!(
         (0.0..=1.0).contains(&config.test_fraction),
         "test_fraction must be within [0, 1], got {}",

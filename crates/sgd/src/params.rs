@@ -73,7 +73,11 @@ impl HyperParams {
 
     /// Replaces the step-size constants.
     pub fn with_step(self, alpha: f64, beta: f64) -> Self {
-        Self { alpha, beta, ..self }
+        Self {
+            alpha,
+            beta,
+            ..self
+        }
     }
 
     /// The step-size schedule these parameters define (Eq. 11).

@@ -74,8 +74,8 @@ where
         return vec![0.0; k];
     }
     gram.add_diagonal(lambda_weighted.max(f64::EPSILON));
-    let chol = Cholesky::factor(&gram)
-        .expect("Gram matrix + positive ridge must be positive definite");
+    let chol =
+        Cholesky::factor(&gram).expect("Gram matrix + positive ridge must be positive definite");
     chol.solve(&rhs)
 }
 
@@ -121,7 +121,10 @@ mod tests {
         let before = (5.0 - model.predict(1, 2)).powi(2);
         let out = sgd_update(&mut model, 1, 2, 5.0, 0.05, 0.0);
         let after = (5.0 - model.predict(1, 2)).powi(2);
-        assert!(after < before, "after {after} must be below before {before}");
+        assert!(
+            after < before,
+            "after {after} must be below before {before}"
+        );
         assert!((out.squared_error - before).abs() < 1e-12);
         assert!(out.residual < 0.0, "prediction starts below the rating 5.0");
     }
@@ -241,8 +244,7 @@ mod tests {
     fn constant_init_plus_sgd_breaks_symmetry_via_ratings() {
         // Even from a symmetric start, different ratings produce different
         // factors: sanity check that the update uses the rating value.
-        let mut model =
-            FactorModel::init_with(2, 2, 3, InitStrategy::Constant { value: 0.1 }, 0);
+        let mut model = FactorModel::init_with(2, 2, 3, InitStrategy::Constant { value: 0.1 }, 0);
         sgd_update(&mut model, 0, 0, 5.0, 0.1, 0.0);
         sgd_update(&mut model, 1, 1, 1.0, 0.1, 0.0);
         assert_ne!(model.w.row(0), model.w.row(1));

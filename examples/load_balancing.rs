@@ -26,9 +26,9 @@ fn main() {
 
     // Fixed virtual-time budget: whoever schedules around the straggler
     // better gets more updates done and a lower RMSE.
-    let budget_seconds = dataset.matrix.nnz() as f64 * 6.0
-        * ComputeModel::hpc_core().sgd_update_time(params.k)
-        / topology.num_workers() as f64;
+    let budget_seconds =
+        dataset.matrix.nnz() as f64 * 6.0 * ComputeModel::hpc_core().sgd_update_time(params.k)
+            / topology.num_workers() as f64;
 
     println!("straggler experiment: 8 workers, worker 0 at 25% speed");
     println!("routing,updates_done,final_rmse,mean_utilization");

@@ -36,7 +36,10 @@ fn main() {
 
     println!("virtual_seconds,updates,test_rmse");
     for point in &out.trace.points {
-        println!("{:.6},{},{:.4}", point.seconds, point.updates, point.test_rmse);
+        println!(
+            "{:.6},{},{:.4}",
+            point.seconds, point.updates, point.test_rmse
+        );
     }
     println!(
         "final test RMSE {:.4} after {} updates ({} tokens processed, {} network messages)",

@@ -12,7 +12,9 @@ use nomad::matrix::RowPartition;
 use nomad::sgd::HyperParams;
 
 fn tiny() -> nomad::data::GeneratedDataset {
-    named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build()
+    named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build()
 }
 
 fn quick_params() -> HyperParams {
@@ -46,8 +48,8 @@ fn threaded_and_simulated_engines_agree_on_convergence_quality() {
     let config = NomadConfig::new(quick_params()).with_stop(StopCondition::Updates(updates));
 
     let spec = ClusterSpec::single_machine(4);
-    let sim = SimNomad::new(config, spec.topology, spec.network, spec.compute)
-        .run(&ds.matrix, &ds.test);
+    let sim =
+        SimNomad::new(config, spec.topology, spec.network, spec.compute).run(&ds.matrix, &ds.test);
     let threaded = ThreadedNomad::new(config).run(&ds.matrix, &ds.test, 4, 2);
 
     let sim_rmse = sim.trace.final_rmse().unwrap();
@@ -63,7 +65,9 @@ fn nomad_beats_bulk_synchronous_baselines_on_a_slow_network() {
     // Figure 11's qualitative claim: on a commodity (1 Gb/s) cluster NOMAD
     // reaches a good solution in less virtual time than DSGD and CCD++,
     // because it never blocks on barriers and overlaps communication.
-    let ds = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+    let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build();
     let params = quick_params();
     let epochs = 3;
     let nomad = run_solver(
@@ -83,11 +87,7 @@ fn nomad_beats_bulk_synchronous_baselines_on_a_slow_network() {
         5,
     );
     // Compare time to reach a common quality level both solvers achieve.
-    let target = nomad
-        .best_rmse()
-        .unwrap()
-        .max(dsgd.best_rmse().unwrap())
-        * 1.02;
+    let target = nomad.best_rmse().unwrap().max(dsgd.best_rmse().unwrap()) * 1.02;
     let nomad_time = nomad.time_to_rmse(target).expect("NOMAD reaches target");
     let dsgd_time = dsgd.time_to_rmse(target).expect("DSGD reaches target");
     assert!(
@@ -125,7 +125,14 @@ fn every_distributed_solver_handles_the_growing_scale_dataset() {
     let ds = scaling_dataset(&config, 4);
     let params = HyperParams::synthetic().with_k(8);
     for kind in SolverKind::distributed_lineup() {
-        let trace = run_solver(kind, &ds, &ClusterSpec::commodity_bulk_sync(4), params, 4, 11);
+        let trace = run_solver(
+            kind,
+            &ds,
+            &ClusterSpec::commodity_bulk_sync(4),
+            params,
+            4,
+            11,
+        );
         let first = trace.points.first().unwrap().test_rmse;
         let last = trace.final_rmse().unwrap();
         assert!(

@@ -7,8 +7,7 @@ use nomad::core::serial::{replay_schedule, ProcessingEvent};
 use nomad::core::worker::{partition_covers_all_ratings, WorkerData};
 use nomad::linalg::{Cholesky, DenseMatrix};
 use nomad::matrix::{
-    train_test_split, CscMatrix, CsrMatrix, RatingMatrix, RowPartition, SplitConfig,
-    TripletMatrix,
+    train_test_split, CscMatrix, CsrMatrix, RatingMatrix, RowPartition, SplitConfig, TripletMatrix,
 };
 use nomad::sgd::{FactorModel, HyperParams};
 

@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! stub derives from `serde_derive`. The workspace derives these traits on
+//! its data types to mark them serializable, but no code path performs
+//! actual serialization (the binary dataset format in `nomad-matrix::io`
+//! is hand-rolled), so empty traits are sufficient. If a future change
+//! needs real serde, replace this stub with the crates.io release — the
+//! call sites need no edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

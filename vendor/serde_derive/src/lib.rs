@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors minimal stand-ins for its external dependencies
+//! (see `vendor/README.md`). This crate accepts `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` and expands to nothing: the workspace only uses
+//! the derives as documentation of intent (no code path actually
+//! serializes), so empty expansion keeps every type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
