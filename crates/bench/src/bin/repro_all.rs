@@ -12,4 +12,8 @@ fn main() {
         eprintln!("== {id} ==");
         nomad_bench::run_figure(id);
     }
+    // The streaming benchmark has no paper counterpart, so it rides after
+    // the paper's figures rather than in `all_figure_ids`.
+    eprintln!("== streaming ==");
+    nomad_bench::run_figure("streaming");
 }

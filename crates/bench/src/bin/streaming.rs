@@ -1,0 +1,10 @@
+//! Streaming benchmark: time-to-RMSE under mid-run ingestion (see
+//! DESIGN.md, "Streaming architecture").  Prints CSV series to stdout; set
+//! NOMAD_SCALE=standard for larger runs.
+fn main() {
+    nomad_bench::handle_cli_args(
+        "streaming",
+        "Time-to-RMSE under ingestion: warm start vs mid-run arrivals (see DESIGN.md)",
+    );
+    nomad_bench::run_figure("streaming");
+}

@@ -30,6 +30,7 @@ const BINS: &[(&str, &str)] = &[
     ("fig23", env!("CARGO_BIN_EXE_fig23")),
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table2", env!("CARGO_BIN_EXE_table2")),
+    ("streaming", env!("CARGO_BIN_EXE_streaming")),
     ("repro_all", env!("CARGO_BIN_EXE_repro_all")),
 ];
 

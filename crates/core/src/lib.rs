@@ -27,8 +27,17 @@
 //!   hybrid (Section 3.4) configurations: per-machine intra-circulation,
 //!   two reserved communication threads, message batching (Section 3.5),
 //!   and both uniform and load-balanced token routing.
+//!
+//! Every engine additionally has an **online mode** (`run_online`) that
+//! accepts mid-run ingestion of new ratings, users and items from an
+//! [`nomad_matrix::ArrivalTrace`]: new items mint fresh nomadic tokens, new
+//! users extend the static partition, and the serializability invariant is
+//! re-verified under arrivals — see [`online`].
+
+#![warn(missing_docs)]
 
 pub mod config;
+pub mod online;
 pub mod routing;
 pub mod serial;
 pub mod sim;
@@ -36,6 +45,7 @@ pub mod threaded;
 pub mod worker;
 
 pub use config::{NomadConfig, StopCondition};
+pub use online::{replay_online, token_home, OnlineOutput};
 pub use routing::RoutingPolicy;
 pub use serial::SerialNomad;
 pub use sim::SimNomad;

@@ -14,11 +14,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use nomad_cluster::{ComputeModel, RunTrace, SimTime, TracePoint};
-use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_matrix::{ArrivalTrace, DynamicMatrix, Idx, RatingMatrix, RowPartition, TripletMatrix};
 use nomad_sgd::schedule::StepSchedule;
 use nomad_sgd::{FactorModel, HyperParams};
 
 use crate::config::{NomadConfig, StopCondition};
+use crate::online::{OnlineData, OnlineOutput};
 use crate::routing::Router;
 use crate::worker::WorkerData;
 
@@ -66,12 +67,72 @@ impl SerialNomad {
         num_workers: usize,
         compute: &ComputeModel,
     ) -> (FactorModel, RunTrace) {
+        let out = self.run_loop(
+            OnlineData::Batch(data),
+            test,
+            num_workers,
+            compute,
+            &ArrivalTrace::empty(),
+            "NOMAD-serial",
+            false,
+        );
+        (out.model, out.trace)
+    }
+
+    /// Runs Algorithm 1 with mid-run ingestion: starting from the `warm`
+    /// ratings, each batch of `arrivals` is applied once the cumulative
+    /// update count reaches its arrival clock — new items mint fresh tokens
+    /// (placed by [`crate::online::token_home`]), new users extend the last
+    /// worker's block, and new ratings join the local slices.
+    ///
+    /// `test` may be indexed in the final (fully grown) coordinate space;
+    /// RMSE snapshots cover the already-arrived entries only.  The returned
+    /// schedule segments replay via [`crate::online::replay_online`].
+    ///
+    /// # Panics
+    /// Panics on an empty warm start — the update-count arrival clock
+    /// cannot advance without trainable ratings, so a cold start would
+    /// never reach the first batch.
+    pub fn run_online(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        num_workers: usize,
+        compute: &ComputeModel,
+        arrivals: &ArrivalTrace,
+    ) -> OnlineOutput {
+        crate::online::assert_warm_start(warm);
+        self.run_loop(
+            OnlineData::Stream(Box::new(DynamicMatrix::from_triplets(warm))),
+            test,
+            num_workers,
+            compute,
+            arrivals,
+            "NOMAD-serial-online",
+            true,
+        )
+    }
+
+    /// The one serial loop behind both [`SerialNomad::run`] (batch data,
+    /// empty trace, no schedule recording) and [`SerialNomad::run_online`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop(
+        &self,
+        mut data: OnlineData,
+        test: &TripletMatrix,
+        num_workers: usize,
+        compute: &ComputeModel,
+        arrivals: &ArrivalTrace,
+        solver_label: &str,
+        record: bool,
+    ) -> OnlineOutput {
         assert!(num_workers > 0, "need at least one worker");
         let cfg = &self.config;
         let params = cfg.params;
-        let mut model = FactorModel::init(data.nrows(), data.ncols(), params.k, cfg.seed);
-        let partition = RowPartition::contiguous(data.nrows(), num_workers);
-        let mut workers = WorkerData::build_all(data, &partition);
+        let views = data.views();
+        let mut model = FactorModel::init(views.nrows(), views.ncols(), params.k, cfg.seed);
+        let mut partition = RowPartition::contiguous(views.nrows(), num_workers);
+        let mut workers = WorkerData::build_all(views, &partition);
         let schedule = params.nomad_schedule();
 
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E41A1);
@@ -81,23 +142,55 @@ impl SerialNomad {
         // worker's queue (Algorithm 1, lines 7–10).
         let mut queues: Vec<std::collections::VecDeque<Idx>> =
             vec![std::collections::VecDeque::new(); num_workers];
-        for j in 0..data.ncols() as Idx {
+        for j in 0..views.ncols() as Idx {
             let q = rng.gen_range(0..num_workers);
             queues[q].push_back(j);
         }
 
-        let mut trace = RunTrace::new("NOMAD-serial", "", 1, 1, num_workers);
+        let mut trace = RunTrace::new(solver_label, "", 1, 1, num_workers);
         let per_update = compute.sgd_update_time(params.k);
         let per_item = compute.per_item_overhead;
         let mut elapsed = 0.0f64;
         let mut total_updates = 0u64;
         let mut next_snapshot = 0.0f64;
+        let mut segments: Vec<Vec<ProcessingEvent>> = vec![Vec::new()];
+        let mut next_batch = 0usize;
 
         // Round-robin over workers: each worker that has a token processes
         // exactly one and forwards it, mirroring Algorithm 1's outer loop.
         'outer: loop {
             let mut any_processed = false;
             for q in 0..num_workers {
+                // Ingestion first: apply every batch whose arrival clock has
+                // been reached, then check the stop condition — the same
+                // per-token decision points every engine uses.
+                while next_batch < arrivals.len()
+                    && total_updates >= arrivals.batches()[next_batch].at
+                {
+                    let batch = &arrivals.batches()[next_batch];
+                    let delta = crate::online::apply_batch(
+                        data.dynamic_mut(),
+                        &mut partition,
+                        &mut workers,
+                        batch,
+                        params.k,
+                        cfg.seed,
+                    );
+                    model.w.append_rows(&delta.new_users);
+                    model.h.append_rows(&delta.new_items);
+                    for offset in 0..batch.new_cols {
+                        let j = (delta.first_new_item + offset) as Idx;
+                        queues[crate::online::token_home(cfg.seed, j, num_workers)].push_back(j);
+                    }
+                    next_batch += 1;
+                    segments.push(Vec::new());
+                    trace.push(TracePoint {
+                        seconds: elapsed,
+                        updates: total_updates,
+                        test_rmse: nomad_sgd::rmse_known(&model, test),
+                        objective: None,
+                    });
+                }
                 if cfg.stop.reached(elapsed, total_updates) {
                     break 'outer;
                 }
@@ -111,6 +204,12 @@ impl SerialNomad {
                 for (user, rating) in workers[q].local_cols.col(item as usize) {
                     nomad_sgd::sgd_update(&mut model, user, item, rating, step, params.lambda);
                     local_updates += 1;
+                }
+                if record {
+                    segments
+                        .last_mut()
+                        .expect("segments is never empty")
+                        .push(ProcessingEvent { worker: q, item });
                 }
                 total_updates += local_updates;
                 elapsed += per_item + local_updates as f64 * per_update;
@@ -130,7 +229,7 @@ impl SerialNomad {
                     trace.push(TracePoint {
                         seconds: elapsed,
                         updates: total_updates,
-                        test_rmse: nomad_sgd::rmse(&model, test),
+                        test_rmse: nomad_sgd::rmse_known(&model, test),
                         objective: None,
                     });
                     next_snapshot = elapsed + cfg.snapshot_every;
@@ -145,11 +244,15 @@ impl SerialNomad {
         trace.push(TracePoint {
             seconds: elapsed,
             updates: total_updates,
-            test_rmse: nomad_sgd::rmse(&model, test),
+            test_rmse: nomad_sgd::rmse_known(&model, test),
             objective: None,
         });
         trace.metrics.finished_at = SimTime::from_secs(elapsed);
-        (model, trace)
+        OnlineOutput {
+            model,
+            trace,
+            schedule: record.then_some(segments),
+        }
     }
 }
 
@@ -281,5 +384,69 @@ mod tests {
     #[test]
     fn quick_stop_builds_update_budget() {
         assert_eq!(quick_stop(7).updates(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty warm start")]
+    fn online_rejects_an_empty_warm_start() {
+        // A cold start can never advance the update-count arrival clock;
+        // every engine rejects it up front instead of spinning.
+        let (_, test) = tiny_dataset();
+        let _ = SerialNomad::new(quick_config(4)).run_online(
+            &nomad_matrix::TripletMatrix::new(100, 50),
+            &test,
+            2,
+            &ComputeModel::hpc_core(),
+            &nomad_matrix::ArrivalTrace::empty(),
+        );
+    }
+
+    #[test]
+    fn online_with_empty_trace_matches_the_batch_run() {
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
+        let solver = SerialNomad::new(quick_config(8));
+        let (batch_model, _) = solver.run(&ds.matrix, &ds.test, 2, &ComputeModel::hpc_core());
+        let online = solver.run_online(
+            &ds.train,
+            &ds.test,
+            2,
+            &ComputeModel::hpc_core(),
+            &nomad_matrix::ArrivalTrace::empty(),
+        );
+        assert_eq!(
+            batch_model, online.model,
+            "an online run without arrivals must degenerate to the batch run"
+        );
+        assert_eq!(online.schedule.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn online_run_ingests_and_replays() {
+        use nomad_data::{stream_split, StreamSplit};
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
+        let (warm, log) = stream_split(&ds.train, &StreamSplit::standard(4));
+        let arrivals = log.arrival_trace(10_000.0);
+        let solver = SerialNomad::new(quick_config(8));
+        let out = solver.run_online(&warm, &ds.test, 3, &ComputeModel::hpc_core(), &arrivals);
+        // The model grew to the full coordinate space.
+        assert_eq!(out.model.num_users(), ds.train.nrows());
+        assert_eq!(out.model.num_items(), ds.train.ncols());
+        // All batches were applied (budget of 40k updates spans the trace).
+        let segments = out.schedule.unwrap();
+        assert_eq!(segments.len(), arrivals.len() + 1);
+        // The serial engine's own linearization replays bit for bit.
+        let replayed = crate::online::replay_online(
+            &warm,
+            &arrivals,
+            solver.config.params,
+            solver.config.seed,
+            3,
+            &segments,
+        );
+        assert_eq!(out.model, replayed);
     }
 }

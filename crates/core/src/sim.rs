@@ -27,11 +27,12 @@ use rand::{Rng, SeedableRng};
 use nomad_cluster::{
     ClusterTopology, ComputeModel, EventQueue, NetworkModel, RunTrace, SimTime, TracePoint,
 };
-use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_matrix::{ArrivalTrace, DynamicMatrix, Idx, RatingMatrix, RowPartition, TripletMatrix};
 use nomad_sgd::schedule::StepSchedule;
 use nomad_sgd::FactorModel;
 
 use crate::config::NomadConfig;
+use crate::online::{apply_batch, token_home, OnlineData, OnlineOutput};
 use crate::routing::Router;
 use crate::serial::ProcessingEvent;
 use crate::worker::WorkerData;
@@ -116,44 +117,121 @@ impl SimNomad {
 
     /// Runs NOMAD; does not record the linearization schedule.
     pub fn run(&self, data: &RatingMatrix, test: &TripletMatrix) -> SimOutput {
-        self.run_inner(data, test, false)
+        self.run_batch(data, test, false)
     }
 
     /// Runs NOMAD and records the linearized processing schedule for
     /// serializability verification.
     pub fn run_with_schedule(&self, data: &RatingMatrix, test: &TripletMatrix) -> SimOutput {
-        self.run_inner(data, test, true)
+        self.run_batch(data, test, true)
     }
 
-    fn run_inner(&self, data: &RatingMatrix, test: &TripletMatrix, record: bool) -> SimOutput {
+    /// Batch runs are the online loop on frozen data with an empty arrival
+    /// trace — one event loop, two entry points.
+    fn run_batch(&self, data: &RatingMatrix, test: &TripletMatrix, record: bool) -> SimOutput {
+        let out = self.run_loop(
+            OnlineData::Batch(data),
+            test,
+            &ArrivalTrace::empty(),
+            "NOMAD",
+            record,
+        );
+        SimOutput {
+            model: out.model,
+            trace: out.trace,
+            // With no arrivals there is exactly one segment: the flat
+            // linearization the batch replay tests consume.
+            schedule: out.schedule.map(|segments| segments.concat()),
+        }
+    }
+
+    /// Runs NOMAD with mid-run ingestion on the simulated cluster; does not
+    /// record the linearization schedule.
+    ///
+    /// Starting from the `warm` ratings, each batch of `arrivals` is
+    /// applied once the cumulative update count reaches its arrival clock:
+    /// new items mint fresh tokens whose arrival events are scheduled
+    /// behind everything already queued at their home worker (so the
+    /// simulated queue discipline matches the other engines' FIFO push),
+    /// new users extend the last worker's block, and the per-worker rating
+    /// slices are rebuilt from the grown matrix.
+    ///
+    /// # Panics
+    /// Panics on an empty warm start — the update-count arrival clock
+    /// cannot advance without trainable ratings.
+    pub fn run_online(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        arrivals: &ArrivalTrace,
+    ) -> OnlineOutput {
+        crate::online::assert_warm_start(warm);
+        self.run_loop(
+            OnlineData::Stream(Box::new(DynamicMatrix::from_triplets(warm))),
+            test,
+            arrivals,
+            "NOMAD-online",
+            false,
+        )
+    }
+
+    /// Like [`SimNomad::run_online`], but records the per-segment
+    /// linearization schedule so [`crate::online::replay_online`] can
+    /// verify serializability under arrivals.
+    pub fn run_online_with_schedule(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        arrivals: &ArrivalTrace,
+    ) -> OnlineOutput {
+        crate::online::assert_warm_start(warm);
+        self.run_loop(
+            OnlineData::Stream(Box::new(DynamicMatrix::from_triplets(warm))),
+            test,
+            arrivals,
+            "NOMAD-online",
+            true,
+        )
+    }
+
+    /// The one discrete-event loop behind both the batch entry points
+    /// (frozen data, empty trace) and the online ones.
+    fn run_loop(
+        &self,
+        mut data: OnlineData,
+        test: &TripletMatrix,
+        arrivals: &ArrivalTrace,
+        solver_label: &str,
+        record: bool,
+    ) -> OnlineOutput {
         let cfg = &self.config;
         let params = cfg.params;
         let p = self.topology.num_workers();
         assert!(p > 0, "topology must have at least one worker");
-        assert!(data.ncols() > 0, "cannot run on a dataset with no items");
+        let views = data.views();
+        assert!(views.ncols() > 0, "cannot start on a dataset with no items");
+        let (start_rows, start_cols) = (views.nrows(), views.ncols());
 
-        let mut model = FactorModel::init(data.nrows(), data.ncols(), params.k, cfg.seed);
-        let partition = RowPartition::contiguous(data.nrows(), p);
-        let mut workers = WorkerData::build_all(data, &partition);
+        let mut model = FactorModel::init(start_rows, start_cols, params.k, cfg.seed);
+        let mut partition = RowPartition::contiguous(start_rows, p);
+        let mut workers = WorkerData::build_all(views, &partition);
         let step_schedule = params.nomad_schedule();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51_4D_4E_44);
         let mut router = Router::new(cfg.routing);
 
         let mut trace = RunTrace::new(
-            "NOMAD",
+            solver_label,
             self.dataset_name.clone(),
             self.topology.machines,
             self.topology.cores_per_machine(),
             p,
         );
-        let mut schedule_log = if record { Some(Vec::new()) } else { None };
+        let mut segments: Vec<Vec<ProcessingEvent>> = vec![Vec::new()];
+        let mut next_batch = 0usize;
 
-        // Per-worker virtual state.
         let mut worker_free = vec![SimTime::ZERO; p];
         let mut pending = vec![0usize; p];
-        // Threads (within the current machine) a token has visited since it
-        // last arrived over the network; one bitmask per item.
-        let mut visited = vec![0u64; data.ncols()];
+        let mut visited = vec![0u64; start_cols];
         let threads_per_machine = self.topology.compute_threads;
         let full_mask: u64 = if threads_per_machine >= 64 {
             u64::MAX
@@ -162,7 +240,12 @@ impl SimNomad {
         };
 
         let mut events: EventQueue<TokenArrival> = EventQueue::new();
-        for j in 0..data.ncols() as Idx {
+        // Latest arrival time scheduled per worker: minted tokens are
+        // injected *behind* everything already pending at their home, which
+        // reproduces the other engines' push-to-back queue discipline
+        // (ties in the event queue break by insertion order).
+        let mut last_arrival = vec![SimTime::ZERO; p];
+        for j in 0..start_cols as Idx {
             let q = rng.gen_range(0..p);
             pending[q] += 1;
             visited[j as usize] = 1u64 << (self.topology.worker(q).thread as u64);
@@ -173,29 +256,66 @@ impl SimNomad {
         let wire_time = self.network.token_wire_time(params.k, cfg.message_batch);
         let latency = self.network.token_latency(cfg.message_batch);
         let intra_cost = self.network.intra_machine_time(token_bytes);
-        // Outgoing-link occupancy per machine: inter-machine sends are
-        // serialized through the sender's NIC, which is what makes the
-        // 1 Gb/s commodity network a real bottleneck when the per-item
-        // compute is small (the paper's Yahoo! Music observation).
         let mut nic_free = vec![SimTime::ZERO; self.topology.machines];
 
         let mut total_updates = 0u64;
         let mut now = SimTime::ZERO;
         let mut next_snapshot = 0.0f64;
 
-        while let Some(event) = events.pop() {
-            // A virtual-time budget is checked against the *arrival* time:
-            // arrivals pop in non-decreasing order, so the first arrival
-            // past the budget means every remaining one is too.
+        'event_loop: while let Some(event) = events.pop() {
+            // Ingestion first, then the stop condition — the same
+            // per-token decision order the serial engine uses, so the two
+            // engines agree on whether a batch still makes it in.
+            while next_batch < arrivals.len() && total_updates >= arrivals.batches()[next_batch].at
+            {
+                let batch = &arrivals.batches()[next_batch];
+                let delta = apply_batch(
+                    data.dynamic_mut(),
+                    &mut partition,
+                    &mut workers,
+                    batch,
+                    params.k,
+                    cfg.seed,
+                );
+                model.w.append_rows(&delta.new_users);
+                model.h.append_rows(&delta.new_items);
+                visited.resize(data.views().ncols(), 0);
+                for offset in 0..batch.new_cols {
+                    let j = (delta.first_new_item + offset) as Idx;
+                    let dest = token_home(cfg.seed, j, p);
+                    let t_mint = last_arrival[dest].max(event.time);
+                    visited[j as usize] = 1u64 << (self.topology.worker(dest).thread as u64);
+                    pending[dest] += 1;
+                    last_arrival[dest] = t_mint;
+                    events.push(
+                        t_mint,
+                        TokenArrival {
+                            item: j,
+                            worker: dest,
+                        },
+                    );
+                }
+                next_batch += 1;
+                segments.push(Vec::new());
+                trace.push(TracePoint {
+                    seconds: now.as_secs(),
+                    updates: total_updates,
+                    test_rmse: nomad_sgd::rmse_known(&model, test),
+                    objective: None,
+                });
+            }
             if let Some(budget) = cfg.stop.seconds() {
                 if event.time.as_secs() >= budget {
-                    break;
+                    break 'event_loop;
                 }
             }
+            if cfg.stop.updates().is_some_and(|u| total_updates >= u) {
+                break 'event_loop;
+            }
+
             let TokenArrival { item, worker: q } = event.event;
             let start = event.time.max(worker_free[q]);
 
-            // Process the token: SGD over the local ratings of this item.
             let t = workers[q].record_pass(item);
             let step = step_schedule.step(t);
             let mut local_updates = 0u64;
@@ -203,8 +323,11 @@ impl SimNomad {
                 nomad_sgd::sgd_update(&mut model, user, item, rating, step, params.lambda);
                 local_updates += 1;
             }
-            if let Some(log) = schedule_log.as_mut() {
-                log.push(ProcessingEvent { worker: q, item });
+            if record {
+                segments
+                    .last_mut()
+                    .expect("segments is never empty")
+                    .push(ProcessingEvent { worker: q, item });
             }
             let busy = self
                 .compute
@@ -220,7 +343,6 @@ impl SimNomad {
             trace.metrics.tokens_processed += 1;
             trace.metrics.record_busy(q, busy);
 
-            // Choose where the token goes next.
             let machine = self.topology.machine_of(q);
             let thread_bit = 1u64 << (self.topology.worker(q).thread as u64);
             visited[item as usize] |= thread_bit;
@@ -229,7 +351,6 @@ impl SimNomad {
                 && self.topology.is_distributed()
                 && visited[item as usize] & full_mask != full_mask
             {
-                // Circulate within the machine: pick an unvisited local thread.
                 let unvisited: Vec<usize> = self
                     .topology
                     .workers_of_machine(machine)
@@ -240,7 +361,6 @@ impl SimNomad {
                     .collect();
                 unvisited[rng.gen_range(0..unvisited.len())]
             } else if self.topology.is_distributed() {
-                // Leave the machine: route among workers of other machines.
                 let dest = loop {
                     let candidate = router.next_destination(p, &pending, |n| rng.gen_range(0..n));
                     if self.topology.machine_of(candidate) != machine || self.topology.machines == 1
@@ -251,7 +371,6 @@ impl SimNomad {
                 visited[item as usize] = 0;
                 dest
             } else {
-                // Single machine: plain routing among all workers.
                 router.next_destination(p, &pending, |n| rng.gen_range(0..n))
             };
 
@@ -261,43 +380,38 @@ impl SimNomad {
                 visited[item as usize] |= 1u64 << (self.topology.worker(dest).thread as u64);
                 finish + intra_cost
             } else {
-                // Leaving the machine resets the visited set to the new thread.
                 visited[item as usize] = 1u64 << (self.topology.worker(dest).thread as u64);
                 let send_start = finish.max(nic_free[machine]);
                 nic_free[machine] = send_start + wire_time;
                 send_start + wire_time + latency
             };
             pending[dest] += 1;
+            last_arrival[dest] = last_arrival[dest].max(arrival);
             events.push(arrival, TokenArrival { item, worker: dest });
 
-            // Trace snapshots on the virtual-time axis.
             if now.as_secs() >= next_snapshot {
                 trace.push(TracePoint {
                     seconds: now.as_secs(),
                     updates: total_updates,
-                    test_rmse: nomad_sgd::rmse(&model, test),
+                    test_rmse: nomad_sgd::rmse_known(&model, test),
                     objective: None,
                 });
                 next_snapshot = now.as_secs() + cfg.snapshot_every;
-            }
-
-            if cfg.stop.updates().is_some_and(|u| total_updates >= u) {
-                break;
             }
         }
 
         trace.push(TracePoint {
             seconds: now.as_secs(),
             updates: total_updates,
-            test_rmse: nomad_sgd::rmse(&model, test),
+            test_rmse: nomad_sgd::rmse_known(&model, test),
             objective: None,
         });
         trace.metrics.finished_at = now;
 
-        SimOutput {
+        OnlineOutput {
             model,
             trace,
-            schedule: schedule_log,
+            schedule: record.then_some(segments),
         }
     }
 }
@@ -463,6 +577,53 @@ mod tests {
         assert_eq!(ok.worker_speeds, vec![1.0, 0.5]);
         let result = std::panic::catch_unwind(|| engine(1, 2, 100).with_worker_speeds(&[1.0]));
         assert!(result.is_err());
+    }
+
+    fn streamed_tiny() -> (TripletMatrix, TripletMatrix, ArrivalTrace) {
+        use nomad_data::{stream_split, StreamSplit};
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
+        let (warm, log) = stream_split(&ds.train, &StreamSplit::standard(4));
+        (warm, ds.test, log.arrival_trace(5_000.0))
+    }
+
+    #[test]
+    fn online_runs_are_deterministic_and_grow_the_model() {
+        let (warm, test, arrivals) = streamed_tiny();
+        let sim = engine(2, 2, 30_000);
+        let a = sim.run_online(&warm, &test, &arrivals);
+        let b = sim.run_online(&warm, &test, &arrivals);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.trace.points, b.trace.points);
+        assert!(a.schedule.is_none());
+        let (rows, cols) = arrivals.final_dims(warm.nrows(), warm.ncols());
+        assert_eq!(a.model.num_users(), rows);
+        assert_eq!(a.model.num_items(), cols);
+        assert!(a.trace.metrics.updates >= 30_000);
+    }
+
+    #[test]
+    fn online_schedule_replays_to_identical_factors() {
+        // Serializability under arrivals: the simulated multi-machine online
+        // run is still equivalent to a serial ordering of its updates,
+        // interleaved with the ingestion points.
+        let (warm, test, arrivals) = streamed_tiny();
+        let sim = engine(2, 2, 25_000);
+        let out = sim.run_online_with_schedule(&warm, &test, &arrivals);
+        let segments = out.schedule.expect("schedule requested");
+        let replayed = crate::online::replay_online(
+            &warm,
+            &arrivals,
+            sim.config().params,
+            sim.config().seed,
+            4,
+            &segments,
+        );
+        assert_eq!(
+            out.model, replayed,
+            "serializability violated under arrivals"
+        );
     }
 
     #[test]

@@ -21,11 +21,12 @@ use std::time::Instant;
 use crossbeam::queue::SegQueue;
 
 use nomad_cluster::{RunTrace, SimTime, TracePoint};
-use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_matrix::{ArrivalTrace, DynamicMatrix, Idx, RatingMatrix, RowPartition, TripletMatrix};
 use nomad_sgd::schedule::StepSchedule;
 use nomad_sgd::{FactorMatrix, FactorModel};
 
 use crate::config::NomadConfig;
+use crate::online::{apply_batch, token_home, OnlineOutput};
 use crate::routing::RoutingPolicy;
 use crate::serial::ProcessingEvent;
 use crate::worker::WorkerData;
@@ -168,7 +169,7 @@ impl ThreadedNomad {
             elapsed_wall += round_start.elapsed().as_secs_f64();
 
             // Quiesced: evaluate RMSE on the assembled model.
-            let model = assemble_model(data, &owned, &queues, params.k);
+            let model = assemble_model(data.nrows(), data.ncols(), &owned, &queues, params.k);
             trace.push(TracePoint {
                 seconds: elapsed_wall,
                 updates: updates_done.load(Ordering::SeqCst),
@@ -183,12 +184,193 @@ impl ThreadedNomad {
 
         all_events.sort_by_key(|(stamp, _)| *stamp);
         let schedule: Vec<ProcessingEvent> = all_events.into_iter().map(|(_, e)| e).collect();
-        let model = assemble_model(data, &owned, &queues, params.k);
+        let model = assemble_model(data.nrows(), data.ncols(), &owned, &queues, params.k);
 
         ThreadedOutput {
             model,
             trace,
             schedule,
+        }
+    }
+
+    /// Runs NOMAD on `num_threads` worker threads with mid-run ingestion.
+    ///
+    /// Each arrival batch defines a quiesce point: the workers run until
+    /// the cumulative update count reaches the batch's arrival clock, drain
+    /// to a consistent state, and the batch is applied — new items are
+    /// minted as tokens (their factor rows travel inside the tokens, like
+    /// every other item), new users extend the last worker's owned block,
+    /// and the per-worker rating slices are rebuilt from the grown
+    /// [`DynamicMatrix`].  A final round then runs to the update budget.
+    ///
+    /// The returned per-segment schedules replay via
+    /// [`crate::online::replay_online`], which is how the serializability
+    /// invariant is re-verified under arrivals.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`, the stop condition carries no update
+    /// budget, or the warm start is empty (the update-count arrival clock
+    /// cannot advance without trainable ratings, so the workers would spin
+    /// forever without reaching the first batch).
+    pub fn run_online(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        num_threads: usize,
+        arrivals: &ArrivalTrace,
+    ) -> OnlineOutput {
+        assert!(num_threads > 0, "need at least one thread");
+        crate::online::assert_warm_start(warm);
+        let cfg = &self.config;
+        let params = cfg.params;
+        let total_budget = cfg
+            .stop
+            .updates()
+            .expect("ThreadedNomad requires an update budget in the stop condition");
+
+        let mut dynamic = DynamicMatrix::from_triplets(warm);
+        let init = FactorModel::init(warm.nrows(), warm.ncols(), params.k, cfg.seed);
+        let mut partition = RowPartition::contiguous(warm.nrows(), num_threads);
+        let mut per_worker = WorkerData::build_all(dynamic.views(), &partition);
+        let mut owned: Vec<OwnedUsers> = (0..num_threads)
+            .map(|q| OwnedUsers::from_partition(&init.w, &partition, q))
+            .collect();
+
+        let queues: Vec<SegQueue<Token>> = (0..num_threads).map(|_| SegQueue::new()).collect();
+        let mut placement_rng = nomad_linalg::SmallRng64::new(cfg.seed ^ 0x7007_BEEF);
+        for j in 0..warm.ncols() {
+            let q = placement_rng.next_below(num_threads);
+            queues[q].push(Token {
+                item: j as Idx,
+                h: init.h.row(j).to_vec(),
+            });
+        }
+
+        let mut trace = RunTrace::new("NOMAD-threaded-online", "", 1, num_threads, num_threads);
+        let ticket = AtomicU64::new(0);
+        let updates_done = AtomicU64::new(0);
+        let mut elapsed_wall = 0.0f64;
+        let mut segments: Vec<Vec<ProcessingEvent>> = Vec::new();
+
+        // One quiesce round per arrival batch (capped at the budget so the
+        // run never exceeds it), then the final round to the budget.  A
+        // batch is applied only if its arrival clock was actually reached —
+        // the workers can overshoot a target by the updates of their last
+        // token, which is the same overshoot the serial engine exhibits.
+        let mut rounds: Vec<(u64, Option<usize>)> = arrivals
+            .batches()
+            .iter()
+            .enumerate()
+            .map(|(idx, b)| (b.at.min(total_budget), Some(idx)))
+            .collect();
+        rounds.push((total_budget, None));
+
+        for (round_target, batch_idx) in rounds {
+            let stop_flag = AtomicBool::new(false);
+            let round_start = Instant::now();
+            let mut round_events: Vec<(u64, ProcessingEvent)> = Vec::new();
+
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(num_threads);
+                for (q, (wd, own)) in per_worker.iter_mut().zip(owned.iter_mut()).enumerate() {
+                    let queues = &queues;
+                    let ticket = &ticket;
+                    let updates_done = &updates_done;
+                    let stop_flag = &stop_flag;
+                    let schedule = params.nomad_schedule();
+                    let routing = cfg.routing;
+                    let seed = cfg.seed;
+                    handles.push(scope.spawn(move || {
+                        worker_loop(
+                            q,
+                            num_threads,
+                            wd,
+                            own,
+                            queues,
+                            ticket,
+                            updates_done,
+                            stop_flag,
+                            round_target,
+                            schedule,
+                            routing,
+                            params.lambda,
+                            seed,
+                        )
+                    }));
+                }
+                for handle in handles {
+                    let events = handle.join().expect("worker thread panicked");
+                    round_events.extend(events);
+                }
+            });
+            elapsed_wall += round_start.elapsed().as_secs_f64();
+            round_events.sort_by_key(|(stamp, _)| *stamp);
+
+            let done = updates_done.load(Ordering::SeqCst);
+            match batch_idx {
+                Some(idx) if done >= arrivals.batches()[idx].at => {
+                    // Quiesced: every token sits in exactly one queue, every
+                    // worker has drained — safe to grow all shared state.
+                    let batch = &arrivals.batches()[idx];
+                    let delta = apply_batch(
+                        &mut dynamic,
+                        &mut partition,
+                        &mut per_worker,
+                        batch,
+                        params.k,
+                        cfg.seed,
+                    );
+                    let own_last = owned.last_mut().expect("num_threads > 0");
+                    if own_last.rows.rows() == 0 && batch.new_rows > 0 {
+                        // The last worker owned no users yet; its block now
+                        // starts at the first arriving user.
+                        own_last.offset = delta.first_new_user;
+                    }
+                    own_last.rows.append_rows(&delta.new_users);
+                    for offset in 0..batch.new_cols {
+                        let j = (delta.first_new_item + offset) as Idx;
+                        queues[token_home(cfg.seed, j, num_threads)].push(Token {
+                            item: j,
+                            h: delta.new_items.row(offset).to_vec(),
+                        });
+                    }
+                    segments.push(round_events.into_iter().map(|(_, e)| e).collect());
+                    let model =
+                        assemble_model(dynamic.nrows(), dynamic.ncols(), &owned, &queues, params.k);
+                    trace.push(TracePoint {
+                        seconds: elapsed_wall,
+                        updates: done,
+                        test_rmse: nomad_sgd::rmse_known(&model, test),
+                        objective: None,
+                    });
+                }
+                _ => {
+                    // Final round, or a batch whose arrival clock lies
+                    // beyond the budget: fold the events into the last
+                    // segment and stop ingesting.
+                    segments.push(round_events.into_iter().map(|(_, e)| e).collect());
+                    if batch_idx.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        trace.metrics.updates = updates_done.load(Ordering::SeqCst);
+        trace.metrics.tokens_processed = ticket.load(Ordering::SeqCst);
+        trace.metrics.finished_at = SimTime::from_secs(elapsed_wall.max(0.0));
+
+        let model = assemble_model(dynamic.nrows(), dynamic.ncols(), &owned, &queues, params.k);
+        trace.push(TracePoint {
+            seconds: elapsed_wall,
+            updates: trace.metrics.updates,
+            test_rmse: nomad_sgd::rmse_known(&model, test),
+            objective: None,
+        });
+        OnlineOutput {
+            model,
+            trace,
+            schedule: Some(segments),
         }
     }
 }
@@ -223,14 +405,15 @@ impl OwnedUsers {
 /// Gathers the scattered state (per-worker user rows, in-queue item rows)
 /// back into a single [`FactorModel`] without disturbing the queues.
 fn assemble_model(
-    data: &RatingMatrix,
+    nrows: usize,
+    ncols: usize,
     owned: &[OwnedUsers],
     queues: &[SegQueue<Token>],
     k: usize,
 ) -> FactorModel {
     let mut model = FactorModel {
-        w: FactorMatrix::zeros(data.nrows(), k),
-        h: FactorMatrix::zeros(data.ncols(), k),
+        w: FactorMatrix::zeros(nrows, k),
+        h: FactorMatrix::zeros(ncols, k),
     };
     for own in owned {
         for local in 0..own.rows.rows() {
@@ -239,7 +422,7 @@ fn assemble_model(
     }
     // Drain every queue, record the item rows, and push the tokens back in
     // the same order so the run can continue afterwards.
-    let mut seen = vec![false; data.ncols()];
+    let mut seen = vec![false; ncols];
     for queue in queues {
         let mut tokens = Vec::new();
         while let Some(token) = queue.pop() {
@@ -437,5 +620,62 @@ mod tests {
     fn zero_threads_rejected() {
         let (data, test) = tiny_dataset();
         let _ = ThreadedNomad::new(quick_config(10)).run(&data, &test, 0, 1);
+    }
+
+    fn streamed_tiny() -> (
+        nomad_matrix::TripletMatrix,
+        TripletMatrix,
+        nomad_matrix::ArrivalTrace,
+    ) {
+        use nomad_data::{stream_split, StreamSplit};
+        let ds = nomad_data::named_dataset("netflix-sim", nomad_data::SizeTier::Tiny)
+            .unwrap()
+            .build();
+        let (warm, log) = stream_split(&ds.train, &StreamSplit::standard(4));
+        // Uniform profile at 1 batch/s: arrivals at 5k, 10k, 15k, 20k
+        // updates — all within the 30k budget used below.
+        (warm, ds.test, log.arrival_trace(5_000.0))
+    }
+
+    #[test]
+    fn online_execution_is_serializable_under_arrivals() {
+        let (warm, test, arrivals) = streamed_tiny();
+        let threads = 3;
+        let solver = ThreadedNomad::new(quick_config(30_000));
+        let out = solver.run_online(&warm, &test, threads, &arrivals);
+        assert_eq!(
+            out.model.num_users(),
+            warm.nrows() + arrivals.batches().iter().map(|b| b.new_rows).sum::<usize>()
+        );
+        let segments = out.schedule.expect("threaded online records its schedule");
+        assert_eq!(segments.len(), arrivals.len() + 1);
+        let replayed = crate::online::replay_online(
+            &warm,
+            &arrivals,
+            solver.config().params,
+            solver.config().seed,
+            threads,
+            &segments,
+        );
+        assert_eq!(
+            out.model, replayed,
+            "mid-run ingestion must preserve serializability (bit-identical replay)"
+        );
+    }
+
+    #[test]
+    fn online_arrivals_beyond_the_budget_are_dropped() {
+        let (warm, test, _) = streamed_tiny();
+        let far = nomad_matrix::ArrivalTrace::new(vec![nomad_matrix::ArrivalBatch {
+            at: u64::MAX,
+            new_rows: 5,
+            new_cols: 5,
+            entries: vec![],
+        }]);
+        let out = ThreadedNomad::new(quick_config(5_000)).run_online(&warm, &test, 2, &far);
+        // The unreachable batch is never applied: no growth, one segment.
+        assert_eq!(out.model.num_users(), warm.nrows());
+        assert_eq!(out.model.num_items(), warm.ncols());
+        assert_eq!(out.schedule.unwrap().len(), 1);
     }
 }

@@ -16,6 +16,10 @@
 //! * [`registry`] — named ready-to-use dataset recipes (`netflix-sim`,
 //!   `yahoo-sim`, `hugewiki-sim`, …) used by examples, tests and the
 //!   benchmark harness,
+//! * [`stream`] — streaming ingestion: [`stream_split`] holds back part of
+//!   a dataset (including entirely unseen users/items) as a timestamped
+//!   [`RatingLog`] that the online NOMAD engines replay mid-run, with
+//!   uniform or Poisson arrival profiles,
 //! * a re-export of the text loader so that users who *do* have a licensed
 //!   copy of the original data can run the experiments on it.
 
@@ -23,11 +27,13 @@ pub mod generator;
 pub mod profiles;
 pub mod registry;
 pub mod scaling;
+pub mod stream;
 
 pub use generator::{generate, GeneratedDataset, SyntheticConfig, ValueModel};
 pub use profiles::DatasetProfile;
 pub use registry::{named_dataset, registry_names, DatasetRecipe, SizeTier};
 pub use scaling::{scaling_dataset, ScalingConfig};
+pub use stream::{stream_split, ArrivalProfile, EventSource, RatingLog, StreamBatch, StreamSplit};
 
 /// Re-export of the plain-text `user item rating` loader for users that have
 /// the original datasets on disk.

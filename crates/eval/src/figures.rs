@@ -14,7 +14,11 @@
 use serde::{Deserialize, Serialize};
 
 use nomad_cluster::RunTrace;
-use nomad_data::{named_dataset, scaling_dataset, GeneratedDataset, ScalingConfig, SizeTier};
+use nomad_core::{NomadConfig, SimNomad, StopCondition};
+use nomad_data::{
+    named_dataset, scaling_dataset, stream_split, ArrivalProfile, GeneratedDataset, ScalingConfig,
+    SizeTier, StreamSplit,
+};
 use nomad_sgd::HyperParams;
 
 use crate::env::ClusterSpec;
@@ -762,6 +766,81 @@ fn machine_scaling_updates_and_throughput(
     vec![left, right]
 }
 
+/// Streaming benchmark (no paper counterpart — the online extension):
+/// time-to-RMSE under ingestion on a simulated 4-machine HPC cluster.
+///
+/// A warm start holds ~80% of the `netflix-sim` ratings; the held-back
+/// slice — including a 10% tail of entirely unseen users and items —
+/// arrives mid-run under a uniform profile and two Poisson rates, spread
+/// over the first ~60% of the update budget.  A batch run on the full data
+/// is the reference; online RMSE snapshots cover arrived test entries
+/// only, which is why the online curves can sit *below* the batch curve
+/// before every arrival lands.
+pub fn streaming(scale: &ReproScale) -> Vec<Figure> {
+    let name = "netflix-sim";
+    let dataset = scale.dataset(name);
+    let params = scale.params_for(name);
+    let spec = ClusterSpec::hpc(4);
+    let updates = dataset.matrix.nnz() as u64 * scale.epochs as u64;
+    let est_seconds =
+        updates as f64 * spec.compute.sgd_update_time(params.k) / spec.num_workers() as f64;
+    let config = NomadConfig::new(params)
+        .with_stop(StopCondition::Updates(updates))
+        .with_snapshot_every((est_seconds / 30.0).max(1e-9))
+        .with_seed(scale.seed);
+
+    let mut fig = Figure::new(
+        "streaming-netflix",
+        "netflix-sim: time to RMSE under ingestion (HPC, 4 machines)",
+        "seconds",
+        "test RMSE (arrived entries)",
+    );
+
+    let batch = SimNomad::new(config, spec.topology, spec.network, spec.compute)
+        .with_dataset_name(name)
+        .run(&dataset.matrix, &dataset.test);
+    fig.series.push(Series::rmse_vs_time(
+        "batch (all data up front)",
+        &batch.trace,
+    ));
+
+    let profiles = [
+        (
+            "online, uniform arrivals",
+            ArrivalProfile::Uniform { rate: 1.0 },
+        ),
+        (
+            "online, Poisson rate=1",
+            ArrivalProfile::Poisson {
+                rate: 1.0,
+                seed: scale.seed,
+            },
+        ),
+        (
+            "online, Poisson rate=2",
+            ArrivalProfile::Poisson {
+                rate: 2.0,
+                seed: scale.seed,
+            },
+        ),
+    ];
+    // One fixed seconds→updates mapping for every profile, calibrated so
+    // the rate-1 uniform stream's last batch lands around 60% of the
+    // budget; faster arrival rates then genuinely land earlier.
+    let num_batches = StreamSplit::standard(scale.seed).num_batches as f64;
+    let updates_per_sec = (updates as f64 * 0.6 / num_batches).max(1.0);
+    for (label, profile) in profiles {
+        let split = StreamSplit::standard(scale.seed).with_profile(profile);
+        let (warm, log) = stream_split(&dataset.train, &split);
+        let arrivals = log.arrival_trace(updates_per_sec);
+        let out = SimNomad::new(config, spec.topology, spec.network, spec.compute)
+            .with_dataset_name(name)
+            .run_online(&warm, &dataset.test, &arrivals);
+        fig.series.push(Series::rmse_vs_time(label, &out.trace));
+    }
+    vec![fig]
+}
+
 /// Maps a figure/table identifier (`"fig5"` … `"fig23"`) to its generator.
 /// Returns `None` for unknown identifiers.  `"table1"` and `"table2"` are
 /// handled separately by the binaries because they render plain CSV text.
@@ -786,6 +865,7 @@ pub fn by_id(id: &str, scale: &ReproScale) -> Option<Vec<Figure>> {
         "fig21" => fig21(scale),
         "fig22" => fig22(scale),
         "fig23" => fig23(scale),
+        "streaming" => streaming(scale),
         _ => return None,
     };
     Some(figures)
@@ -844,6 +924,20 @@ mod tests {
             );
         }
         assert!(by_id("not-a-figure", &micro_scale()).is_none());
+    }
+
+    #[test]
+    fn streaming_figure_has_batch_reference_and_online_profiles() {
+        let figs = streaming(&micro_scale());
+        assert_eq!(figs.len(), 1);
+        let fig = &figs[0];
+        assert_eq!(fig.series.len(), 4, "batch + three arrival profiles");
+        assert!(fig.series[0].label.contains("batch"));
+        for s in &fig.series {
+            assert!(s.points.len() >= 2, "{} has too few points", s.label);
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite()));
+        }
+        assert!(by_id("streaming", &micro_scale()).is_some());
     }
 
     #[test]

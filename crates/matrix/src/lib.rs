@@ -15,6 +15,10 @@
 //!   processing of one item at a time and for ALS/CCD over items,
 //! * [`RatingMatrix`] — a bundle of the two orientations plus the matrix
 //!   dimensions, which is what solvers receive,
+//! * [`DynamicMatrix`] — an append-only rating log with row/column growth
+//!   that compacts into the CSR/CSC views on demand: the substrate of the
+//!   streaming/online engines, together with the [`ArrivalBatch`] /
+//!   [`ArrivalTrace`] ingestion schedule,
 //! * [`partition`] — row partitions `I_1, …, I_p` of the users across
 //!   workers (Section 3.1), including the ratings-balanced variant
 //!   mentioned in the paper's footnote 1,
@@ -23,9 +27,12 @@
 //! * [`io`] — a compact binary on-disk format (via `bytes`) so that large
 //!   generated datasets can be cached between benchmark runs.
 
+#![warn(missing_docs)]
+
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod dynamic;
 pub mod io;
 pub mod partition;
 pub mod split;
@@ -34,6 +41,7 @@ pub mod stats;
 pub use coo::TripletMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use dynamic::{ArrivalBatch, ArrivalTrace, CompactionPolicy, DynamicMatrix};
 pub use partition::{PartitionStrategy, RowPartition};
 pub use split::{train_test_split, SplitConfig};
 pub use stats::DatasetStats;

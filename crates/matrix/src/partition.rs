@@ -149,6 +149,32 @@ impl RowPartition {
         }
     }
 
+    /// Extends the partition with `added` new rows (appended at the end of
+    /// the row space), all assigned to the **last** worker.
+    ///
+    /// This is the growth rule of the streaming engines: existing ownership
+    /// never changes (user factors stay where they are, preserving NOMAD's
+    /// static-partition invariant mid-run), and a contiguous partition stays
+    /// contiguous because only the final block's upper bound moves.  The
+    /// trade-off — the last worker accumulates all newly arriving users — is
+    /// acceptable while arrivals are a small fraction of the data;
+    /// rebalancing at an ingestion barrier is future work.
+    pub fn extended(&self, added: usize) -> Self {
+        let mut owner = self.owner.clone();
+        let mut members = self.members.clone();
+        let last = self.num_parts - 1;
+        for i in self.num_rows..self.num_rows + added {
+            owner.push(last as u32);
+            members[last].push(i as Idx);
+        }
+        Self {
+            num_rows: self.num_rows + added,
+            num_parts: self.num_parts,
+            owner,
+            members,
+        }
+    }
+
     /// Total number of rows covered.
     #[inline]
     pub fn num_rows(&self) -> usize {
@@ -310,6 +336,24 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_assignment_rejects_bad_owner() {
         let _ = RowPartition::from_assignment(vec![0, 3], 2);
+    }
+
+    #[test]
+    fn extended_appends_rows_to_the_last_worker() {
+        let p = RowPartition::contiguous(6, 3);
+        let grown = p.extended(2);
+        assert!(grown.validate());
+        assert_eq!(grown.num_rows(), 8);
+        assert_eq!(grown.num_parts(), 3);
+        assert_eq!(grown.part_sizes(), vec![2, 2, 4]);
+        assert_eq!(grown.owner_of(6), 2);
+        assert_eq!(grown.owner_of(7), 2);
+        // Existing ownership is untouched.
+        for i in 0..6u32 {
+            assert_eq!(grown.owner_of(i), p.owner_of(i));
+        }
+        // Extending by zero is the identity.
+        assert_eq!(p.extended(0), p);
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod params;
 pub mod schedule;
 pub mod update;
 
-pub use model::{FactorMatrix, FactorModel, InitStrategy};
-pub use objective::{regularized_objective, rmse, squared_error_sum};
+pub use model::{fresh_item_rows, fresh_user_rows, FactorMatrix, FactorModel, InitStrategy};
+pub use objective::{regularized_objective, rmse, rmse_known, squared_error_sum};
 pub use params::HyperParams;
 pub use schedule::{BoldDriver, ConstantStep, InverseTimeStep, NomadStep, StepSchedule};
 pub use update::{als_solve_row, ccd_coordinate_update, sgd_update, SgdOutcome};

@@ -121,6 +121,20 @@ impl FactorMatrix {
         self.row_mut(i).copy_from_slice(src);
     }
 
+    /// Appends the rows of `block` below the existing rows (used when new
+    /// users or items arrive during an online run).
+    ///
+    /// # Panics
+    /// Panics if the latent dimensions differ.
+    pub fn append_rows(&mut self, block: &FactorMatrix) {
+        assert_eq!(
+            self.k, block.k,
+            "cannot append rows with a different latent dimension"
+        );
+        self.data.extend_from_slice(&block.data);
+        self.rows += block.rows;
+    }
+
     /// Flat access to the underlying data (used by serialization and tests).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -200,6 +214,44 @@ impl FactorModel {
     pub fn predict(&self, user: Idx, item: Idx) -> f64 {
         nomad_linalg::dot(self.w.row(user as usize), self.h.row(item as usize))
     }
+}
+
+/// Sub-seed for factor rows appended starting at global row `first_row`.
+///
+/// Keyed by the *global index* of the first fresh row (not by batch count
+/// or wall time) so the initialization of user `i` / item `j` depends only
+/// on `(seed, index)` — the property that lets the serial, threaded and
+/// simulated online engines, plus the schedule replay, agree bit for bit.
+fn growth_subseed(first_row: usize) -> u64 {
+    (first_row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Builds `count` rows, each drawn from its own per-index RNG stream so
+/// the result is independent of how arrivals were batched.
+fn fresh_rows(count: usize, k: usize, first_row: usize, kind_seed: u64) -> FactorMatrix {
+    let mut block = FactorMatrix::zeros(count, k);
+    for r in 0..count {
+        let row = FactorMatrix::init(
+            1,
+            k,
+            InitStrategy::UniformScaled,
+            kind_seed ^ growth_subseed(first_row + r),
+        );
+        block.set_row(r, row.row(0));
+    }
+    block
+}
+
+/// Deterministic `Uniform(0, 1/√k)` factor rows for `count` users arriving
+/// at global indices `first_row..first_row + count`.
+pub fn fresh_user_rows(count: usize, k: usize, first_row: usize, seed: u64) -> FactorMatrix {
+    fresh_rows(count, k, first_row, seed ^ 0x57AA_7000)
+}
+
+/// Deterministic `Uniform(0, 1/√k)` factor rows for `count` items arriving
+/// at global indices `first_row..first_row + count`.
+pub fn fresh_item_rows(count: usize, k: usize, first_row: usize, seed: u64) -> FactorMatrix {
+    fresh_rows(count, k, first_row, seed ^ 0x17E6_0001)
 }
 
 #[cfg(test)]
@@ -297,6 +349,45 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let _ = FactorMatrix::init(3, 0, InitStrategy::UniformScaled, 0);
+    }
+
+    #[test]
+    fn append_rows_extends_in_place() {
+        let mut f = FactorMatrix::init(3, 2, InitStrategy::UniformScaled, 4);
+        let block = FactorMatrix::init(2, 2, InitStrategy::Constant { value: 0.5 }, 0);
+        let before = f.clone();
+        f.append_rows(&block);
+        assert_eq!(f.rows(), 5);
+        assert_eq!(f.row(1), before.row(1));
+        assert_eq!(f.row(3), &[0.5, 0.5]);
+        assert_eq!(f.row(4), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "latent dimension")]
+    fn append_rows_rejects_k_mismatch() {
+        let mut f = FactorMatrix::zeros(2, 3);
+        f.append_rows(&FactorMatrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn growth_depends_only_on_seed_and_index() {
+        // Two factor matrices that reach the same size along different
+        // batch paths end up identical — the invariant the online engines
+        // rely on.
+        let mut one_step = FactorMatrix::init(4, 2, InitStrategy::UniformScaled, 11);
+        let mut two_steps = one_step.clone();
+        one_step.append_rows(&fresh_user_rows(3, 2, 4, 11));
+        two_steps.append_rows(&fresh_user_rows(1, 2, 4, 11));
+        two_steps.append_rows(&fresh_user_rows(2, 2, 5, 11));
+        assert_eq!(one_step, two_steps);
+        // Fresh rows differ from the initial init and between kinds.
+        let u = fresh_user_rows(2, 4, 10, 7);
+        let i = fresh_item_rows(2, 4, 10, 7);
+        assert_ne!(u, i);
+        assert!(u.as_slice().iter().all(|&v| (0.0..0.5).contains(&v)));
+        // Different arrival position ⇒ different rows.
+        assert_ne!(fresh_user_rows(2, 4, 10, 7), fresh_user_rows(2, 4, 12, 7));
     }
 
     #[test]

@@ -61,6 +61,32 @@ pub fn rmse(model: &FactorModel, test: &TripletMatrix) -> f64 {
     (total / test.nnz() as f64).sqrt()
 }
 
+/// RMSE restricted to the test entries whose user *and* item already exist
+/// in the model.
+///
+/// During an online run the model covers only the users/items seen so far,
+/// while the test set is indexed in the final (fully grown) coordinate
+/// space; entries referencing not-yet-arrived users or items are skipped
+/// here and start counting once ingestion introduces them.  When the model
+/// covers the full space this equals [`rmse`].  Returns `0.0` when no test
+/// entry is covered yet.
+pub fn rmse_known(model: &FactorModel, test: &TripletMatrix) -> f64 {
+    let (m, n) = (model.num_users(), model.num_items());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for e in test.entries() {
+        if (e.row as usize) < m && (e.col as usize) < n {
+            let err = e.value - model.predict(e.row, e.col);
+            total += err * err;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    (total / count as f64).sqrt()
+}
+
 /// RMSE over the *training* ratings held in CSR form; used for bold-driver
 /// style step adaptation and overfitting diagnostics.
 pub fn train_rmse(model: &FactorModel, data: &CsrMatrix) -> f64 {
@@ -90,6 +116,26 @@ mod tests {
         train.push(0, 1, 1.0);
         let csr = CsrMatrix::from_triplets(&train);
         (model, csr, train)
+    }
+
+    #[test]
+    fn rmse_known_skips_not_yet_arrived_coordinates() {
+        let (model, _, _) = toy();
+        // Test set indexed in a larger (3×3) space: the (2, 2) entry
+        // references a user and item the 2×2 model has not seen yet.
+        let mut test = TripletMatrix::new(3, 3);
+        test.push(0, 0, 2.0); // exact: error 0
+        test.push(2, 2, 5.0); // unseen, skipped
+        assert_eq!(rmse_known(&model, &test), 0.0);
+        // Once only covered entries remain, it equals plain RMSE.
+        let mut covered = TripletMatrix::new(2, 2);
+        covered.push(0, 0, 2.0);
+        covered.push(1, 1, 1.0);
+        assert!((rmse_known(&model, &covered) - rmse(&model, &covered)).abs() < 1e-15);
+        // No covered entries at all ⇒ 0.0 (plot-friendly).
+        let mut none = TripletMatrix::new(3, 3);
+        none.push(2, 0, 1.0);
+        assert_eq!(rmse_known(&model, &none), 0.0);
     }
 
     #[test]

@@ -47,6 +47,38 @@
 //! let last = out.trace.final_rmse().unwrap();
 //! assert!(last < first, "test RMSE improves: {first} -> {last}");
 //! ```
+//!
+//! ## Online / streaming workloads
+//!
+//! NOMAD keeps training while ratings — and brand new users and items —
+//! arrive.  Hold back part of a dataset as a replayable stream and ingest
+//! it mid-run (the same code block is the README's streaming quickstart):
+//!
+//! ```
+//! use nomad::cluster::ComputeModel;
+//! use nomad::core::{NomadConfig, SerialNomad, StopCondition};
+//! use nomad::data::{named_dataset, stream_split, SizeTier, StreamSplit};
+//! use nomad::sgd::HyperParams;
+//!
+//! let dataset = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+//! // ~80% warm start; ~20% — including unseen users and items — held back
+//! // as four timestamped arrival batches.
+//! let (warm, log) = stream_split(&dataset.train, &StreamSplit::standard(42));
+//! let arrivals = log.arrival_trace(5_000.0); // stream seconds → update clock
+//!
+//! let config = NomadConfig::new(HyperParams::netflix().with_k(8))
+//!     .with_stop(StopCondition::Updates(40_000));
+//! let out = SerialNomad::new(config)
+//!     .run_online(&warm, &dataset.test, 2, &ComputeModel::hpc_core(), &arrivals);
+//!
+//! // Every arrival was ingested: the model grew to the full space.
+//! assert_eq!(out.model.num_users(), dataset.train.nrows());
+//! assert_eq!(out.model.num_items(), dataset.train.ncols());
+//! ```
+//!
+//! The threaded and simulated engines take the same `arrivals` via their
+//! own `run_online`; `examples/streaming_recommender.rs` runs all three
+//! against a batch retrain.
 
 /// Sparse rating-matrix substrate (re-export of `nomad-matrix`).
 pub use nomad_matrix as matrix;
