@@ -2,22 +2,37 @@
 //!
 //! Section 3.5 of the paper: "NOMAD can be implemented with lock-free data
 //! structures since the only interaction between threads is via operations
-//! on the queue."  This bench compares the `crossbeam` lock-free `SegQueue`
-//! used by `nomad_core::threaded` against a `parking_lot::Mutex<VecDeque>`
-//! under a single-threaded producer/consumer pattern and under contention
-//! from multiple threads.
+//! on the queue."  Both implementations live in the vendored `crossbeam`
+//! crate and are benchmarked side by side under their honest names:
+//!
+//! - `lock_free_segqueue` — [`crossbeam::queue::LockFreeQueue`], the
+//!   atomics-based segmented MPMC queue the engine uses by default.
+//! - `mutex_vecdeque` — [`crossbeam::queue::MutexQueue`], the
+//!   `Mutex<VecDeque>` baseline (also reachable engine-wide via the
+//!   `mutex-queue` feature).
+//!
+//! The payload is the engine's actual token shape — an `(item, pass)`
+//! index pair, 16 bytes, no heap — so the numbers reflect the real hot
+//! path, not the retired `Vec<f64>`-per-token design.  A second group
+//! measures the old payload shape for reference, because the difference
+//! *is* the point of the slab refactor.
 
-use std::collections::VecDeque;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use crossbeam::queue::{LockFreeQueue, MutexQueue};
 
-/// A token-sized payload (item id + a k=100 factor vector).
-fn payload() -> (u32, Vec<f64>) {
+/// The engine's token: item index plus pass count, nothing heap-allocated.
+type Token = (u32, u64);
+
+fn token() -> Token {
+    (7, 42)
+}
+
+/// The retired pre-slab payload: the token carried its k=100 factor row.
+fn heavy_payload() -> (u32, Vec<f64>) {
     (7, vec![0.25f64; 100])
 }
 
@@ -25,18 +40,32 @@ fn bench_single_thread(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue_push_pop_single_thread");
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    group.bench_function("crossbeam_segqueue", |b| {
-        let q: SegQueue<(u32, Vec<f64>)> = SegQueue::new();
+    group.bench_function("lock_free_segqueue/token", |b| {
+        let q: LockFreeQueue<Token> = LockFreeQueue::new();
         b.iter(|| {
-            q.push(black_box(payload()));
+            q.push(black_box(token()));
             black_box(q.pop())
         });
     });
-    group.bench_function("mutex_vecdeque", |b| {
-        let q: Mutex<VecDeque<(u32, Vec<f64>)>> = Mutex::new(VecDeque::new());
+    group.bench_function("mutex_vecdeque/token", |b| {
+        let q: MutexQueue<Token> = MutexQueue::new();
         b.iter(|| {
-            q.lock().push_back(black_box(payload()));
-            black_box(q.lock().pop_front())
+            q.push(black_box(token()));
+            black_box(q.pop())
+        });
+    });
+    group.bench_function("lock_free_segqueue/vec_payload_k100", |b| {
+        let q: LockFreeQueue<(u32, Vec<f64>)> = LockFreeQueue::new();
+        b.iter(|| {
+            q.push(black_box(heavy_payload()));
+            black_box(q.pop())
+        });
+    });
+    group.bench_function("mutex_vecdeque/vec_payload_k100", |b| {
+        let q: MutexQueue<(u32, Vec<f64>)> = MutexQueue::new();
+        b.iter(|| {
+            q.push(black_box(heavy_payload()));
+            black_box(q.pop())
         });
     });
     group.finish();
@@ -49,15 +78,15 @@ fn bench_contended(c: &mut Criterion) {
     group.sample_size(10);
     const OPS_PER_THREAD: usize = 20_000;
 
-    group.bench_function("crossbeam_segqueue", |b| {
+    group.bench_function("lock_free_segqueue/token", |b| {
         b.iter(|| {
-            let q = Arc::new(SegQueue::new());
+            let q = Arc::new(LockFreeQueue::new());
             std::thread::scope(|scope| {
                 for _ in 0..4 {
                     let q = Arc::clone(&q);
                     scope.spawn(move || {
                         for i in 0..OPS_PER_THREAD {
-                            q.push((i as u32, vec![0.5f64; 100]));
+                            q.push((i as u32, i as u64));
                             black_box(q.pop());
                         }
                     });
@@ -65,16 +94,16 @@ fn bench_contended(c: &mut Criterion) {
             });
         });
     });
-    group.bench_function("mutex_vecdeque", |b| {
+    group.bench_function("mutex_vecdeque/token", |b| {
         b.iter(|| {
-            let q = Arc::new(Mutex::new(VecDeque::new()));
+            let q = Arc::new(MutexQueue::new());
             std::thread::scope(|scope| {
                 for _ in 0..4 {
                     let q = Arc::clone(&q);
                     scope.spawn(move || {
                         for i in 0..OPS_PER_THREAD {
-                            q.lock().push_back((i as u32, vec![0.5f64; 100]));
-                            black_box(q.lock().pop_front());
+                            q.push((i as u32, i as u64));
+                            black_box(q.pop());
                         }
                     });
                 }

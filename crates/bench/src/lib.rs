@@ -15,6 +15,21 @@ use nomad_eval::{figure_to_csv, figure_to_markdown, Figure, ReproScale};
 /// argument is rejected with exit code 2 so that typos are not silently
 /// ignored before a long experiment run.
 pub fn handle_cli_args(name: &str, about: &str) {
+    handle_cli_args_with(
+        name,
+        about,
+        "Output: CSV series on stdout, a markdown summary on stderr.",
+        &[],
+    );
+}
+
+/// Like [`handle_cli_args`], but with a custom output description and extra
+/// environment-variable documentation lines — for binaries (such as `perf`)
+/// whose output is not the standard CSV/markdown pair.
+///
+/// Every binary still documents `NOMAD_SCALE`, which the smoke tests
+/// enforce, and still rejects unknown arguments with exit code 2.
+pub fn handle_cli_args_with(name: &str, about: &str, output: &str, extra_env: &[&str]) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Unknown arguments are rejected even when `--help` is also present, so
     // a typoed flag can never slip through by riding along with a valid one.
@@ -23,12 +38,17 @@ pub fn handle_cli_args(name: &str, about: &str) {
         std::process::exit(2);
     }
     if !args.is_empty() {
+        let mut env_lines =
+            String::from("  NOMAD_SCALE=quick|standard   experiment scale (default: quick)");
+        for line in extra_env {
+            env_lines.push_str("\n  ");
+            env_lines.push_str(line);
+        }
         println!(
             "{name}: {about}\n\n\
              Usage: {name} [--help]\n\n\
-             Output: CSV series on stdout, a markdown summary on stderr.\n\n\
-             Environment:\n  \
-             NOMAD_SCALE=quick|standard   experiment scale (default: quick)"
+             {output}\n\n\
+             Environment:\n{env_lines}"
         );
         std::process::exit(0);
     }

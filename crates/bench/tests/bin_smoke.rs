@@ -31,6 +31,7 @@ const BINS: &[(&str, &str)] = &[
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table2", env!("CARGO_BIN_EXE_table2")),
     ("streaming", env!("CARGO_BIN_EXE_streaming")),
+    ("perf", env!("CARGO_BIN_EXE_perf")),
     ("repro_all", env!("CARGO_BIN_EXE_repro_all")),
 ];
 

@@ -77,6 +77,13 @@ pub struct NomadConfig {
     pub stop: StopCondition,
     /// RNG seed for initialization, initial token placement and routing.
     pub seed: u64,
+    /// Whether [`crate::ThreadedNomad`] logs its linearized schedule of
+    /// processing events (the simulated engine records via its explicit
+    /// `run_with_schedule` entry points instead).  Recording is what powers
+    /// the serializability replay tests, but it costs one `Vec` push per
+    /// token hop; throughput measurements turn it off so the steady state
+    /// stays allocation-free.
+    pub record_schedule: bool,
 }
 
 impl NomadConfig {
@@ -92,6 +99,7 @@ impl NomadConfig {
             snapshot_every: 0.5,
             stop: StopCondition::Seconds(30.0),
             seed: 0x4E4F4D4144, // "NOMAD" in ASCII
+            record_schedule: true,
         }
     }
 
@@ -130,6 +138,17 @@ impl NomadConfig {
     /// Disables or enables the hybrid intra-machine circulation.
     pub fn with_circulation(mut self, enabled: bool) -> Self {
         self.intra_machine_circulation = enabled;
+        self
+    }
+
+    /// Disables or enables schedule recording in the parallel engines.
+    ///
+    /// With recording off, [`crate::ThreadedNomad`] returns an empty
+    /// schedule (so serializability replays are impossible) but its worker
+    /// loop performs zero heap allocations per token hop — the right
+    /// setting for throughput benchmarks.
+    pub fn with_schedule_recording(mut self, enabled: bool) -> Self {
+        self.record_schedule = enabled;
         self
     }
 }

@@ -41,6 +41,7 @@ pub mod online;
 pub mod routing;
 pub mod serial;
 pub mod sim;
+pub mod slab;
 pub mod threaded;
 pub mod worker;
 
@@ -49,5 +50,6 @@ pub use online::{replay_online, token_home, OnlineOutput};
 pub use routing::RoutingPolicy;
 pub use serial::SerialNomad;
 pub use sim::SimNomad;
+pub use slab::FactorSlab;
 pub use threaded::ThreadedNomad;
 pub use worker::WorkerData;

@@ -1,0 +1,260 @@
+//! The shared item-factor slab: one flat arena for every `h_j`.
+//!
+//! The original threaded engine shipped each item factor *inside* its
+//! token as an owned `Vec<f64>`, so every token was a pointer into its own
+//! little heap object.  The slab inverts that: the engine owns a single
+//! flat `f64` arena holding all item-factor rows (k-strided, each row
+//! padded to a cache-line boundary), tokens shrink to `(item, pass)`
+//! index pairs, and *queue transfer is the synchronization*.  NOMAD's
+//! ownership invariant — a `(j, h_j)` pair is owned by exactly one worker
+//! at any time (Section 3 of the paper) — means only the worker that
+//! popped token `j` touches row `j`, so the rows need no locks and no
+//! atomics; the happens-before edge from the queue's release-push /
+//! acquire-pop hands the row's bytes from owner to owner.
+//!
+//! The safety contract is concentrated in [`FactorSlab::owner_row_mut`]:
+//! callers must hold the token for the row they borrow.  Everything else
+//! is ordinary `&mut`-based Rust.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+
+use nomad_matrix::Idx;
+use nomad_sgd::FactorMatrix;
+
+/// `f64`s per 64-byte cache line.
+const LINE: usize = 8;
+
+/// One cache line of factor data.  `repr(align(64))` makes the *arena*
+/// allocation line-aligned, so every row (padded to a whole number of
+/// lines) starts on its own cache line and two workers owning neighboring
+/// rows never false-share.
+#[repr(C, align(64))]
+struct CacheLine(UnsafeCell<[f64; LINE]>);
+
+/// A flat, cache-line-aligned arena of item-factor rows with interior
+/// mutability, shared by all worker threads of [`crate::ThreadedNomad`].
+///
+/// Row `j` occupies `stride()` consecutive `f64`s starting at
+/// `j * stride()`; only the first `k()` of them are meaningful, the rest
+/// is alignment padding.
+pub struct FactorSlab {
+    lines: Vec<CacheLine>,
+    rows: usize,
+    k: usize,
+    /// Cache lines per row.
+    lines_per_row: usize,
+}
+
+// SAFETY: the slab hands out `&mut` aliases into `lines` via
+// `owner_row_mut`, whose contract requires callers to guarantee exclusive
+// row ownership (NOMAD's token invariant).  Under that contract, distinct
+// threads only ever touch disjoint rows, and row hand-off happens through
+// a queue push/pop pair that provides release/acquire ordering.
+unsafe impl Sync for FactorSlab {}
+// SAFETY: plain `f64` data; sending the arena between threads is fine.
+unsafe impl Send for FactorSlab {}
+
+impl FactorSlab {
+    /// Builds a slab holding a copy of every row of `h`.
+    pub fn from_factors(h: &FactorMatrix) -> Self {
+        let mut slab = Self::zeroed(h.rows(), h.k());
+        for j in 0..h.rows() {
+            slab.set_row(j, h.row(j));
+        }
+        slab
+    }
+
+    /// An all-zero slab of `rows` rows with `k` meaningful columns each.
+    pub fn zeroed(rows: usize, k: usize) -> Self {
+        assert!(k > 0, "latent dimension k must be positive");
+        let lines_per_row = k.div_ceil(LINE);
+        let mut lines = Vec::new();
+        lines.resize_with(rows * lines_per_row, || {
+            CacheLine(UnsafeCell::new([0.0; LINE]))
+        });
+        Self {
+            lines,
+            rows,
+            k,
+            lines_per_row,
+        }
+    }
+
+    /// Number of rows (items).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Meaningful columns per row (the latent dimension).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Allocated `f64`s per row, a multiple of the cache line.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.lines_per_row * LINE
+    }
+
+    #[inline]
+    fn row_ptr(&self, j: usize) -> *mut f64 {
+        debug_assert!(j < self.rows, "slab row {j} out of bounds ({})", self.rows);
+        // Rows start on cache-line boundaries, so the row pointer is the
+        // start of the row's first line.
+        unsafe { (*self.lines.as_ptr().add(j * self.lines_per_row)).0.get() }.cast::<f64>()
+    }
+
+    /// Mutable view of row `j` through a shared reference — the hot-path
+    /// accessor used by worker threads while they own token `j`.
+    ///
+    /// # Safety
+    /// The caller must be the current owner of row `j`: for the duration
+    /// of the returned borrow no other thread may call `owner_row_mut`,
+    /// [`FactorSlab::row`], or any `&mut self` method touching row `j`.
+    /// `ThreadedNomad` guarantees this by construction — a worker only
+    /// borrows row `j` between popping token `j` from its queue and
+    /// pushing it onward, and a token is in exactly one place at a time.
+    #[allow(clippy::mut_from_ref)] // interior mutability; contract above
+    #[inline]
+    pub unsafe fn owner_row_mut(&self, j: Idx) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.row_ptr(j as usize), self.k)
+    }
+
+    /// Row `j` as a shared slice.
+    ///
+    /// Safe because it requires no concurrent [`FactorSlab::owner_row_mut`]
+    /// borrow of the same row to exist — that is part of `owner_row_mut`'s
+    /// safety contract, not this method's.  Engines call this only at
+    /// quiesce points (all workers joined).
+    #[inline]
+    pub fn row(&self, j: usize) -> &[f64] {
+        assert!(j < self.rows, "slab row {j} out of bounds ({})", self.rows);
+        // SAFETY: bounds checked; aliasing discharged per the doc above.
+        unsafe { std::slice::from_raw_parts(self.row_ptr(j), self.k) }
+    }
+
+    /// Copies `src` into row `j` (unique-borrow path, used at
+    /// initialization and ingestion).
+    ///
+    /// # Panics
+    /// Panics if `src.len() != k` or `j` is out of bounds.
+    pub fn set_row(&mut self, j: usize, src: &[f64]) {
+        assert!(j < self.rows, "slab row {j} out of bounds ({})", self.rows);
+        assert_eq!(src.len(), self.k, "row length must equal k");
+        // SAFETY: `&mut self` excludes every other borrow.
+        unsafe { std::slice::from_raw_parts_mut(self.row_ptr(j), self.k) }.copy_from_slice(src);
+    }
+
+    /// Appends every row of `m` to the slab (mid-run ingestion of new
+    /// items; engines call this at quiesce points only).
+    ///
+    /// # Panics
+    /// Panics if `m.k() != k`.
+    pub fn append_rows(&mut self, m: &FactorMatrix) {
+        assert_eq!(m.k(), self.k, "appended rows must have the slab's k");
+        let first_new = self.rows;
+        self.lines
+            .resize_with((self.rows + m.rows()) * self.lines_per_row, || {
+                CacheLine(UnsafeCell::new([0.0; LINE]))
+            });
+        self.rows += m.rows();
+        for offset in 0..m.rows() {
+            self.set_row(first_new + offset, m.row(offset));
+        }
+    }
+}
+
+impl fmt::Debug for FactorSlab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FactorSlab")
+            .field("rows", &self.rows)
+            .field("k", &self.k)
+            .field("stride", &self.stride())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, k: usize) -> FactorSlab {
+        let mut slab = FactorSlab::zeroed(rows, k);
+        for j in 0..rows {
+            let row: Vec<f64> = (0..k).map(|l| (j * k + l) as f64).collect();
+            slab.set_row(j, &row);
+        }
+        slab
+    }
+
+    #[test]
+    fn rows_round_trip_and_do_not_alias() {
+        for k in [1, 7, 8, 9, 16, 100] {
+            let slab = filled(5, k);
+            assert_eq!(slab.k(), k);
+            assert_eq!(slab.stride() % 8, 0);
+            assert!(slab.stride() >= k);
+            for j in 0..5 {
+                let expect: Vec<f64> = (0..k).map(|l| (j * k + l) as f64).collect();
+                assert_eq!(slab.row(j), &expect[..], "row {j} at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_cache_line_aligned() {
+        let slab = FactorSlab::zeroed(4, 10);
+        for j in 0..4 {
+            let addr = slab.row(j).as_ptr() as usize;
+            assert_eq!(addr % 64, 0, "row {j} not 64-byte aligned");
+        }
+    }
+
+    #[test]
+    fn from_factors_copies_everything() {
+        let m = FactorMatrix::init(6, 5, nomad_sgd::InitStrategy::UniformScaled, 42);
+        let slab = FactorSlab::from_factors(&m);
+        for j in 0..6 {
+            assert_eq!(slab.row(j), m.row(j));
+        }
+    }
+
+    #[test]
+    fn append_rows_grows_and_preserves() {
+        let mut slab = filled(3, 9);
+        let extra = FactorMatrix::init(2, 9, nomad_sgd::InitStrategy::Constant { value: 7.5 }, 0);
+        slab.append_rows(&extra);
+        assert_eq!(slab.rows(), 5);
+        assert_eq!(slab.row(1), filled(3, 9).row(1));
+        assert_eq!(slab.row(4), &[7.5; 9][..]);
+        let addr = slab.row(4).as_ptr() as usize;
+        assert_eq!(addr % 64, 0);
+    }
+
+    #[test]
+    fn owner_row_mut_writes_are_visible() {
+        let slab = FactorSlab::zeroed(2, 4);
+        // SAFETY: single thread, no competing borrows.
+        let row = unsafe { slab.owner_row_mut(1) };
+        row.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(slab.row(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(slab.row(0), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let slab = FactorSlab::zeroed(2, 4);
+        let _ = slab.row(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal k")]
+    fn set_row_wrong_length_panics() {
+        let mut slab = FactorSlab::zeroed(2, 4);
+        slab.set_row(0, &[1.0; 5]);
+    }
+}

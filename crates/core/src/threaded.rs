@@ -3,9 +3,18 @@
 //! This is the shared-memory implementation the paper describes in
 //! Sections 3.1 and 3.5: one worker thread per core, one concurrent queue
 //! per worker (the paper uses Intel TBB's concurrent queue; we use
-//! `crossbeam`'s lock-free `SegQueue`), tokens `(j, h_j)` that carry the
-//! item factor with them, and owner-computes SGD updates on the worker's
-//! statically-assigned users — no locks anywhere on the hot path.
+//! `crossbeam`'s lock-free `SegQueue`), nomadic item tokens, and
+//! owner-computes SGD updates on the worker's statically-assigned users —
+//! no locks anywhere on the hot path.
+//!
+//! Since PR 3 the hot path is also **allocation-free**: item factors live
+//! in a single flat [`FactorSlab`] arena owned by the engine, and a token
+//! is just the `(item, pass)` index pair — popping token `j` *is* taking
+//! ownership of slab row `j` (see [`crate::slab`] for the safety
+//! argument), so nothing is boxed, copied or locked per hop.  With
+//! schedule recording off ([`NomadConfig::record_schedule`]), a steady-
+//! state token hop performs zero heap allocations, which an
+//! allocation-counting test asserts.
 //!
 //! The engine also produces the evidence for the paper's serializability
 //! claim: every token-processing event draws a ticket from a global atomic
@@ -29,24 +38,36 @@ use crate::config::NomadConfig;
 use crate::online::{apply_batch, token_home, OnlineOutput};
 use crate::routing::RoutingPolicy;
 use crate::serial::ProcessingEvent;
+use crate::slab::FactorSlab;
 use crate::worker::WorkerData;
 
-/// A nomadic token: the item index together with its current factor vector.
-#[derive(Debug, Clone)]
+/// A nomadic token: the item index plus its total processing-pass count.
+///
+/// The factor vector itself lives in the engine's [`FactorSlab`]; holding
+/// the token for item `j` is what entitles a worker to touch slab row `j`.
+/// `pass` counts how many times the token has been processed anywhere — a
+/// diagnostic mirror of the paper's per-pair update counter (the step-size
+/// schedule itself stays keyed on per-*worker* pass counts, which is what
+/// the serial replay reproduces).  At every quiesce point the pass counts
+/// of all tokens must sum to the global ticket counter, which the engine
+/// asserts as part of token conservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Token {
     item: Idx,
-    h: Vec<f64>,
+    pass: u64,
 }
 
 /// Output of a threaded run.
 #[derive(Debug, Clone)]
 pub struct ThreadedOutput {
     /// The trained model (user factors gathered from all workers, item
-    /// factors gathered from the queues).
+    /// factors gathered from the slab).
     pub model: FactorModel,
     /// Wall-clock convergence trace (one point per snapshot round).
     pub trace: RunTrace,
     /// The linearized schedule (ticket order), for serializability checks.
+    /// Empty when the run was configured with
+    /// [`NomadConfig::with_schedule_recording`]`(false)`.
     pub schedule: Vec<ProcessingEvent>,
 }
 
@@ -101,10 +122,12 @@ impl ThreadedNomad {
         let partition = RowPartition::contiguous(data.nrows(), num_threads);
         let worker_data = WorkerData::build_all(data, &partition);
 
-        // Split the user factors into per-worker owned chunks.
+        // Split the user factors into per-worker owned chunks; the item
+        // factors move into the shared slab.
         let mut owned: Vec<OwnedUsers> = (0..num_threads)
             .map(|q| OwnedUsers::from_partition(&init.w, &partition, q))
             .collect();
+        let slab = FactorSlab::from_factors(&init.h);
 
         // Queues and the initial token placement (Algorithm 1, lines 7-10).
         let queues: Vec<SegQueue<Token>> = (0..num_threads).map(|_| SegQueue::new()).collect();
@@ -113,7 +136,7 @@ impl ThreadedNomad {
             let q = placement_rng.next_below(num_threads);
             queues[q].push(Token {
                 item: j as Idx,
-                h: init.h.row(j).to_vec(),
+                pass: 0,
             });
         }
 
@@ -137,12 +160,14 @@ impl ThreadedNomad {
                 let mut handles = Vec::with_capacity(num_threads);
                 for (q, (wd, own)) in per_worker.iter_mut().zip(owned.iter_mut()).enumerate() {
                     let queues = &queues;
+                    let slab = &slab;
                     let ticket = &ticket;
                     let updates_done = &updates_done;
                     let stop_flag = &stop_flag;
                     let schedule = params.nomad_schedule();
                     let routing = cfg.routing;
                     let seed = cfg.seed;
+                    let record = cfg.record_schedule;
                     handles.push(scope.spawn(move || {
                         worker_loop(
                             q,
@@ -150,6 +175,7 @@ impl ThreadedNomad {
                             wd,
                             own,
                             queues,
+                            slab,
                             ticket,
                             updates_done,
                             stop_flag,
@@ -158,6 +184,7 @@ impl ThreadedNomad {
                             routing,
                             params.lambda,
                             seed,
+                            record,
                         )
                     }));
                 }
@@ -169,7 +196,7 @@ impl ThreadedNomad {
             elapsed_wall += round_start.elapsed().as_secs_f64();
 
             // Quiesced: evaluate RMSE on the assembled model.
-            let model = assemble_model(data.nrows(), data.ncols(), &owned, &queues, params.k);
+            let model = assemble_model(data.nrows(), &owned, &queues, &slab, &ticket);
             trace.push(TracePoint {
                 seconds: elapsed_wall,
                 updates: updates_done.load(Ordering::SeqCst),
@@ -184,7 +211,7 @@ impl ThreadedNomad {
 
         all_events.sort_by_key(|(stamp, _)| *stamp);
         let schedule: Vec<ProcessingEvent> = all_events.into_iter().map(|(_, e)| e).collect();
-        let model = assemble_model(data.nrows(), data.ncols(), &owned, &queues, params.k);
+        let model = assemble_model(data.nrows(), &owned, &queues, &slab, &ticket);
 
         ThreadedOutput {
             model,
@@ -197,11 +224,11 @@ impl ThreadedNomad {
     ///
     /// Each arrival batch defines a quiesce point: the workers run until
     /// the cumulative update count reaches the batch's arrival clock, drain
-    /// to a consistent state, and the batch is applied — new items are
-    /// minted as tokens (their factor rows travel inside the tokens, like
-    /// every other item), new users extend the last worker's owned block,
-    /// and the per-worker rating slices are rebuilt from the grown
-    /// [`DynamicMatrix`].  A final round then runs to the update budget.
+    /// to a consistent state, and the batch is applied — new items extend
+    /// the factor slab and are minted as fresh tokens, new users extend the
+    /// last worker's owned block, and the per-worker rating slices are
+    /// rebuilt from the grown [`DynamicMatrix`].  A final round then runs
+    /// to the update budget.
     ///
     /// The returned per-segment schedules replay via
     /// [`crate::online::replay_online`], which is how the serializability
@@ -235,6 +262,7 @@ impl ThreadedNomad {
         let mut owned: Vec<OwnedUsers> = (0..num_threads)
             .map(|q| OwnedUsers::from_partition(&init.w, &partition, q))
             .collect();
+        let mut slab = FactorSlab::from_factors(&init.h);
 
         let queues: Vec<SegQueue<Token>> = (0..num_threads).map(|_| SegQueue::new()).collect();
         let mut placement_rng = nomad_linalg::SmallRng64::new(cfg.seed ^ 0x7007_BEEF);
@@ -242,7 +270,7 @@ impl ThreadedNomad {
             let q = placement_rng.next_below(num_threads);
             queues[q].push(Token {
                 item: j as Idx,
-                h: init.h.row(j).to_vec(),
+                pass: 0,
             });
         }
 
@@ -274,12 +302,14 @@ impl ThreadedNomad {
                 let mut handles = Vec::with_capacity(num_threads);
                 for (q, (wd, own)) in per_worker.iter_mut().zip(owned.iter_mut()).enumerate() {
                     let queues = &queues;
+                    let slab = &slab;
                     let ticket = &ticket;
                     let updates_done = &updates_done;
                     let stop_flag = &stop_flag;
                     let schedule = params.nomad_schedule();
                     let routing = cfg.routing;
                     let seed = cfg.seed;
+                    let record = cfg.record_schedule;
                     handles.push(scope.spawn(move || {
                         worker_loop(
                             q,
@@ -287,6 +317,7 @@ impl ThreadedNomad {
                             wd,
                             own,
                             queues,
+                            slab,
                             ticket,
                             updates_done,
                             stop_flag,
@@ -295,6 +326,7 @@ impl ThreadedNomad {
                             routing,
                             params.lambda,
                             seed,
+                            record,
                         )
                     }));
                 }
@@ -327,16 +359,14 @@ impl ThreadedNomad {
                         own_last.offset = delta.first_new_user;
                     }
                     own_last.rows.append_rows(&delta.new_users);
+                    slab.append_rows(&delta.new_items);
                     for offset in 0..batch.new_cols {
                         let j = (delta.first_new_item + offset) as Idx;
-                        queues[token_home(cfg.seed, j, num_threads)].push(Token {
-                            item: j,
-                            h: delta.new_items.row(offset).to_vec(),
-                        });
+                        queues[token_home(cfg.seed, j, num_threads)]
+                            .push(Token { item: j, pass: 0 });
                     }
                     segments.push(round_events.into_iter().map(|(_, e)| e).collect());
-                    let model =
-                        assemble_model(dynamic.nrows(), dynamic.ncols(), &owned, &queues, params.k);
+                    let model = assemble_model(dynamic.nrows(), &owned, &queues, &slab, &ticket);
                     trace.push(TracePoint {
                         seconds: elapsed_wall,
                         updates: done,
@@ -360,7 +390,7 @@ impl ThreadedNomad {
         trace.metrics.tokens_processed = ticket.load(Ordering::SeqCst);
         trace.metrics.finished_at = SimTime::from_secs(elapsed_wall.max(0.0));
 
-        let model = assemble_model(dynamic.nrows(), dynamic.ncols(), &owned, &queues, params.k);
+        let model = assemble_model(dynamic.nrows(), &owned, &queues, &slab, &ticket);
         trace.push(TracePoint {
             seconds: elapsed_wall,
             updates: trace.metrics.updates,
@@ -402,15 +432,22 @@ impl OwnedUsers {
     }
 }
 
-/// Gathers the scattered state (per-worker user rows, in-queue item rows)
-/// back into a single [`FactorModel`] without disturbing the queues.
+/// Gathers the scattered state (per-worker user rows, slab item rows) back
+/// into a single [`FactorModel`] without disturbing the queues, checking
+/// token conservation and pass accounting on the way.
+///
+/// Must only be called at a quiesce point (no worker threads running), so
+/// that reading the slab cannot race an owner's writes and every token is
+/// in exactly one queue.
 fn assemble_model(
     nrows: usize,
-    ncols: usize,
     owned: &[OwnedUsers],
     queues: &[SegQueue<Token>],
-    k: usize,
+    slab: &FactorSlab,
+    ticket: &AtomicU64,
 ) -> FactorModel {
+    let ncols = slab.rows();
+    let k = slab.k();
     let mut model = FactorModel {
         w: FactorMatrix::zeros(nrows, k),
         h: FactorMatrix::zeros(ncols, k),
@@ -420,9 +457,11 @@ fn assemble_model(
             model.w.set_row(own.offset + local, own.rows.row(local));
         }
     }
-    // Drain every queue, record the item rows, and push the tokens back in
-    // the same order so the run can continue afterwards.
+    // Drain every queue to check token conservation (every item in exactly
+    // one queue, total passes equal to the tickets drawn), then push the
+    // tokens back in the same order so the run can continue afterwards.
     let mut seen = vec![false; ncols];
+    let mut total_passes = 0u64;
     for queue in queues {
         let mut tokens = Vec::new();
         while let Some(token) = queue.pop() {
@@ -435,13 +474,19 @@ fn assemble_model(
                 "item {j} owned by two queues: token conservation violated"
             );
             seen[j] = true;
-            model.h.set_row(j, &token.h);
+            total_passes += token.pass;
+            model.h.set_row(j, slab.row(j));
             queue.push(token);
         }
     }
     assert!(
         seen.iter().all(|&s| s),
         "every item must be in exactly one queue when the workers are quiesced"
+    );
+    assert_eq!(
+        total_passes,
+        ticket.load(Ordering::SeqCst),
+        "token pass counts must sum to the tickets drawn"
     );
     model
 }
@@ -454,6 +499,7 @@ fn worker_loop(
     wd: &mut WorkerData,
     own: &mut OwnedUsers,
     queues: &[SegQueue<Token>],
+    slab: &FactorSlab,
     ticket: &AtomicU64,
     updates_done: &AtomicU64,
     stop_flag: &AtomicBool,
@@ -462,6 +508,7 @@ fn worker_loop(
     routing: RoutingPolicy,
     lambda: f64,
     seed: u64,
+    record: bool,
 ) -> Vec<(u64, ProcessingEvent)> {
     let mut rng = nomad_linalg::SmallRng64::new(seed ^ (q as u64).wrapping_mul(0x9E37_79B9));
     // Round-robin cursor, staggered per worker so the first destination is
@@ -476,7 +523,7 @@ fn worker_loop(
             stop_flag.store(true, Ordering::Relaxed);
             break;
         }
-        let Some(mut token) = queues[q].pop() else {
+        let Some(token) = queues[q].pop() else {
             std::thread::yield_now();
             continue;
         };
@@ -487,19 +534,25 @@ fn worker_loop(
         let stamp = ticket.fetch_add(1, Ordering::SeqCst);
         let t = wd.record_pass(token.item);
         let step = schedule.step(t);
+        // SAFETY: we hold the token for `token.item`, so this worker is
+        // the row's unique owner until the token is pushed onward below;
+        // the queue's release/acquire pair hands the row between owners.
+        let h = unsafe { slab.owner_row_mut(token.item) };
         let mut count = 0u64;
         for (user, rating) in wd.local_cols.col(token.item as usize) {
             let wi = own.row_mut(user);
-            nomad_linalg::vec_ops::sgd_pair_update(wi, &mut token.h, rating, step, lambda);
+            nomad_linalg::vec_ops::sgd_pair_update(wi, h, rating, step, lambda);
             count += 1;
         }
-        events.push((
-            stamp,
-            ProcessingEvent {
-                worker: q,
-                item: token.item,
-            },
-        ));
+        if record {
+            events.push((
+                stamp,
+                ProcessingEvent {
+                    worker: q,
+                    item: token.item,
+                },
+            ));
+        }
         updates_done.fetch_add(count, Ordering::Relaxed);
 
         let dest = match routing {
@@ -518,7 +571,10 @@ fn worker_loop(
                 }
             }
         };
-        queues[dest].push(token);
+        queues[dest].push(Token {
+            item: token.item,
+            pass: token.pass + 1,
+        });
     }
     events
 }
@@ -560,7 +616,8 @@ mod tests {
         let out = ThreadedNomad::new(quick_config(40_000)).run(&data, &test, 2, 2);
         assert!(out.trace.final_rmse().unwrap() < 2.0);
         // assemble_model asserts token conservation internally; reaching
-        // here means every item was in exactly one queue.
+        // here means every item was in exactly one queue and the pass
+        // counts summed to the ticket counter.
         assert_eq!(out.model.num_items(), data.ncols());
         assert!(out.trace.metrics.tokens_processed > 0);
     }
@@ -604,6 +661,19 @@ mod tests {
             &out.schedule,
         );
         assert_eq!(out.model, replayed);
+    }
+
+    #[test]
+    fn recording_off_skips_the_schedule_but_trains_identically() {
+        let (data, test) = tiny_dataset();
+        let on = ThreadedNomad::new(quick_config(10_000)).run(&data, &test, 1, 1);
+        let off = ThreadedNomad::new(quick_config(10_000).with_schedule_recording(false))
+            .run(&data, &test, 1, 1);
+        assert!(off.schedule.is_empty());
+        assert!(!on.schedule.is_empty());
+        // With one thread the execution order is deterministic, so the
+        // trained factors must be bit-identical either way.
+        assert_eq!(on.model, off.model);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Proof that the threaded hot path is allocation-free in the steady
+//! state.
+//!
+//! A counting global allocator tallies every heap allocation in this test
+//! binary.  Two identical threaded runs that differ only in their update
+//! budget have identical setup, teardown and warm-up costs, so the
+//! difference in allocation counts is exactly what the *extra* steady-state
+//! updates allocated.  With factors in the [`nomad_core::FactorSlab`],
+//! `(item, pass)` tokens, block-recycling queues, and schedule recording
+//! off, that difference must be (almost) zero — a small slack absorbs the
+//! rare queue-block cache miss under thread races.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nomad_core::{NomadConfig, StopCondition, ThreadedNomad};
+use nomad_data::{named_dataset, SizeTier};
+use nomad_sgd::HyperParams;
+
+/// Forwards to the system allocator, counting allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs the threaded engine to `budget` updates and returns
+/// `(allocations, token hops)` for the whole run.
+fn measure(budget: u64, threads: usize) -> (u64, u64) {
+    let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build();
+    let cfg = NomadConfig::new(HyperParams::netflix().with_k(8))
+        .with_stop(StopCondition::Updates(budget))
+        .with_seed(7)
+        .with_schedule_recording(false);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let out = ThreadedNomad::new(cfg).run(&ds.matrix, &ds.test, threads, 1);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    (after - before, out.trace.metrics.tokens_processed)
+}
+
+#[test]
+fn threaded_steady_state_allocates_zero_per_token_hop() {
+    for threads in [1, 2] {
+        // Warm up caches/lazy statics so the short run is not charged for
+        // one-time costs the long run already paid.
+        let _ = measure(20_000, threads);
+
+        let (short_allocs, short_hops) = measure(100_000, threads);
+        let (long_allocs, long_hops) = measure(400_000, threads);
+        let extra_hops = long_hops.saturating_sub(short_hops);
+        eprintln!(
+            "threads={threads}: short {short_allocs} allocs / {short_hops} hops, \
+             long {long_allocs} allocs / {long_hops} hops"
+        );
+        assert!(
+            extra_hops > 1_000,
+            "budget difference must produce real extra hops, got {extra_hops}"
+        );
+
+        // Setup + teardown are identical; the extra 300k updates must not
+        // allocate.  The measured value is 0 on idle hardware at both
+        // thread counts; the slack absorbs rare queue-block cache misses
+        // when preemption makes pushers race for the spare-block cache
+        // (observed: single-digit counts under heavy parallel test load).
+        // One bound, not two: a separate per-hop-rate assert with a
+        // tighter implied threshold was flaky by construction.
+        let extra_allocs = long_allocs.saturating_sub(short_allocs);
+        assert!(
+            extra_allocs <= 64,
+            "steady state allocated {extra_allocs} times over {extra_hops} extra \
+             token hops ({:.6} per hop) at {threads} thread(s) — the hot path must \
+             be allocation-free \
+             (short run: {short_allocs} allocs / {short_hops} hops, \
+             long run: {long_allocs} allocs / {long_hops} hops)",
+            extra_allocs as f64 / extra_hops as f64
+        );
+    }
+}

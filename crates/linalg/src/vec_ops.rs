@@ -88,14 +88,38 @@ impl Real for f64 {
 
 /// Euclidean inner product `⟨x, y⟩`.
 ///
+/// Unrolled into four independent accumulators: a single-accumulator loop
+/// is a serial chain of floating-point adds (4–5 cycles each), which the
+/// autovectorizer must preserve because FP addition is not associative.
+/// Four independent partial sums break the chain, so the compiler emits
+/// SIMD adds and the loop runs at load bandwidth instead of add latency.
+/// The partial sums are combined as `(s0 + s1) + (s2 + s3)` — a fixed
+/// association, so results stay deterministic (every engine uses this same
+/// kernel, preserving the workspace's bit-identity invariants).
+///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = T::ZERO;
-    for i in 0..x.len() {
-        acc += x[i] * y[i];
+    // `chunks_exact` (rather than manual indexing) is what lets LLVM elide
+    // every bounds check: the chunk length is a compile-time constant, so
+    // the four lanes compile to packed loads/multiplies/adds.
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    let mut s0 = T::ZERO;
+    let mut s1 = T::ZERO;
+    let mut s2 = T::ZERO;
+    let mut s3 = T::ZERO;
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        s0 += a[0] * b[0];
+        s1 += a[1] * b[1];
+        s2 += a[2] * b[2];
+        s3 += a[3] * b[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        acc += *a * *b;
     }
     acc
 }
@@ -158,16 +182,37 @@ pub fn copy_from<T: Real>(dst: &mut [T], src: &[T]) {
 ///
 /// Returns the pre-update residual `e`, which callers use to track the
 /// training loss without recomputing the inner product.
+///
+/// The inner product reuses the 4-way-unrolled [`dot`]; the update loop is
+/// unrolled the same way so the compiler keeps four independent `(w, h)`
+/// lane pairs in flight and vectorizes both stores.  Unlike the dot
+/// product, the update is purely element-wise, so unrolling cannot change
+/// its results.
 #[inline]
 pub fn sgd_pair_update<T: Real>(w: &mut [T], h: &mut [T], rating: T, step: T, lambda: T) -> T {
     debug_assert_eq!(w.len(), h.len());
     let e = dot(w, h) - rating;
-    let k = w.len();
-    for l in 0..k {
-        let wl = w[l];
-        let hl = h[l];
-        w[l] = wl - step * (e * hl + lambda * wl);
-        h[l] = hl - step * (e * wl + lambda * hl);
+    #[inline(always)]
+    fn lane<T: Real>(w: &mut T, h: &mut T, e: T, step: T, lambda: T) {
+        let wl = *w;
+        let hl = *h;
+        *w = wl - step * (e * hl + lambda * wl);
+        *h = hl - step * (e * wl + lambda * hl);
+    }
+    let mut cw = w.chunks_exact_mut(4);
+    let mut ch = h.chunks_exact_mut(4);
+    for (a, b) in (&mut cw).zip(&mut ch) {
+        lane(&mut a[0], &mut b[0], e, step, lambda);
+        lane(&mut a[1], &mut b[1], e, step, lambda);
+        lane(&mut a[2], &mut b[2], e, step, lambda);
+        lane(&mut a[3], &mut b[3], e, step, lambda);
+    }
+    for (a, b) in cw
+        .into_remainder()
+        .iter_mut()
+        .zip(ch.into_remainder().iter_mut())
+    {
+        lane(a, b, e, step, lambda);
     }
     e
 }
@@ -181,6 +226,33 @@ mod tests {
         let x = [1.0_f64, 2.0, 3.0];
         let y = [4.0, 5.0, 6.0];
         assert_eq!(dot(&x, &y), 32.0);
+    }
+
+    #[test]
+    fn dot_matches_documented_association_for_all_lengths() {
+        // The unrolled kernel must compute exactly
+        // `(s0 + s1) + (s2 + s3) + tail` — the workspace's bit-identity
+        // tests depend on every engine agreeing on this association, so
+        // pin it against a straightforward reference.
+        for n in 0..35usize {
+            let x: Vec<f64> = (0..n).map(|i| 0.1 * (i as f64) - 1.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| 0.3 * (i as f64 + 1.0).sin()).collect();
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+            let mut i = 0;
+            while i + 4 <= n {
+                s0 += x[i] * y[i];
+                s1 += x[i + 1] * y[i + 1];
+                s2 += x[i + 2] * y[i + 2];
+                s3 += x[i + 3] * y[i + 3];
+                i += 4;
+            }
+            let mut expect = (s0 + s1) + (s2 + s3);
+            while i < n {
+                expect += x[i] * y[i];
+                i += 1;
+            }
+            assert_eq!(dot(&x, &y), expect, "association drifted at n={n}");
+        }
     }
 
     #[test]

@@ -123,6 +123,19 @@ impl CscMatrix {
         &self.values[self.col_ptr[j]..self.col_ptr[j + 1]]
     }
 
+    /// Row indices and rating values of column `j` as two parallel slices
+    /// of equal length, in ascending row order.
+    ///
+    /// The raw-slice form of [`CscMatrix::col`], for callers that want the
+    /// column as plain data (bulk copies, reference implementations, FFI)
+    /// rather than as an iterator.  In the engines' inner loops the zipped
+    /// iterator of `col` measured as fast or faster, so prefer `col` there
+    /// and reach for this only when slices are genuinely needed.
+    #[inline]
+    pub fn col_slices(&self, j: usize) -> (&[Idx], &[Rating]) {
+        (self.col_rows(j), self.col_values(j))
+    }
+
     /// Per-column counts `|Ω̄_j|` for all columns.
     pub fn col_counts(&self) -> Vec<usize> {
         (0..self.ncols).map(|j| self.col_nnz(j)).collect()

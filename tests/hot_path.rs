@@ -1,0 +1,144 @@
+//! Property tests for the allocation-free threaded hot path.
+//!
+//! PR 3 replaced the threaded engine's per-token `Vec<f64>` factor
+//! payloads with the shared [`nomad::core::FactorSlab`] arena.  The
+//! refactor must be *invisible* to the numerics: at one worker, where the
+//! execution order is deterministic, the slab engine has to produce
+//! bit-identical factor matrices to the old Vec-payload token loop.  The
+//! reference implementation of that old loop lives here, in test code,
+//! and the property drives both over random sparse matrices, latent
+//! dimensions and update budgets.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use nomad::core::worker::WorkerData;
+use nomad::core::{NomadConfig, StopCondition, ThreadedNomad};
+use nomad::linalg::vec_ops::sgd_pair_update;
+use nomad::matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad::sgd::{FactorModel, HyperParams, StepSchedule};
+
+/// Strategy: a random small rating matrix with at least one rating (so an
+/// update budget is always reachable).
+fn arb_ratings() -> impl Strategy<Value = TripletMatrix> {
+    (2usize..16, 1usize..12, 1usize..60, any::<u64>()).prop_map(|(rows, cols, nnz, seed)| {
+        let mut t = TripletMatrix::new(rows, cols);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..nnz {
+            let i = (next() % rows as u64) as u32;
+            let j = (next() % cols as u64) as u32;
+            if used.insert((i, j)) {
+                let value = (next() % 1000) as f64 / 100.0 - 5.0;
+                t.push(i, j, value);
+            }
+        }
+        t
+    })
+}
+
+/// The pre-slab threaded engine at one worker: tokens carry their factor
+/// row as an owned `Vec<f64>` through a FIFO queue.  Mirrors the engine's
+/// decision points exactly — stop-check before pop, per-worker pass
+/// counts feeding the step schedule, ascending-user updates per column,
+/// push-back after processing.
+fn vec_payload_reference(
+    data: &RatingMatrix,
+    params: HyperParams,
+    seed: u64,
+    budget: u64,
+) -> FactorModel {
+    let init = FactorModel::init(data.nrows(), data.ncols(), params.k, seed);
+    let partition = RowPartition::contiguous(data.nrows(), 1);
+    let mut wd = WorkerData::build_all(data, &partition).remove(0);
+    let schedule = params.nomad_schedule();
+
+    let mut w = init.w.clone();
+    // Initial placement: with one worker every token lands in queue 0 in
+    // item order, exactly like the engine's seeded placement.
+    let mut queue: VecDeque<(Idx, Vec<f64>)> = (0..data.ncols())
+        .map(|j| (j as Idx, init.h.row(j).to_vec()))
+        .collect();
+
+    let mut updates = 0u64;
+    while updates < budget {
+        let (item, mut h) = queue.pop_front().expect("tokens are conserved");
+        let t = wd.record_pass(item);
+        let step = schedule.step(t);
+        let (users, ratings) = wd.local_cols.col_slices(item as usize);
+        for (&user, &rating) in users.iter().zip(ratings) {
+            sgd_pair_update(
+                w.row_mut(user as usize),
+                &mut h,
+                rating,
+                step,
+                params.lambda,
+            );
+        }
+        updates += users.len() as u64;
+        queue.push_back((item, h));
+    }
+
+    let mut h = nomad::sgd::FactorMatrix::zeros(data.ncols(), params.k);
+    for (item, payload) in queue {
+        h.set_row(item as usize, &payload);
+    }
+    FactorModel { w, h }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The slab engine at p = 1 is bit-identical to the Vec-payload path.
+    #[test]
+    fn slab_engine_matches_vec_payload_reference_bit_for_bit(
+        t in arb_ratings(),
+        k in 1usize..12,
+        budget in 50u64..1200,
+        seed in any::<u64>(),
+    ) {
+        let data = RatingMatrix::from_triplets(&t);
+        let params = HyperParams::netflix().with_k(k);
+        let reference = vec_payload_reference(&data, params, seed, budget);
+
+        let cfg = NomadConfig::new(params)
+            .with_stop(StopCondition::Updates(budget))
+            .with_seed(seed);
+        let out = ThreadedNomad::new(cfg).run(&data, &t, 1, 1);
+
+        prop_assert_eq!(
+            &out.model.w, &reference.w,
+            "user factors diverged from the Vec-payload reference"
+        );
+        prop_assert_eq!(
+            &out.model.h, &reference.h,
+            "item factors diverged from the Vec-payload reference"
+        );
+    }
+
+    /// Recording the schedule or not must never change the trained model
+    /// (the recording flag only controls observability).
+    #[test]
+    fn schedule_recording_flag_does_not_change_training(
+        t in arb_ratings(),
+        budget in 50u64..600,
+        seed in any::<u64>(),
+    ) {
+        let data = RatingMatrix::from_triplets(&t);
+        let params = HyperParams::netflix().with_k(4);
+        let base = NomadConfig::new(params)
+            .with_stop(StopCondition::Updates(budget))
+            .with_seed(seed);
+        let on = ThreadedNomad::new(base).run(&data, &t, 1, 1);
+        let off = ThreadedNomad::new(base.with_schedule_recording(false)).run(&data, &t, 1, 1);
+        prop_assert_eq!(on.model, off.model);
+        prop_assert!(off.schedule.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Unbounded MPMC queues with the `crossbeam::queue::SegQueue` API.
+//!
+//! Two implementations share the same surface:
+//!
+//! - [`lock_free::SegQueue`] — the default: an atomics-only segmented
+//!   queue (linked blocks of 31 slots), structurally the same algorithm as
+//!   crossbeam's `SegQueue`, extended with a small block-recycling cache
+//!   (four slots) so the steady state reuses segment blocks instead of
+//!   allocating.
+//! - [`MutexQueue`] — the original `Mutex<VecDeque>` stand-in, kept for
+//!   differential testing and as the honest "locked" baseline in the queue
+//!   benchmarks.
+//!
+//! The `mutex-queue` cargo feature re-points the `SegQueue` name at
+//! [`MutexQueue`] so the entire engine can be differentially tested over
+//! both implementations without touching a call site.
+
+pub mod lock_free;
+pub mod mutex;
+
+pub use mutex::MutexQueue;
+
+/// The lock-free queue under its implementation-revealing name, always
+/// available regardless of which implementation `SegQueue` names.
+pub use lock_free::SegQueue as LockFreeQueue;
+
+#[cfg(not(feature = "mutex-queue"))]
+pub use lock_free::SegQueue;
+
+#[cfg(feature = "mutex-queue")]
+pub use mutex::MutexQueue as SegQueue;

@@ -1,0 +1,698 @@
+//! An atomics-only unbounded MPMC queue of linked segment blocks.
+//!
+//! This is the Michael–Scott family design the real crossbeam `SegQueue`
+//! uses: the queue is a singly-linked list of fixed-size blocks of slots,
+//! `head`/`tail` are monotone indices advanced by CAS, and each slot
+//! carries a small state word (`WRITE`/`READ`/`DESTROY` bits) so that a
+//! popper can wait for a racing pusher without any lock, and so the last
+//! reader of a block — whoever that turns out to be — is the one that
+//! reclaims it.  No operation ever blocks on another thread holding a
+//! lock; a stalled thread can only force its *own* operation to retry.
+//!
+//! Two deliberate departures from crossbeam:
+//!
+//! - **Block recycling.** A reclaimed block is reset and parked in a
+//!   small cache (`spares`, `SPARE_CAP` slots) instead of being freed,
+//!   and block allocation takes from that cache first.  A queue whose
+//!   occupancy is roughly steady — exactly the NOMAD token-circulation
+//!   workload — therefore performs *zero* heap allocations in the steady
+//!   state, which the allocation-counting test in `nomad-core` asserts.
+//! - **O(1) `len`.** An explicit atomic counter is maintained on
+//!   push/pop rather than derived from the head/tail indices, keeping the
+//!   hot `LeastLoaded` routing probe a single relaxed load.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{self, AtomicPtr, AtomicUsize, Ordering};
+
+/// Each index has one trailing metadata bit (`HAS_NEXT`), so consecutive
+/// slots differ by `1 << SHIFT`.
+const SHIFT: usize = 1;
+/// Set in `head` when the head block is known not to be the tail block
+/// (so `pop` can skip the emptiness check).
+const HAS_NEXT: usize = 1;
+/// Slot positions per lap.  The last position of a lap is not a real slot;
+/// it marks "a thread is installing the next block".
+const LAP: usize = 32;
+/// Real slots per block.
+const BLOCK_CAP: usize = LAP - 1;
+
+/// Slot state bit: the value has been written.
+const WRITE: usize = 1;
+/// Slot state bit: the value has been read.
+const READ: usize = 2;
+/// Slot state bit: block reclamation has reached this slot while its
+/// reader was still active; the reader continues the reclamation.
+const DESTROY: usize = 4;
+
+/// Iterations of `spin_loop` before a waiter starts yielding to the OS —
+/// essential on machines with fewer cores than workers.
+const SPIN_LIMIT: u32 = 6;
+
+/// Reclaimed blocks cached for reuse.  One slot is not enough: a queue's
+/// occupancy random-walks under random token routing, and an excursion of
+/// a few blocks' worth of pushes needs several fresh blocks before the
+/// matching reclaims catch up.  Four slots absorb ±4 blocks (±124
+/// elements) of drift, which measurement shows is what it takes for the
+/// NOMAD steady state to stop allocating entirely.
+const SPARE_CAP: usize = 4;
+
+/// A bounded exponential spin that degrades to `yield_now`.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One value cell plus its state word.
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    /// Spins until the pushing thread has finished writing the value.
+    fn wait_write(&self) {
+        let mut backoff = Backoff::new();
+        while self.state.load(Ordering::Acquire) & WRITE == 0 {
+            backoff.snooze();
+        }
+    }
+}
+
+/// A segment of [`BLOCK_CAP`] slots plus the link to the next segment.
+struct Block<T> {
+    next: AtomicPtr<Block<T>>,
+    slots: [Slot<T>; BLOCK_CAP],
+}
+
+impl<T> Block<T> {
+    /// Allocates a zeroed block: null `next`, all slot states 0, values
+    /// uninitialized.
+    fn new_boxed() -> Box<Block<T>> {
+        // SAFETY: a zeroed `Block` is valid — `AtomicPtr`/`AtomicUsize`
+        // are valid all-zeroes, and `MaybeUninit<T>` needs no
+        // initialization.  (Same construction the real crossbeam uses.)
+        unsafe { Box::new(MaybeUninit::<Block<T>>::zeroed().assume_init()) }
+    }
+
+    /// Returns to the all-zeroed state so the block can be reused.  Only
+    /// sound once reclamation has finished (no other thread can touch the
+    /// block), which is the only place it is called from.
+    fn reset(&mut self) {
+        *self.next.get_mut() = ptr::null_mut();
+        for slot in &mut self.slots {
+            *slot.state.get_mut() = 0;
+        }
+    }
+
+    /// Spins until the next block has been installed, then returns it.
+    fn wait_next(&self) -> *mut Block<T> {
+        let mut backoff = Backoff::new();
+        loop {
+            let next = self.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+/// One end of the queue: a monotone slot index and the block it points
+/// into, each on its own cache line so pushers and poppers do not false-
+/// share.
+#[repr(align(64))]
+struct Position<T> {
+    index: AtomicUsize,
+    block: AtomicPtr<Block<T>>,
+}
+
+/// An unbounded lock-free MPMC queue of linked segment blocks, with the
+/// `crossbeam::queue::SegQueue` API.
+pub struct SegQueue<T> {
+    head: Position<T>,
+    tail: Position<T>,
+    /// Cache of reclaimed blocks; see the module docs and [`SPARE_CAP`].
+    spares: [AtomicPtr<Block<T>>; SPARE_CAP],
+    /// Maintained element count; see [`SegQueue::len`].
+    len: AtomicUsize,
+}
+
+// SAFETY: values are moved in by value and out by value; all shared state
+// is accessed through atomics or through slots whose ownership is handed
+// over by the WRITE/READ protocol.
+unsafe impl<T: Send> Send for SegQueue<T> {}
+unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.  The first block is allocated lazily by the
+    /// first push.
+    pub const fn new() -> Self {
+        SegQueue {
+            head: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(ptr::null_mut()),
+            },
+            tail: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(ptr::null_mut()),
+            },
+            spares: [
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+            ],
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a cached spare block if there is one, otherwise allocates.
+    fn take_or_alloc_block(&self) -> Box<Block<T>> {
+        for slot in &self.spares {
+            let cached = slot.swap(ptr::null_mut(), Ordering::AcqRel);
+            if !cached.is_null() {
+                // SAFETY: the pointer was produced by `Box::into_raw` in
+                // `stash_block` and the swap gave us exclusive ownership.
+                return unsafe { Box::from_raw(cached) };
+            }
+        }
+        Block::new_boxed()
+    }
+
+    /// Parks a fully-reclaimed (or never-used) block in the spare cache,
+    /// freeing it only when the cache is full.
+    fn stash_block(&self, mut block: Box<Block<T>>) {
+        block.reset();
+        let fresh = Box::into_raw(block);
+        for slot in &self.spares {
+            if slot
+                .compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        // Cache full: actually free the block.
+        // SAFETY: `fresh` is the boxed pointer from above, never shared.
+        drop(unsafe { Box::from_raw(fresh) });
+    }
+
+    /// Continues block reclamation from slot `start`.  Whichever thread
+    /// observes the last slot consumed finishes the job and recycles the
+    /// block.
+    ///
+    /// # Safety
+    /// `block` must have been fully popped up to `start` and the caller
+    /// must be the reclamation owner (the popper of the last slot, or a
+    /// popper that observed the `DESTROY` handoff on its own slot).
+    unsafe fn reclaim_block(&self, block: *mut Block<T>, start: usize) {
+        // The last slot's popper is the one that initiates reclamation, so
+        // its own slot never needs the handshake.
+        for i in start..BLOCK_CAP - 1 {
+            let slot = (*block).slots.get_unchecked(i);
+            // If a reader is still active on this slot, hand reclamation
+            // over to it: it will observe DESTROY when it finishes.
+            if slot.state.load(Ordering::Acquire) & READ == 0
+                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+            {
+                return;
+            }
+        }
+        // Every slot is consumed; the block is exclusively ours.
+        self.stash_block(Box::from_raw(block));
+    }
+
+    /// Pushes an element to the back of the queue.
+    pub fn push(&self, value: T) {
+        let mut backoff = Backoff::new();
+        let mut tail = self.tail.index.load(Ordering::Acquire);
+        let mut block = self.tail.block.load(Ordering::Acquire);
+        let mut next_block: Option<Box<Block<T>>> = None;
+
+        loop {
+            let offset = (tail >> SHIFT) % LAP;
+
+            // Another thread is installing the next block: wait.
+            if offset == BLOCK_CAP {
+                backoff.snooze();
+                tail = self.tail.index.load(Ordering::Acquire);
+                block = self.tail.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            // About to claim the last slot: pre-allocate the next block so
+            // the critical install window stays short.
+            if offset + 1 == BLOCK_CAP && next_block.is_none() {
+                next_block = Some(self.take_or_alloc_block());
+            }
+
+            // First push ever: install the first block.
+            if block.is_null() {
+                let new = Box::into_raw(self.take_or_alloc_block());
+                if self
+                    .tail
+                    .block
+                    .compare_exchange(ptr::null_mut(), new, Ordering::Release, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.head.block.store(new, Ordering::Release);
+                    block = new;
+                } else {
+                    // Lost the race; recycle our attempt and re-read.
+                    // SAFETY: `new` came from `Box::into_raw` two lines up
+                    // and was never shared.
+                    next_block = Some(unsafe { Box::from_raw(new) });
+                    tail = self.tail.index.load(Ordering::Acquire);
+                    block = self.tail.block.load(Ordering::Acquire);
+                    continue;
+                }
+            }
+
+            let new_tail = tail + (1 << SHIFT);
+
+            match self.tail.index.compare_exchange_weak(
+                tail,
+                new_tail,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Claimed the last slot: install the next block before
+                    // touching our own slot, so waiters make progress.
+                    if offset + 1 == BLOCK_CAP {
+                        let next = Box::into_raw(next_block.take().expect("pre-allocated above"));
+                        let next_index = new_tail.wrapping_add(1 << SHIFT);
+                        self.tail.block.store(next, Ordering::Release);
+                        self.tail.index.store(next_index, Ordering::Release);
+                        (*block).next.store(next, Ordering::Release);
+                    }
+
+                    // Write the value, make it visible, account for it.
+                    // `len` is bumped *before* the WRITE bit so a popper
+                    // can never decrement below zero.
+                    let slot = (*block).slots.get_unchecked(offset);
+                    slot.value.get().write(MaybeUninit::new(value));
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    slot.state.fetch_or(WRITE, Ordering::Release);
+
+                    // A pre-allocated block that went unused goes back to
+                    // the cache instead of being freed.
+                    if let Some(unused) = next_block {
+                        self.stash_block(unused);
+                    }
+                    return;
+                },
+                Err(current) => {
+                    tail = current;
+                    block = self.tail.block.load(Ordering::Acquire);
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Pops the front element, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut backoff = Backoff::new();
+        let mut head = self.head.index.load(Ordering::Acquire);
+        let mut block = self.head.block.load(Ordering::Acquire);
+
+        loop {
+            let offset = (head >> SHIFT) % LAP;
+
+            // Another thread is advancing head to the next block: wait.
+            if offset == BLOCK_CAP {
+                backoff.snooze();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            let mut new_head = head + (1 << SHIFT);
+
+            if new_head & HAS_NEXT == 0 {
+                atomic::fence(Ordering::SeqCst);
+                let tail = self.tail.index.load(Ordering::Relaxed);
+
+                // Head caught up with tail: the queue is empty.
+                if head >> SHIFT == tail >> SHIFT {
+                    return None;
+                }
+
+                // Head and tail are in different blocks, so the next pop
+                // can skip this emptiness check.
+                if (head >> SHIFT) / LAP != (tail >> SHIFT) / LAP {
+                    new_head |= HAS_NEXT;
+                }
+            }
+
+            // The block is null only while the very first push is still
+            // installing it.
+            if block.is_null() {
+                backoff.snooze();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            match self.head.index.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Claimed the last slot: advance head to the next
+                    // block (the pusher that claimed this slot installs
+                    // it, so waiting is bounded by that push finishing).
+                    if offset + 1 == BLOCK_CAP {
+                        let next = (*block).wait_next();
+                        let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                        if !(*next).next.load(Ordering::Relaxed).is_null() {
+                            next_index |= HAS_NEXT;
+                        }
+                        self.head.block.store(next, Ordering::Release);
+                        self.head.index.store(next_index, Ordering::Release);
+                    }
+
+                    let slot = (*block).slots.get_unchecked(offset);
+                    slot.wait_write();
+                    let value = slot.value.get().read().assume_init();
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+
+                    // Reclaim the block if this was its last slot, or if
+                    // reclamation already reached our slot and handed the
+                    // job to us.
+                    if offset + 1 == BLOCK_CAP {
+                        self.reclaim_block(block, 0);
+                    } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                        self.reclaim_block(block, offset + 1);
+                    }
+
+                    return Some(value);
+                },
+                Err(current) => {
+                    head = current;
+                    block = self.head.block.load(Ordering::Acquire);
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Number of elements currently queued, in O(1) from a maintained
+    /// atomic counter.
+    ///
+    /// The value is a *snapshot*: concurrent pushes and pops can change it
+    /// before the caller acts on it, and an in-flight push may already be
+    /// counted a moment before its element becomes poppable.  That is
+    /// exactly the semantics load-balancing heuristics want, and all they
+    /// can ever get from a concurrent queue.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue is currently empty (same snapshot caveat as
+    /// [`SegQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Drop for SegQueue<T> {
+    fn drop(&mut self) {
+        let mut head = *self.head.index.get_mut();
+        let mut tail = *self.tail.index.get_mut();
+        let mut block = *self.head.block.get_mut();
+
+        // Erase metadata bits.
+        head &= !((1 << SHIFT) - 1);
+        tail &= !((1 << SHIFT) - 1);
+
+        // SAFETY: `&mut self` means no concurrent operations; every index
+        // in `head..tail` holds a value nobody else will read, and the
+        // block chain is only reachable from here.
+        unsafe {
+            while head != tail {
+                let offset = (head >> SHIFT) % LAP;
+                if offset < BLOCK_CAP {
+                    let slot = (*block).slots.get_unchecked(offset);
+                    (*slot.value.get()).assume_init_drop();
+                } else {
+                    let next = *(*block).next.get_mut();
+                    drop(Box::from_raw(block));
+                    block = next;
+                }
+                head = head.wrapping_add(1 << SHIFT);
+            }
+            if !block.is_null() {
+                drop(Box::from_raw(block));
+            }
+            for slot in &mut self.spares {
+                let spare = *slot.get_mut();
+                if !spare.is_null() {
+                    drop(Box::from_raw(spare));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SegQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_across_many_blocks() {
+        // Far more elements than one 31-slot block, so the walk crosses
+        // block boundaries, installs next blocks, and reclaims old ones.
+        let q = SegQueue::new();
+        for i in 0..10_000 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10_000);
+        for i in 0..10_000 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_fifo_and_len() {
+        let q = SegQueue::new();
+        let mut next_in = 0;
+        let mut next_out = 0;
+        // A sliding window that repeatedly crosses block boundaries.
+        for round in 0..1_000 {
+            for _ in 0..(round % 7) + 1 {
+                q.push(next_in);
+                next_in += 1;
+            }
+            for _ in 0..(round % 5) + 1 {
+                if next_out < next_in {
+                    assert_eq!(q.pop(), Some(next_out));
+                    next_out += 1;
+                }
+            }
+            assert_eq!(q.len(), next_in - next_out);
+        }
+        while next_out < next_in {
+            assert_eq!(q.pop(), Some(next_out));
+            next_out += 1;
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_values() {
+        // Drop with values still queued (including across blocks); run
+        // under the allocation-counting test in nomad-core and miri-like
+        // tools to catch leaks.
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(vec![i; 3]);
+        }
+        assert_eq!(q.pop(), Some(vec![0; 3]));
+        drop(q);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_all_elements() {
+        let q = Arc::new(SegQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn stress_8_producers_8_consumers() {
+        // The satellite stress-loop: 8 producers and 8 consumers hammer
+        // one queue concurrently.  Checks that (a) every element is
+        // delivered exactly once, and (b) each consumer sees each
+        // producer's elements in push order (FIFO per producer is what a
+        // linearizable queue guarantees to a single observer).
+        const PRODUCERS: usize = 8;
+        const CONSUMERS: usize = 8;
+        const PER_PRODUCER: u64 = 2_000;
+
+        let q = Arc::new(SegQueue::<(usize, u64)>::new());
+        let received = std::sync::Mutex::new(Vec::<Vec<(usize, u64)>>::new());
+
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push((p, i));
+                    }
+                });
+            }
+            let total = PRODUCERS as u64 * PER_PRODUCER;
+            let popped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            for _ in 0..CONSUMERS {
+                let q = Arc::clone(&q);
+                let popped = Arc::clone(&popped);
+                let received = &received;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    while popped.load(std::sync::atomic::Ordering::Relaxed) < total {
+                        if let Some(v) = q.pop() {
+                            popped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            mine.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    received.lock().unwrap().push(mine);
+                });
+            }
+        });
+
+        let received = received.into_inner().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+
+        // (b) per-consumer, per-producer monotonicity.
+        for (c, mine) in received.iter().enumerate() {
+            let mut last = [None::<u64>; PRODUCERS];
+            for &(p, i) in mine {
+                if let Some(prev) = last[p] {
+                    assert!(i > prev, "consumer {c} saw producer {p} reordered");
+                }
+                last[p] = Some(i);
+            }
+        }
+
+        // (a) exactly-once delivery of the full multiset.
+        let mut all: Vec<(usize, u64)> = received.into_iter().flatten().collect();
+        all.sort_unstable();
+        let mut expected: Vec<(usize, u64)> = (0..PRODUCERS)
+            .flat_map(|p| (0..PER_PRODUCER).map(move |i| (p, i)))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved_under_concurrency() {
+        // MPMC linearizability smoke check: elements from one producer
+        // must be popped in that producer's push order.
+        let q = Arc::new(SegQueue::<(usize, u32)>::new());
+        let num_producers = 4;
+        let per_producer: u32 = 5_000;
+        std::thread::scope(|scope| {
+            for p in 0..num_producers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        q.push((p, i));
+                    }
+                });
+            }
+            let q = Arc::clone(&q);
+            scope.spawn(move || {
+                let mut last_seen = vec![None::<u32>; num_producers];
+                let mut seen = 0;
+                while seen < num_producers as u32 * per_producer {
+                    if let Some((p, i)) = q.pop() {
+                        if let Some(last) = last_seen[p] {
+                            assert!(i > last, "producer {p} reordered: {i} after {last}");
+                        }
+                        last_seen[p] = Some(i);
+                        seen += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! The original mutex-protected queue, kept as the differential-testing
+//! and benchmarking baseline for [`super::lock_free::SegQueue`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Unbounded MPMC queue with the `crossbeam::queue::SegQueue` API, backed
+/// by a `Mutex<VecDeque>`.
+///
+/// Correct (linearizable, `Send + Sync`) but not lock-free: every operation
+/// takes the one global lock, so throughput collapses under contention.
+/// The engine uses [`super::lock_free::SegQueue`] by default; this type
+/// exists so tests and benchmarks can compare the two implementations, and
+/// so the `mutex-queue` feature can swap it back in wholesale.
+#[derive(Debug, Default)]
+pub struct MutexQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> MutexQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pushes an element to the back of the queue.
+    pub fn push(&self, value: T) {
+        self.locked().push_back(value);
+    }
+
+    /// Pops the front element, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        self.locked().pop_front()
+    }
+
+    /// Number of elements currently queued (a snapshot: it can be stale by
+    /// the time the caller acts on it).
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether the queue is currently empty (same snapshot caveat as
+    /// [`MutexQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MutexQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MutexQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_all_elements() {
+        let q = Arc::new(MutexQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(drained, expected);
+    }
+}
