@@ -1,0 +1,71 @@
+//! Multi-process distributed NOMAD orchestrator: spawns real rank
+//! processes over localhost TCP, measures updates/sec at 1/2/4 ranks for
+//! k ∈ {8, 32, 100}, and cross-validates the `nomad-cluster` simulator's
+//! virtual-clock predictions against real wall clock on the same
+//! workload.
+//!
+//! Before measuring anything the binary verifies the engine's correctness
+//! anchor: at one rank with a fixed seed the distributed run must
+//! reassemble a factor model **bit-identical** to `SerialNomad`'s — the
+//! same invariant the threaded and simulated engines carry.  A broken
+//! engine fails here instead of producing plausible-looking numbers.
+//!
+//! Environment:
+//! - `NOMAD_SCALE=quick|standard` — dataset tier / grid / budget.
+//! - `NOMAD_DIST_MODE=process|tcp|loopback` — rank deployment (default:
+//!   re-exec'd child processes).
+//! - `NOMAD_DIST_RANKS` / `NOMAD_DIST_KS` / `NOMAD_DIST_BUDGET` — grid
+//!   overrides (comma-separated lists / a single count).
+//! - `NOMAD_DIST_OUT=<path>` — JSON output (default
+//!   `BENCH_distributed.json`, schema `nomad-perf-v1`).
+//! - `NOMAD_PERF_REPS=<n>` — repetitions per config, best kept.
+//! - `NOMAD_PERF_ASSERT=1` — fail unless 2 ranks ≥ 1.1× 1 rank for some
+//!   measured `k` (skipped on single-core machines).
+
+use nomad_bench::distperf::{self, DeployMode, DistScale};
+
+fn main() {
+    // Rank children re-enter this very binary; divert them before any
+    // orchestrator logic (or CLI handling) runs.
+    nomad_net::child_entry();
+    nomad_bench::handle_cli_args_with(
+        "distributed",
+        "Real multi-process distributed NOMAD: updates/sec at 1/2/4 ranks vs \
+         the cluster simulator's virtual-clock predictions",
+        "Output: BENCH_distributed.json (schema nomad-perf-v1), CSV on stdout, \
+         a markdown summary (with the sim cross-validation) on stderr.",
+        &[
+            "NOMAD_DIST_MODE=process|tcp|loopback  rank deployment (default: process)",
+            "NOMAD_DIST_RANKS=<csv>       rank counts (default: 1,2,4)",
+            "NOMAD_DIST_KS=<csv>          latent dimensions (default: 8,32,100)",
+            "NOMAD_DIST_BUDGET=<n>        SGD-update budget per run",
+            "NOMAD_DIST_OUT=<path>        JSON output path (default: BENCH_distributed.json)",
+            "NOMAD_PERF_REPS=<n>          repetitions per config, best kept (default: 1)",
+            "NOMAD_PERF_ASSERT=1          fail unless 2 ranks >= 1.1x 1 rank updates/sec",
+        ],
+    );
+    let mode = DeployMode::from_env();
+    let scale = DistScale::from_env();
+    let reps: u32 = std::env::var("NOMAD_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1);
+
+    distperf::verify_serial_identity(mode);
+
+    let results = distperf::measure(&scale, mode, reps);
+    distperf::print_csv(&results);
+    distperf::print_markdown(&scale, mode, &results);
+
+    let out_path =
+        std::env::var("NOMAD_DIST_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
+    let json = distperf::render_json(&scale, mode, &results);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") && !distperf::scaling_gate(&results)
+    {
+        std::process::exit(1);
+    }
+}

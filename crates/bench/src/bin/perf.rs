@@ -9,13 +9,21 @@
 //! goes to stdout and a markdown summary to stderr, like every other bench
 //! binary.
 //!
+//! `--engine threaded` (the default) measures serial vs `ThreadedNomad`;
+//! `--engine distributed` measures the multi-process `nomad-net` engine
+//! at 1/2/4 ranks through the shared [`nomad_bench::distperf`] harness
+//! (writing `BENCH_distributed.json`); `--engine all` does both.
+//!
 //! Environment:
 //! - `NOMAD_SCALE=quick|standard` — dataset tier / `k` grid / budget.
-//! - `NOMAD_PERF_OUT=<path>` — where to write the JSON (default
-//!   `BENCH_threaded.json`).
+//! - `NOMAD_PERF_OUT=<path>` — where to write the threaded JSON (default
+//!   `BENCH_threaded.json`); the distributed JSON path is
+//!   `NOMAD_DIST_OUT`.
 //! - `NOMAD_PERF_ASSERT=1` — exit non-zero unless threaded(2 workers)
 //!   reaches ≥ 1.2× serial updates/sec for at least one measured `k` (the
 //!   CI smoke assertion; requires ≥ 2 physical cores to be meaningful).
+//!   With the distributed engine selected, additionally requires
+//!   2 ranks ≥ 1.1× 1 rank.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -83,23 +91,70 @@ fn config(k: usize, budget: u64) -> NomadConfig {
 }
 
 fn main() {
-    nomad_bench::handle_cli_args_with(
+    // Process-mode distributed runs re-exec this binary as rank children;
+    // divert them before anything else happens.
+    nomad_net::child_entry();
+    let engine = nomad_bench::handle_cli_args_engine(
         "perf",
-        "Raw throughput: updates/sec and ns/update, serial vs threaded (1..N workers)",
-        "Output: BENCH_threaded.json (schema nomad-perf-v1), CSV on stdout, \
-         a markdown summary on stderr.",
+        "Raw throughput: updates/sec and ns/update, serial vs threaded (1..N \
+         workers), optionally the multi-process distributed engine",
+        "Output: BENCH_threaded.json and/or BENCH_distributed.json (schema \
+         nomad-perf-v1), CSV on stdout, a markdown summary on stderr.",
         &[
-            "NOMAD_PERF_OUT=<path>        JSON output path (default: BENCH_threaded.json)",
+            "NOMAD_PERF_OUT=<path>        threaded JSON path (default: BENCH_threaded.json)",
+            "NOMAD_DIST_OUT=<path>        distributed JSON path (default: BENCH_distributed.json)",
             "NOMAD_PERF_ASSERT=1          fail unless threaded(2) >= 1.2x serial updates/sec",
             "NOMAD_PERF_REPS=<n>          repetitions per config, best kept (default: 1)",
         ],
+        &["threaded", "distributed", "all"],
+        "threaded",
     );
-    let scale = PerfScale::from_env();
     let reps: u32 = std::env::var("NOMAD_PERF_REPS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&r| r >= 1)
         .unwrap_or(1);
+    let mut failed = false;
+    if engine == "threaded" || engine == "all" {
+        failed |= !run_threaded_suite(reps);
+    }
+    if engine == "distributed" || engine == "all" {
+        failed |= !run_distributed_suite(reps);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The distributed leg: the shared `distperf` harness over the deployment
+/// mode from `NOMAD_DIST_MODE` (re-exec'd processes by default).
+/// Returns `false` if the `NOMAD_PERF_ASSERT` scaling gate failed.
+fn run_distributed_suite(reps: u32) -> bool {
+    use nomad_bench::distperf;
+    let mode = distperf::DeployMode::from_env();
+    let scale = distperf::DistScale::from_env();
+    // The correctness anchor runs before any measurement, exactly like
+    // the `distributed` binary: a broken engine must fail loudly here
+    // rather than publish plausible-looking numbers.
+    distperf::verify_serial_identity(mode);
+    let results = distperf::measure(&scale, mode, reps);
+    distperf::print_csv(&results);
+    distperf::print_markdown(&scale, mode, &results);
+    let out_path =
+        std::env::var("NOMAD_DIST_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
+    let json = distperf::render_json(&scale, mode, &results);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {
+        return distperf::scaling_gate(&results);
+    }
+    true
+}
+
+/// The original serial-vs-threaded leg.  Returns `false` if the
+/// `NOMAD_PERF_ASSERT` gate failed.
+fn run_threaded_suite(reps: u32) -> bool {
+    let scale = PerfScale::from_env();
     let dataset = named_dataset("netflix-sim", scale.tier)
         .expect("netflix-sim is always registered")
         .build();
@@ -205,7 +260,7 @@ fn main() {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if cores < 2 {
             eprintln!("perf assert skipped: only {cores} core(s) available, need >= 2");
-            return;
+            return true;
         }
         let best_ratio = scale
             .ks
@@ -229,10 +284,11 @@ fn main() {
                  machine has fewer than 2 *physical* cores ({cores} logical reported — \
                  SMT siblings share FP units), unset NOMAD_PERF_ASSERT instead."
             );
-            std::process::exit(1);
+            return false;
         }
         eprintln!("perf assert passed: threaded(2) = {best_ratio:.2}x serial");
     }
+    true
 }
 
 /// Hand-rolled JSON: the vendored serde stub has no serializer, and the

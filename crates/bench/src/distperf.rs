@@ -1,0 +1,373 @@
+//! Shared measurement harness for the distributed (`nomad-net`) engine,
+//! used by both the `distributed` orchestrator binary and
+//! `perf --engine distributed`.
+//!
+//! Besides wall-clock updates/sec at 1/2/4 ranks, every configuration is
+//! paired with the virtual-clock prediction of the `nomad-cluster`
+//! simulator on the same workload (same dataset, budget, `k`, and a
+//! `ranks`-machine × 1-thread topology), so the report doubles as the
+//! cross-validation of DESIGN.md's substitution policy: the simulator
+//! models the paper's hardware, the real engine runs on this machine, and
+//! the ratio between the two is recorded rather than asserted.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nomad_cluster::{ClusterTopology, ComputeModel, NetworkModel};
+use nomad_core::{NomadConfig, SerialNomad, SimNomad, StopCondition};
+use nomad_data::{named_dataset, GeneratedDataset, SizeTier};
+use nomad_net::DistributedNomad;
+use nomad_sgd::HyperParams;
+
+/// How rank endpoints are deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployMode {
+    /// Re-exec'd child processes over localhost TCP (the real thing; the
+    /// calling binary must invoke `nomad_net::child_entry()` first in
+    /// `main`).
+    Process,
+    /// Rank threads in this process over localhost TCP.
+    TcpThreads,
+    /// Rank threads over the in-memory loopback transport.
+    Loopback,
+}
+
+impl DeployMode {
+    /// Parses the `NOMAD_DIST_MODE` environment variable
+    /// (`process` default, `tcp`, `loopback`); an unrecognized value
+    /// falls back to `process` with a diagnostic, never silently.
+    pub fn from_env() -> Self {
+        match std::env::var("NOMAD_DIST_MODE").as_deref() {
+            Ok("tcp") => DeployMode::TcpThreads,
+            Ok("loopback") => DeployMode::Loopback,
+            Ok("process") | Err(_) => DeployMode::Process,
+            Ok(other) => {
+                eprintln!(
+                    "ignoring unrecognized NOMAD_DIST_MODE={other:?} \
+                     (expected process|tcp|loopback); using process"
+                );
+                DeployMode::Process
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeployMode::Process => "process",
+            DeployMode::TcpThreads => "tcp-threads",
+            DeployMode::Loopback => "loopback",
+        }
+    }
+}
+
+/// The measured grid: dataset tier, latent dimensions, rank counts,
+/// update budget.
+pub struct DistScale {
+    /// `quick` or `standard`.
+    pub label: &'static str,
+    /// Dataset size tier.
+    pub tier: SizeTier,
+    /// Latent dimensions to sweep.
+    pub ks: Vec<usize>,
+    /// Rank counts to sweep.
+    pub ranks: Vec<usize>,
+    /// SGD-update budget per run.
+    pub budget: u64,
+}
+
+fn env_csv(name: &str) -> Option<Vec<usize>> {
+    let raw = std::env::var(name).ok()?;
+    let parsed: Option<Vec<usize>> = raw
+        .split(',')
+        .map(|s| s.trim().parse().ok().filter(|&v| v > 0))
+        .collect();
+    match parsed {
+        Some(v) if !v.is_empty() => Some(v),
+        _ => {
+            eprintln!("ignoring unparsable {name}={raw:?}");
+            None
+        }
+    }
+}
+
+impl DistScale {
+    /// Reads `NOMAD_SCALE` (grid) plus the `NOMAD_DIST_RANKS`,
+    /// `NOMAD_DIST_KS` and `NOMAD_DIST_BUDGET` overrides.
+    pub fn from_env() -> Self {
+        let mut scale = match std::env::var("NOMAD_SCALE").as_deref() {
+            Ok("standard") => Self {
+                label: "standard",
+                tier: SizeTier::Small,
+                ks: vec![8, 32, 100],
+                ranks: vec![1, 2, 4],
+                budget: 4_000_000,
+            },
+            _ => Self {
+                label: "quick",
+                tier: SizeTier::Tiny,
+                ks: vec![8, 32, 100],
+                ranks: vec![1, 2, 4],
+                budget: 400_000,
+            },
+        };
+        if let Some(ranks) = env_csv("NOMAD_DIST_RANKS") {
+            scale.ranks = ranks;
+        }
+        if let Some(ks) = env_csv("NOMAD_DIST_KS") {
+            scale.ks = ks;
+        }
+        if let Some(budget) = std::env::var("NOMAD_DIST_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            scale.budget = budget;
+        }
+        scale
+    }
+
+    /// Builds the benchmark dataset for this scale.
+    pub fn dataset(&self) -> GeneratedDataset {
+        named_dataset("netflix-sim", self.tier)
+            .expect("netflix-sim is always registered")
+            .build()
+    }
+}
+
+/// One measured `(k, ranks)` configuration.
+pub struct DistMeasurement {
+    /// Latent dimension.
+    pub k: usize,
+    /// Rank count.
+    pub ranks: usize,
+    /// SGD updates actually performed (≥ budget; asynchronous overshoot).
+    pub updates: u64,
+    /// Wall-clock seconds (scatter → gather).
+    pub seconds: f64,
+    /// Tokens that crossed an address-space boundary.
+    pub remote_sends: u64,
+    /// The cluster simulator's virtual-clock seconds for the same
+    /// workload on the paper's modelled hardware.
+    pub sim_seconds: f64,
+}
+
+impl DistMeasurement {
+    /// Measured throughput.
+    pub fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.seconds.max(1e-12)
+    }
+
+    /// The simulator's predicted throughput for the modelled hardware.
+    pub fn sim_updates_per_sec(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.updates as f64 / self.sim_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn dist_config(k: usize, budget: u64) -> NomadConfig {
+    NomadConfig::new(HyperParams::netflix().with_k(k))
+        .with_stop(StopCondition::Updates(budget))
+        .with_seed(2024)
+        .with_schedule_recording(false)
+}
+
+fn run_once(
+    cfg: NomadConfig,
+    ranks: usize,
+    mode: DeployMode,
+    data: &nomad_matrix::RatingMatrix,
+) -> nomad_net::DistOutput {
+    let engine = DistributedNomad::new(cfg, ranks);
+    let result = match mode {
+        DeployMode::Process => engine.run_processes(data),
+        DeployMode::TcpThreads => engine.run_tcp_threads(data),
+        DeployMode::Loopback => engine.run_loopback(data),
+    };
+    result.unwrap_or_else(|e| panic!("distributed run ({} ranks, {}): {e}", ranks, mode.label()))
+}
+
+/// The virtual-clock prediction for the same workload: `ranks` machines
+/// with one compute thread each on the paper's HPC cost models.
+pub fn sim_prediction(ds: &GeneratedDataset, k: usize, ranks: usize, budget: u64) -> f64 {
+    let cfg = dist_config(k, budget).with_snapshot_every(f64::INFINITY);
+    let engine = SimNomad::new(
+        cfg,
+        ClusterTopology::new(ranks, 1, 1),
+        NetworkModel::hpc(),
+        ComputeModel::hpc_core(),
+    );
+    let out = engine.run(&ds.matrix, &ds.test);
+    out.trace.metrics.finished_at.as_secs()
+}
+
+/// Measures the whole `(k, ranks)` grid; `reps` repetitions keep the
+/// fastest wall clock per configuration (the least-noise estimator the
+/// `perf` binary also uses).
+pub fn measure(scale: &DistScale, mode: DeployMode, reps: u32) -> Vec<DistMeasurement> {
+    let ds = scale.dataset();
+    let mut results = Vec::new();
+    for &k in &scale.ks {
+        for &ranks in &scale.ranks {
+            let sim_seconds = sim_prediction(&ds, k, ranks, scale.budget);
+            let mut best: Option<DistMeasurement> = None;
+            for _ in 0..reps.max(1) {
+                let cfg = dist_config(k, scale.budget);
+                let start = Instant::now();
+                let out = run_once(cfg, ranks, mode, &ds.matrix);
+                let m = DistMeasurement {
+                    k,
+                    ranks,
+                    updates: out.stats.updates,
+                    seconds: start.elapsed().as_secs_f64(),
+                    remote_sends: out.stats.remote_sends,
+                    sim_seconds,
+                };
+                if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
+                    best = Some(m);
+                }
+            }
+            results.push(best.expect("reps >= 1"));
+        }
+    }
+    results
+}
+
+/// Verifies the engine's correctness anchor in the given deployment mode:
+/// one rank, fixed seed, model bit-identical to `SerialNomad`.
+///
+/// # Panics
+/// Panics (failing the calling binary) if the models differ.
+pub fn verify_serial_identity(mode: DeployMode) {
+    let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+        .expect("netflix-sim is always registered")
+        .build();
+    let cfg = dist_config(8, 30_000);
+    let (serial_model, _) =
+        SerialNomad::new(cfg).run(&ds.matrix, &ds.test, 1, &ComputeModel::hpc_core());
+    let out = run_once(cfg, 1, mode, &ds.matrix);
+    assert_eq!(
+        out.model, serial_model,
+        "distributed engine at 1 rank must reassemble SerialNomad's factors bit for bit"
+    );
+    eprintln!(
+        "serial-identity check passed: 1 {} rank == SerialNomad, bit for bit",
+        mode.label()
+    );
+}
+
+/// The `NOMAD_PERF_ASSERT` gate for the distributed engine: 2 ranks must
+/// reach ≥ 1.1× the 1-rank updates/sec for at least one measured `k`.
+/// Skipped (loudly) when the grid lacks the 1-and-2-rank pair or the
+/// machine has fewer than two cores.
+///
+/// Returns `false` if the gate fails (caller exits non-zero).
+#[must_use]
+pub fn scaling_gate(results: &[DistMeasurement]) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("distributed scaling assert skipped: only {cores} core(s), need >= 2");
+        return true;
+    }
+    let mut best_ratio = f64::NEG_INFINITY;
+    for one in results.iter().filter(|m| m.ranks == 1) {
+        if let Some(two) = results.iter().find(|m| m.ranks == 2 && m.k == one.k) {
+            best_ratio = best_ratio.max(two.updates_per_sec() / one.updates_per_sec());
+        }
+    }
+    if best_ratio == f64::NEG_INFINITY {
+        eprintln!("distributed scaling assert skipped: grid lacks a 1-and-2-rank pair");
+        return true;
+    }
+    if best_ratio < 1.1 {
+        eprintln!(
+            "DISTRIBUTED SCALING ASSERT FAILED: 2 ranks reached only {best_ratio:.2}x the \
+             1-rank updates/sec (need >= 1.1x on multi-core hardware; {cores} logical cores \
+             reported — if they are SMT siblings of one physical core, unset NOMAD_PERF_ASSERT)."
+        );
+        return false;
+    }
+    eprintln!("distributed scaling assert passed: 2 ranks = {best_ratio:.2}x 1 rank");
+    true
+}
+
+/// CSV rows (stdout format shared by the bench binaries).
+pub fn print_csv(results: &[DistMeasurement]) {
+    println!("engine,k,ranks,updates,seconds,updates_per_sec,remote_sends,sim_updates_per_sec");
+    for m in results {
+        println!(
+            "distributed,{},{},{},{:.6},{:.1},{},{:.1}",
+            m.k,
+            m.ranks,
+            m.updates,
+            m.seconds,
+            m.updates_per_sec(),
+            m.remote_sends,
+            m.sim_updates_per_sec()
+        );
+    }
+}
+
+/// Markdown summary (stderr format shared by the bench binaries),
+/// including the virtual-clock cross-validation columns.
+pub fn print_markdown(scale: &DistScale, mode: DeployMode, results: &[DistMeasurement]) {
+    eprintln!(
+        "## distributed ({} scale, netflix-sim {:?}, {} ranks)",
+        scale.label,
+        scale.tier,
+        mode.label()
+    );
+    eprintln!("| k | ranks | wall upd/s | remote sends | sim upd/s (paper HW) | sim/wall |");
+    eprintln!("|---|---|---|---|---|---|");
+    for m in results {
+        let ratio = if m.updates_per_sec() > 0.0 {
+            m.sim_updates_per_sec() / m.updates_per_sec()
+        } else {
+            0.0
+        };
+        eprintln!(
+            "| {} | {} | {:.0} | {} | {:.0} | {:.2} |",
+            m.k,
+            m.ranks,
+            m.updates_per_sec(),
+            m.remote_sends,
+            m.sim_updates_per_sec(),
+            ratio
+        );
+    }
+}
+
+/// Machine-readable JSON, schema `nomad-perf-v1` (hand-rolled like the
+/// `perf` binary's: the vendored serde stub has no serializer).
+pub fn render_json(scale: &DistScale, mode: DeployMode, results: &[DistMeasurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"nomad-perf-v1\",\n");
+    s.push_str("  \"bench\": \"distributed\",\n");
+    let _ = writeln!(s, "  \"mode\": \"{}\",", mode.label());
+    let _ = writeln!(s, "  \"scale\": \"{}\",", scale.label);
+    s.push_str("  \"dataset\": \"netflix-sim\",\n");
+    let _ = writeln!(s, "  \"budget_updates\": {},", scale.budget);
+    s.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"distributed\", \"k\": {}, \"ranks\": {}, \"updates\": {}, \
+             \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"remote_sends\": {}, \
+             \"sim_updates_per_sec\": {:.1}}}{}",
+            m.k,
+            m.ranks,
+            m.updates,
+            m.seconds,
+            m.updates_per_sec(),
+            m.remote_sends,
+            m.sim_updates_per_sec(),
+            comma
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

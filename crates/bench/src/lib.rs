@@ -7,6 +7,8 @@
 
 use nomad_eval::{figure_to_csv, figure_to_markdown, Figure, ReproScale};
 
+pub mod distperf;
+
 /// Handles the shared command-line surface of every reproduction binary.
 ///
 /// All `fig*`/`table*`/`repro_all` binaries are configured through the
@@ -30,14 +32,83 @@ pub fn handle_cli_args(name: &str, about: &str) {
 /// Every binary still documents `NOMAD_SCALE`, which the smoke tests
 /// enforce, and still rejects unknown arguments with exit code 2.
 pub fn handle_cli_args_with(name: &str, about: &str, output: &str, extra_env: &[&str]) {
+    cli_core(name, about, output, extra_env, None);
+}
+
+/// Like [`handle_cli_args_with`], but the binary additionally accepts an
+/// `--engine <value>` / `--engine=<value>` selector from `allowed`.
+/// Returns the selected engine (`default` when the flag is absent).
+///
+/// The shared CLI contract still holds: `--help` prints usage (now
+/// documenting the selector) and exits 0, anything unrecognized exits 2 —
+/// including an `--engine` value outside `allowed`.
+pub fn handle_cli_args_engine(
+    name: &str,
+    about: &str,
+    output: &str,
+    extra_env: &[&str],
+    allowed: &[&str],
+    default: &str,
+) -> String {
+    cli_core(name, about, output, extra_env, Some((allowed, default)))
+        .expect("a selector was supplied")
+}
+
+/// The one implementation behind the whole reproduction-binary CLI
+/// contract: reject anything unrecognized with exit 2 (even alongside
+/// `--help`, so a typoed flag can never ride along with a valid one),
+/// answer `--help` with the usage/environment template and exit 0.
+/// `selector` optionally enables the `--engine` flag; the chosen value is
+/// returned.
+fn cli_core(
+    name: &str,
+    about: &str,
+    output: &str,
+    extra_env: &[&str],
+    selector: Option<(&[&str], &str)>,
+) -> Option<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Unknown arguments are rejected even when `--help` is also present, so
-    // a typoed flag can never slip through by riding along with a valid one.
-    if let Some(bad) = args.iter().find(|a| *a != "--help" && *a != "-h") {
-        eprintln!("{name}: unrecognized argument {bad:?} (try --help)");
-        std::process::exit(2);
+    let mut help = false;
+    let mut engine: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match (arg.as_str(), selector) {
+            ("--help" | "-h", _) => help = true,
+            ("--engine", Some((allowed, _))) => match iter.next() {
+                Some(value) => engine = Some(value.clone()),
+                None => {
+                    eprintln!(
+                        "{name}: --engine needs a value (one of {})",
+                        allowed.join("|")
+                    );
+                    std::process::exit(2);
+                }
+            },
+            (other, Some(_)) if other.starts_with("--engine=") => {
+                engine = Some(other["--engine=".len()..].to_string());
+            }
+            (other, _) => {
+                eprintln!("{name}: unrecognized argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
     }
-    if !args.is_empty() {
+    let engine = selector.map(|(allowed, default)| {
+        let engine = engine.unwrap_or_else(|| default.to_string());
+        if !allowed.contains(&engine.as_str()) {
+            eprintln!(
+                "{name}: unrecognized argument --engine {engine:?} (one of {})",
+                allowed.join("|")
+            );
+            std::process::exit(2);
+        }
+        engine
+    });
+    if help {
+        let usage_flags = match selector {
+            Some((allowed, _)) => format!("[--help] [--engine {}]", allowed.join("|")),
+            None => "[--help]".to_string(),
+        };
         let mut env_lines =
             String::from("  NOMAD_SCALE=quick|standard   experiment scale (default: quick)");
         for line in extra_env {
@@ -46,12 +117,13 @@ pub fn handle_cli_args_with(name: &str, about: &str, output: &str, extra_env: &[
         }
         println!(
             "{name}: {about}\n\n\
-             Usage: {name} [--help]\n\n\
+             Usage: {name} {usage_flags}\n\n\
              {output}\n\n\
              Environment:\n{env_lines}"
         );
         std::process::exit(0);
     }
+    engine
 }
 
 /// Runs the registered figure generator for `id` at the scale selected by

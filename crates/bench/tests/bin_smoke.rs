@@ -32,6 +32,7 @@ const BINS: &[(&str, &str)] = &[
     ("table2", env!("CARGO_BIN_EXE_table2")),
     ("streaming", env!("CARGO_BIN_EXE_streaming")),
     ("perf", env!("CARGO_BIN_EXE_perf")),
+    ("distributed", env!("CARGO_BIN_EXE_distributed")),
     ("repro_all", env!("CARGO_BIN_EXE_repro_all")),
 ];
 

@@ -1,0 +1,116 @@
+//! End-to-end smoke test of the **multi-process** distributed path: runs
+//! the `distributed` orchestrator binary, which re-execs itself once per
+//! rank, trains over localhost TCP, verifies the p=1 serial-bit-identity
+//! anchor internally, and writes `BENCH_distributed.json`.
+//!
+//! This lives in `nomad-bench` because `CARGO_BIN_EXE_distributed` is
+//! only defined for the crate that owns the binary; the in-process
+//! (loopback / thread-TCP) engine tests live in `nomad-net`.
+
+use std::process::Command;
+
+#[test]
+fn multi_process_distributed_run_trains_and_reports() {
+    let dir = std::env::temp_dir().join(format!("nomad_dist_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let json_path = dir.join("BENCH_distributed.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_distributed"))
+        // Small grid so the debug-profile smoke run stays fast; the
+        // serial-identity check inside the binary still runs in full.
+        .env("NOMAD_SCALE", "quick")
+        .env("NOMAD_DIST_RANKS", "1,2")
+        .env("NOMAD_DIST_KS", "8")
+        .env("NOMAD_DIST_BUDGET", "60000")
+        .env("NOMAD_DIST_OUT", &json_path)
+        .env_remove("NOMAD_PERF_ASSERT") // scaling is not meaningful in debug on 1 core
+        .output()
+        .expect("launch distributed binary");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "distributed binary failed ({:?}):\n{stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("serial-identity check passed"),
+        "p=1 process-mode run must be verified against SerialNomad:\n{stderr}"
+    );
+
+    // CSV on stdout: header plus one row per (k, ranks) configuration.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("engine,k,ranks,updates,seconds,updates_per_sec,remote_sends,sim_updates_per_sec")
+    );
+    let rows: Vec<&str> = lines.filter(|l| !l.is_empty()).collect();
+    assert_eq!(
+        rows.len(),
+        2,
+        "one row per (k=8, ranks in {{1,2}}):\n{stdout}"
+    );
+    for row in &rows {
+        assert!(row.starts_with("distributed,8,"), "bad row {row:?}");
+    }
+
+    // The JSON artifact exists, carries the schema, and covers both rank
+    // counts.
+    let json = std::fs::read_to_string(&json_path).expect("BENCH_distributed.json written");
+    assert!(json.contains("\"schema\": \"nomad-perf-v1\""));
+    assert!(json.contains("\"bench\": \"distributed\""));
+    assert!(json.contains("\"ranks\": 1"));
+    assert!(json.contains("\"ranks\": 2"));
+    // The 2-rank run must actually have crossed address spaces.
+    let two_rank_line = json
+        .lines()
+        .find(|l| l.contains("\"ranks\": 2"))
+        .expect("2-rank result line");
+    assert!(
+        !two_rank_line.contains("\"remote_sends\": 0,"),
+        "2 ranks with uniform routing must send tokens over the wire: {two_rank_line}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_engine_flag_selects_the_distributed_harness() {
+    let dir = std::env::temp_dir().join(format!("nomad_perf_dist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let json_path = dir.join("BENCH_distributed.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .arg("--engine=distributed")
+        .env("NOMAD_SCALE", "quick")
+        .env("NOMAD_DIST_RANKS", "1")
+        .env("NOMAD_DIST_KS", "8")
+        .env("NOMAD_DIST_BUDGET", "40000")
+        .env("NOMAD_DIST_OUT", &json_path)
+        .env_remove("NOMAD_PERF_ASSERT")
+        .output()
+        .expect("launch perf binary");
+    assert!(
+        out.status.success(),
+        "perf --engine=distributed failed ({:?}):\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).expect("perf wrote the distributed JSON");
+    assert!(json.contains("\"bench\": \"distributed\""));
+    // The threaded leg must not have run: no BENCH_threaded.json appears
+    // in the scratch dir and stdout carries the distributed CSV header.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("remote_sends"),
+        "distributed CSV expected:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_rejects_an_unknown_engine() {
+    let out = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args(["--engine", "carrier-pigeon"])
+        .output()
+        .expect("launch perf binary");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrecognized argument"));
+}

@@ -1,0 +1,401 @@
+//! The driver: partitions the data, launches the ranks, coordinates the
+//! stop/drain protocol, and gathers the shards back into one
+//! [`FactorModel`].
+//!
+//! The driver is *not* on the training path — tokens only ever move
+//! between ranks.  It does exactly four things:
+//!
+//! 1. **Scatter**: compute the global initialization
+//!    (`FactorModel::init`, the same call every other engine makes, so a
+//!    distributed run starts from bit-identical factors), cut the users
+//!    into contiguous shards with [`RowPartition`], and ship each rank its
+//!    [`SetupPayload`]; then mint the initial tokens — item `j` starts at
+//!    rank [`token_home`]`(seed, j, ranks)`, the same engine-independent
+//!    hash the online engines use — carrying their initial factor rows.
+//! 2. **Clock**: collect `Progress` reports and broadcast `Drain` once the
+//!    summed update count reaches the budget (the distributed analogue of
+//!    the threaded engine's shared atomic counter; reports lag reality, so
+//!    runs overshoot the budget slightly, exactly like a threaded worker
+//!    overshooting on its last token).
+//! 3. **Gather**: wait for every rank's [`ShardPayload`].
+//! 4. **Verify**: re-assemble the model, asserting token conservation —
+//!    every item in exactly one shard, and the pass counts of all tokens
+//!    summing to the tickets drawn across all ranks — the same invariant
+//!    `ThreadedNomad::assemble_model` asserts at every quiesce.
+
+use std::time::{Duration, Instant};
+
+use nomad_core::online::token_home;
+use nomad_core::NomadConfig;
+use nomad_matrix::{RatingMatrix, RowPartition};
+use nomad_sgd::{FactorMatrix, FactorModel};
+
+use crate::rank::routing_to_wire;
+use crate::transport::{Loopback, NetError, Transport};
+use crate::wire::{Message, SetupPayload, ShardPayload, WireToken};
+
+/// Hard deadline for a distributed run; a mesh that cannot finish a test
+/// or bench workload in this window is wedged, and erroring beats hanging.
+const DRIVER_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Configuration of a distributed run: the shared NOMAD configuration
+/// plus the transport-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// The algorithm configuration (hyper-parameters, routing, seed,
+    /// message batch, update budget).  The stop condition must carry an
+    /// update budget; wall-clock budgets are not reproducible across
+    /// machines.
+    pub nomad: NomadConfig,
+    /// Updates between a rank's progress reports to the driver; `0`
+    /// derives a default from the budget (~64 reports per rank per run).
+    pub progress_every: u64,
+}
+
+impl NetConfig {
+    /// Wraps a NOMAD configuration with default transport knobs.
+    pub fn new(nomad: NomadConfig) -> Self {
+        Self {
+            nomad,
+            progress_every: 0,
+        }
+    }
+
+    fn effective_progress_every(&self, budget: u64) -> u64 {
+        if self.progress_every > 0 {
+            self.progress_every
+        } else {
+            (budget / 64).max(1024)
+        }
+    }
+}
+
+/// Execution metrics of a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetStats {
+    /// Total SGD updates across all ranks.
+    pub updates: u64,
+    /// Total token-processing events (tickets) across all ranks.
+    pub tokens_processed: u64,
+    /// Tokens that crossed an address-space boundary.
+    pub remote_sends: u64,
+    /// Wall-clock seconds from scatter to the last gathered shard.
+    pub wall_seconds: f64,
+    /// Per-rank update counts (index = rank).
+    pub per_rank_updates: Vec<u64>,
+}
+
+/// Output of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistOutput {
+    /// The reassembled model.
+    pub model: FactorModel,
+    /// Execution metrics.
+    pub stats: NetStats,
+}
+
+/// Runs the driver over an already-connected mesh: scatter, clock,
+/// gather, verify.  `transport` must be the driver endpoint.
+///
+/// # Errors
+/// Fails on transport errors, protocol violations, or the global
+/// deadline.
+///
+/// # Panics
+/// Panics if the stop condition has no update budget, or if gather
+/// detects a token-conservation violation (an engine bug, not an input
+/// error).
+pub fn run_driver<T: Transport>(
+    transport: &T,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+) -> Result<DistOutput, NetError> {
+    let ranks = transport.ranks();
+    assert_eq!(
+        transport.id(),
+        ranks,
+        "run_driver needs the driver endpoint"
+    );
+    let nomad = &cfg.nomad;
+    let budget = nomad
+        .stop
+        .updates()
+        .expect("distributed NOMAD requires an update budget in the stop condition");
+    let params = nomad.params;
+    let start = Instant::now();
+
+    // Scatter: shards first (per-edge FIFO keeps Setup ahead of tokens).
+    let init = FactorModel::init(data.nrows(), data.ncols(), params.k, nomad.seed);
+    let partition = RowPartition::contiguous(data.nrows(), ranks);
+    for r in 0..ranks {
+        let members = partition.members(r);
+        let row_start = members.first().map_or(0, |&i| i as u64);
+        let mut w_rows = Vec::with_capacity(members.len() * params.k);
+        let mut entries = Vec::new();
+        for &i in members {
+            w_rows.extend_from_slice(init.w.row(i as usize));
+            for (j, v) in data.by_rows().row(i as usize) {
+                entries.push((i, j, v));
+            }
+        }
+        let setup = SetupPayload {
+            rank: r as u32,
+            ranks: ranks as u32,
+            nrows: data.nrows() as u64,
+            ncols: data.ncols() as u64,
+            row_start,
+            row_count: members.len() as u64,
+            k: params.k as u32,
+            seed: nomad.seed,
+            lambda: params.lambda,
+            alpha: params.alpha,
+            beta: params.beta,
+            routing: routing_to_wire(nomad.routing),
+            budget,
+            message_batch: nomad.message_batch as u32,
+            progress_every: cfg.effective_progress_every(budget),
+            w_rows,
+            entries,
+        };
+        transport.send(r, &Message::Setup(Box::new(setup)))?;
+    }
+
+    // Mint the initial tokens in ascending item order per home rank (at
+    // one rank this reproduces the serial engine's initial queue order).
+    let mut pending: Vec<Vec<WireToken>> = (0..ranks).map(|_| Vec::new()).collect();
+    for j in 0..data.ncols() {
+        let home = token_home(nomad.seed, j as u32, ranks);
+        pending[home].push(WireToken {
+            item: j as u32,
+            pass: 0,
+            factor: init.h.row(j).to_vec(),
+        });
+        if pending[home].len() >= nomad.message_batch {
+            let tokens = std::mem::take(&mut pending[home]);
+            transport.send(home, &Message::TokenBatch { qlen: 0, tokens })?;
+        }
+    }
+    for (home, tokens) in pending.into_iter().enumerate() {
+        if !tokens.is_empty() {
+            transport.send(home, &Message::TokenBatch { qlen: 0, tokens })?;
+        }
+    }
+
+    // Clock + gather.
+    let mut latest = vec![0u64; ranks];
+    let mut drained = budget == 0;
+    if drained {
+        for r in 0..ranks {
+            transport.send(r, &Message::Drain)?;
+        }
+    }
+    let mut shards: Vec<Option<ShardPayload>> = (0..ranks).map(|_| None).collect();
+    let mut gathered = 0usize;
+    while gathered < ranks {
+        if start.elapsed() > DRIVER_DEADLINE {
+            return Err(NetError::Protocol(format!(
+                "driver deadline: {gathered}/{ranks} shards after {:?}",
+                DRIVER_DEADLINE
+            )));
+        }
+        let Some((src, msg)) = transport.recv_timeout(Duration::from_millis(10))? else {
+            continue;
+        };
+        match msg {
+            Message::Progress { rank, updates } => {
+                let r = rank as usize;
+                if r >= ranks || r != src {
+                    return Err(NetError::Protocol(format!(
+                        "progress for rank {r} from endpoint {src}"
+                    )));
+                }
+                latest[r] = latest[r].max(updates);
+                if !drained && latest.iter().sum::<u64>() >= budget {
+                    drained = true;
+                    for dest in 0..ranks {
+                        transport.send(dest, &Message::Drain)?;
+                    }
+                }
+            }
+            Message::Shard(shard) => {
+                let r = shard.rank as usize;
+                if r >= ranks || r != src {
+                    return Err(NetError::Protocol(format!(
+                        "shard for rank {r} from endpoint {src}"
+                    )));
+                }
+                if shards[r].replace(*shard).is_some() {
+                    return Err(NetError::Protocol(format!("duplicate shard from rank {r}")));
+                }
+                gathered += 1;
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "driver got unexpected {other:?} from {src}"
+                )))
+            }
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let shards: Vec<ShardPayload> = shards.into_iter().map(|s| s.expect("gathered")).collect();
+    let model = assemble_model(data.nrows(), data.ncols(), params.k, &shards);
+    let stats = NetStats {
+        updates: shards.iter().map(|s| s.updates).sum(),
+        tokens_processed: shards.iter().map(|s| s.tickets).sum(),
+        remote_sends: shards.iter().map(|s| s.remote_sends).sum(),
+        wall_seconds,
+        per_rank_updates: shards.iter().map(|s| s.updates).collect(),
+    };
+    Ok(DistOutput { model, stats })
+}
+
+/// Reassembles the factor model from the gathered shards, asserting token
+/// conservation — the distributed mirror of the threaded engine's
+/// `assemble_model` invariant.
+fn assemble_model(nrows: usize, ncols: usize, k: usize, shards: &[ShardPayload]) -> FactorModel {
+    let mut model = FactorModel {
+        w: FactorMatrix::zeros(nrows, k),
+        h: FactorMatrix::zeros(ncols, k),
+    };
+    let mut seen = vec![false; ncols];
+    let mut total_passes = 0u64;
+    let mut total_tickets = 0u64;
+    for shard in shards {
+        assert_eq!(shard.k as usize, k, "shard k mismatch");
+        assert_eq!(shard.w_rows.len() % k, 0, "shard w_rows must be whole rows");
+        let rows = shard.w_rows.len() / k;
+        for local in 0..rows {
+            model.w.set_row(
+                shard.row_start as usize + local,
+                &shard.w_rows[local * k..(local + 1) * k],
+            );
+        }
+        for token in &shard.tokens {
+            let j = token.item as usize;
+            assert!(
+                j < ncols && !seen[j],
+                "item {j} owned by two ranks: token conservation violated"
+            );
+            seen[j] = true;
+            total_passes += token.pass;
+            model.h.set_row(j, &token.factor);
+        }
+        total_tickets += shard.tickets;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "every item must be in exactly one rank's shard at quiesce"
+    );
+    assert_eq!(
+        total_passes, total_tickets,
+        "token pass counts must sum to the tickets drawn across ranks"
+    );
+    model
+}
+
+/// The distributed NOMAD engine: one driver plus `ranks` ranks, each with
+/// a worker thread and a communication thread, connected by a pluggable
+/// transport.
+#[derive(Debug, Clone)]
+pub struct DistributedNomad {
+    cfg: NetConfig,
+    ranks: usize,
+}
+
+impl DistributedNomad {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    /// Panics if `ranks == 0`.
+    pub fn new(nomad: NomadConfig, ranks: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        Self {
+            cfg: NetConfig::new(nomad),
+            ranks,
+        }
+    }
+
+    /// Overrides the progress-report cadence.
+    pub fn with_progress_every(mut self, every: u64) -> Self {
+        self.cfg.progress_every = every;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Runs the engine with every rank on a thread of this process and
+    /// the in-memory [`Loopback`] transport — no sockets, same engine.
+    ///
+    /// # Errors
+    /// Propagates transport/protocol failures from any endpoint.
+    pub fn run_loopback(&self, data: &RatingMatrix) -> Result<DistOutput, NetError> {
+        let (driver, endpoints) = Loopback::mesh(self.ranks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|ep| {
+                    scope.spawn(move || {
+                        let ep = ep;
+                        crate::rank::run_rank(&ep)
+                    })
+                })
+                .collect();
+            let out = run_driver(&driver, data, &self.cfg);
+            for handle in handles {
+                handle.join().expect("rank thread panicked")?;
+            }
+            out
+        })
+    }
+
+    /// Runs the engine with every rank on a thread of this process but
+    /// over real localhost TCP sockets — the full wire path without
+    /// process spawning.
+    ///
+    /// # Errors
+    /// Propagates socket/protocol failures from any endpoint.
+    pub fn run_tcp_threads(&self, data: &RatingMatrix) -> Result<DistOutput, NetError> {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let ranks = self.ranks;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ranks)
+                .map(|r| {
+                    scope.spawn(move || -> Result<(), NetError> {
+                        let ep = crate::tcp::TcpTransport::connect_rank(&addr, r)?;
+                        crate::rank::run_rank(&ep)
+                    })
+                })
+                .collect();
+            let driver = crate::tcp::TcpTransport::accept_ranks(listener, ranks)?;
+            let out = run_driver(&driver, data, &self.cfg);
+            for handle in handles {
+                handle.join().expect("rank thread panicked")?;
+            }
+            out
+        })
+    }
+
+    /// Runs the engine with every rank in its **own re-exec'd process**
+    /// over localhost TCP — real address-space separation.
+    ///
+    /// The current executable is re-spawned once per rank; the binary's
+    /// `main` must call [`crate::process::child_entry`] before anything
+    /// else, which diverts the child into the rank loop.
+    ///
+    /// # Errors
+    /// Propagates spawn/socket/protocol failures; a child exiting
+    /// non-zero is reported as a protocol error.
+    pub fn run_processes(&self, data: &RatingMatrix) -> Result<DistOutput, NetError> {
+        crate::process::run_processes(&self.cfg, data, self.ranks)
+    }
+}

@@ -1,0 +1,518 @@
+//! The per-rank engine: one worker thread on the PR-3 hot path, one
+//! dedicated communication thread on the transport.
+//!
+//! Each rank owns a contiguous shard of user rows (they never move), a
+//! [`FactorSlab`] with a slot for *every* item factor (only the rows whose
+//! tokens the rank currently holds are live), and one lock-free
+//! [`SegQueue`] of `(item, pass)` tokens.  The worker loop is the same
+//! allocation-free loop as `ThreadedNomad`'s: pop a token, update against
+//! the local rating slice through [`FactorSlab::owner_row_mut`], route it
+//! onward.  The only new branch is the destination check — a token routed
+//! to *this* rank is pushed straight back onto the local queue (an
+//! intra-rank hop costs nothing and allocates nothing), while a token
+//! routed to another rank is handed to the communication thread together
+//! with a copy of its factor row (Section 2.3 of the paper: the factor
+//! travels with the token across address spaces).
+//!
+//! The communication thread batches outbound tokens into
+//! [`Message::TokenBatch`] frames of `message_batch` tokens (Section 3.5),
+//! injects inbound tokens by writing the carried factor into the slab row
+//! *before* pushing the token onto the worker queue (the push is the
+//! ownership hand-off, exactly as in the threaded engine), reports
+//! progress to the driver, and executes the quiesce protocol:
+//!
+//! 1. on `Drain`, stop the worker and join it;
+//! 2. flush every staged outbound token, then send `Fin` to every peer —
+//!    per-edge FIFO guarantees no token can arrive after its sender's
+//!    `Fin`;
+//! 3. keep injecting inbound tokens until every peer's `Fin` arrived, at
+//!    which point every token this rank will ever hold sits in its queue;
+//! 4. drain the queue into a [`ShardPayload`] (tokens + factors + pass
+//!    counts + local tickets) and send it to the driver.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crossbeam::queue::SegQueue;
+
+use nomad_core::slab::FactorSlab;
+use nomad_core::worker::WorkerData;
+use nomad_core::RoutingPolicy;
+use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_sgd::schedule::StepSchedule;
+use nomad_sgd::{FactorMatrix, HyperParams};
+
+use crate::transport::{NetError, Transport};
+use crate::wire::{Message, SetupPayload, ShardPayload, WireToken};
+
+/// How long the communication loop blocks on the transport per iteration.
+const COMM_POLL: Duration = Duration::from_micros(200);
+
+/// A nomadic token inside a rank: the item index plus its cumulative
+/// processing-pass count (same shape as the threaded engine's token).
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    item: Idx,
+    pass: u64,
+}
+
+/// A token leaving the rank: destination plus the factor row that must
+/// travel with it across the address-space boundary.
+struct Outbound {
+    dest: usize,
+    item: Idx,
+    pass: u64,
+    factor: Vec<f64>,
+}
+
+/// Decodes the routing byte of a [`SetupPayload`].
+fn routing_from_wire(byte: u8) -> RoutingPolicy {
+    match byte {
+        0 => RoutingPolicy::UniformRandom,
+        1 => RoutingPolicy::LeastLoaded,
+        2 => RoutingPolicy::RoundRobin,
+        other => unreachable!("wire decode validated routing byte {other}"),
+    }
+}
+
+/// Encodes a routing policy for a [`SetupPayload`].
+pub(crate) fn routing_to_wire(policy: RoutingPolicy) -> u8 {
+    match policy {
+        RoutingPolicy::UniformRandom => 0,
+        RoutingPolicy::LeastLoaded => 1,
+        RoutingPolicy::RoundRobin => 2,
+    }
+}
+
+/// Runs one rank to completion: handshake-for-setup, train, quiesce,
+/// ship the shard.  Returns once the shard has been sent.
+///
+/// # Errors
+/// Fails on transport errors or protocol violations (e.g. a second
+/// `Setup`, or a run that never receives one).
+pub fn run_rank<T: Transport>(transport: &T) -> Result<(), NetError> {
+    // Phase 1: wait for Setup.  Per-edge FIFO means the driver's initial
+    // token batches cannot overtake it, but tokens from *other ranks* can
+    // already arrive (their ranks may start faster) — stash those.
+    // `recv_timeout` may return early (condvar wakeups can be spurious),
+    // so the 30s budget is enforced against a real deadline, not per call.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut stashed: Vec<(usize, Message)> = Vec::new();
+    let setup = loop {
+        match transport.recv_timeout(Duration::from_millis(100))? {
+            Some((_, Message::Setup(setup))) => break *setup,
+            Some(other) => stashed.push(other),
+            None if std::time::Instant::now() >= deadline => {
+                return Err(NetError::Protocol(
+                    "no Setup within 30s of joining the mesh".into(),
+                ))
+            }
+            None => {}
+        }
+    };
+    run_rank_inner(transport, setup, stashed)
+}
+
+/// Per-rank state shared between the worker and communication threads.
+struct Shared {
+    queue: SegQueue<Token>,
+    outbound: SegQueue<Outbound>,
+    slab: FactorSlab,
+    drain: AtomicBool,
+    worker_exited: AtomicBool,
+    local_updates: AtomicU64,
+    /// Piggybacked queue-length estimates for every rank (own entry is
+    /// unused; the worker reads its own queue directly).
+    qlen_estimates: Vec<AtomicU64>,
+}
+
+fn run_rank_inner<T: Transport>(
+    transport: &T,
+    setup: SetupPayload,
+    stashed: Vec<(usize, Message)>,
+) -> Result<(), NetError> {
+    let rank = setup.rank as usize;
+    let ranks = setup.ranks as usize;
+    let driver = transport.ranks();
+    assert_eq!(rank, transport.id(), "setup addressed to the wrong rank");
+    assert_eq!(ranks, transport.ranks(), "mesh size mismatch");
+    let k = setup.k as usize;
+    let params = HyperParams {
+        k,
+        lambda: setup.lambda,
+        alpha: setup.alpha,
+        beta: setup.beta,
+    }; // field-by-field so new hyper-parameters force a wire change
+    let routing = routing_from_wire(setup.routing);
+
+    // Rebuild the local view: a rating matrix over the *global* coordinate
+    // space holding only this shard's rows, restricted to this rank's
+    // partition slice.
+    let mut triplets = TripletMatrix::new(setup.nrows as usize, setup.ncols as usize);
+    for &(i, j, v) in &setup.entries {
+        triplets.push(i, j, v);
+    }
+    let local = RatingMatrix::from_triplets(&triplets);
+    let partition = RowPartition::contiguous(setup.nrows as usize, ranks);
+    let mut wd = WorkerData::build_all(&local, &partition).swap_remove(rank);
+    let row_count = setup.row_count as usize;
+    assert_eq!(
+        setup.w_rows.len(),
+        row_count * k,
+        "w_rows must be row_count x k"
+    );
+    let mut own = FactorMatrix::zeros(row_count, k);
+    for local_row in 0..row_count {
+        own.set_row(local_row, &setup.w_rows[local_row * k..(local_row + 1) * k]);
+    }
+    let own_offset = setup.row_start as usize;
+
+    let shared = Shared {
+        queue: SegQueue::new(),
+        outbound: SegQueue::new(),
+        slab: FactorSlab::zeroed(setup.ncols as usize, k),
+        drain: AtomicBool::new(false),
+        worker_exited: AtomicBool::new(false),
+        local_updates: AtomicU64::new(0),
+        qlen_estimates: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+    };
+
+    let mut comm = CommState::new(rank, ranks, driver, &setup);
+    // Tokens that raced ahead of Setup are injected first.
+    for (src, msg) in stashed {
+        comm.handle(transport, &shared, src, msg)?;
+    }
+
+    let mut tickets = 0u64;
+    std::thread::scope(|scope| -> Result<(), NetError> {
+        let worker = scope.spawn(|| {
+            worker_loop(
+                rank,
+                ranks,
+                &shared,
+                &mut wd,
+                &mut own,
+                own_offset,
+                params,
+                routing,
+                setup.seed,
+                setup.budget,
+            )
+        });
+        let mut worker = Some(worker);
+        loop {
+            comm.flush_ready(transport, &shared)?;
+            comm.report_progress(transport, &shared)?;
+
+            if shared.drain.load(Ordering::Acquire) {
+                if let Some(handle) = worker.take() {
+                    // The worker re-checks the drain flag every iteration
+                    // and never blocks, so this join is prompt.
+                    tickets = handle.join().expect("worker thread panicked");
+                    // Final flush: the worker pushed its last outbound
+                    // token before exiting.
+                    comm.flush_all(transport, &shared)?;
+                    comm.send_fins(transport)?;
+                    comm.report_progress(transport, &shared)?;
+                }
+                if comm.fins_received == ranks - 1 {
+                    break;
+                }
+            }
+
+            if let Some((src, msg)) = transport.recv_timeout(COMM_POLL)? {
+                comm.handle(transport, &shared, src, msg)?;
+            }
+        }
+        Ok(())
+    })?;
+
+    // Quiesced: every token this rank will ever hold is in the queue, and
+    // the worker is gone — reading slab rows races nothing.
+    let mut tokens = Vec::new();
+    while let Some(token) = shared.queue.pop() {
+        tokens.push(WireToken {
+            item: token.item,
+            pass: token.pass,
+            factor: shared.slab.row(token.item as usize).to_vec(),
+        });
+    }
+    let shard = ShardPayload {
+        rank: rank as u32,
+        row_start: setup.row_start,
+        k: setup.k,
+        w_rows: own.as_slice().to_vec(),
+        tokens,
+        tickets,
+        updates: shared.local_updates.load(Ordering::Acquire),
+        remote_sends: comm.remote_sends,
+    };
+    transport.send(driver, &Message::Shard(Box::new(shard)))
+}
+
+/// The communication thread's bookkeeping.
+struct CommState {
+    rank: usize,
+    ranks: usize,
+    driver: usize,
+    message_batch: usize,
+    progress_every: u64,
+    /// Per-destination staging buffers for outbound tokens.
+    buffers: Vec<Vec<WireToken>>,
+    fins_received: usize,
+    fins_sent: bool,
+    last_reported: u64,
+    remote_sends: u64,
+}
+
+impl CommState {
+    fn new(rank: usize, ranks: usize, driver: usize, setup: &SetupPayload) -> Self {
+        Self {
+            rank,
+            ranks,
+            driver,
+            message_batch: (setup.message_batch as usize).max(1),
+            progress_every: setup.progress_every.max(1),
+            buffers: (0..ranks).map(|_| Vec::new()).collect(),
+            fins_received: 0,
+            fins_sent: false,
+            last_reported: 0,
+            remote_sends: 0,
+        }
+    }
+
+    /// Moves staged worker output into per-destination buffers and sends
+    /// every buffer that reached the batch size.
+    fn flush_ready<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
+        let mut moved = false;
+        while let Some(out) = shared.outbound.pop() {
+            self.buffers[out.dest].push(WireToken {
+                item: out.item,
+                pass: out.pass,
+                factor: out.factor,
+            });
+            moved = true;
+            if self.buffers[out.dest].len() >= self.message_batch {
+                self.send_buffer(t, shared, out.dest)?;
+            }
+        }
+        // When the staging queue ran dry, ship the stragglers too: a token
+        // parked in a half-full buffer would otherwise wait for future
+        // traffic, and latency matters more than batching once idle.
+        if !moved || shared.worker_exited.load(Ordering::Acquire) {
+            for dest in 0..self.ranks {
+                if !self.buffers[dest].is_empty() {
+                    self.send_buffer(t, shared, dest)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unconditionally flushes every staged token (quiesce path).
+    fn flush_all<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
+        while let Some(out) = shared.outbound.pop() {
+            self.buffers[out.dest].push(WireToken {
+                item: out.item,
+                pass: out.pass,
+                factor: out.factor,
+            });
+        }
+        for dest in 0..self.ranks {
+            if !self.buffers[dest].is_empty() {
+                self.send_buffer(t, shared, dest)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_buffer<T: Transport>(
+        &mut self,
+        t: &T,
+        shared: &Shared,
+        dest: usize,
+    ) -> Result<(), NetError> {
+        let tokens = std::mem::take(&mut self.buffers[dest]);
+        self.remote_sends += tokens.len() as u64;
+        t.send(
+            dest,
+            &Message::TokenBatch {
+                qlen: shared.queue.len() as u64,
+                tokens,
+            },
+        )
+    }
+
+    fn report_progress<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
+        let updates = shared.local_updates.load(Ordering::Acquire);
+        let due = updates - self.last_reported >= self.progress_every
+            || (shared.worker_exited.load(Ordering::Acquire) && updates != self.last_reported);
+        if due {
+            self.last_reported = updates;
+            t.send(
+                self.driver,
+                &Message::Progress {
+                    rank: self.rank as u32,
+                    updates,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn send_fins<T: Transport>(&mut self, t: &T) -> Result<(), NetError> {
+        if self.fins_sent {
+            return Ok(());
+        }
+        self.fins_sent = true;
+        for dest in 0..self.ranks {
+            if dest != self.rank {
+                t.send(
+                    dest,
+                    &Message::Fin {
+                        rank: self.rank as u32,
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle<T: Transport>(
+        &mut self,
+        _t: &T,
+        shared: &Shared,
+        src: usize,
+        msg: Message,
+    ) -> Result<(), NetError> {
+        match msg {
+            Message::TokenBatch { qlen, tokens } => {
+                if src < self.ranks {
+                    shared.qlen_estimates[src].store(qlen, Ordering::Relaxed);
+                }
+                for token in tokens {
+                    let item = token.item as usize;
+                    if item >= shared.slab.rows() || token.factor.len() != shared.slab.k() {
+                        return Err(NetError::Protocol(format!(
+                            "token for item {item} with factor length {}",
+                            token.factor.len()
+                        )));
+                    }
+                    // SAFETY: this rank does not hold the token for `item`
+                    // (the sender did until it sealed this batch), so no
+                    // other thread can touch the row; the queue push below
+                    // is the release edge that hands the row to the
+                    // worker.
+                    unsafe { shared.slab.owner_row_mut(token.item) }.copy_from_slice(&token.factor);
+                    shared.queue.push(Token {
+                        item: token.item,
+                        pass: token.pass,
+                    });
+                }
+            }
+            Message::Drain => shared.drain.store(true, Ordering::Release),
+            Message::Fin { .. } => self.fins_received += 1,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "rank {} got unexpected {other:?} from {src}",
+                    self.rank
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The hot loop: identical decision points to `ThreadedNomad`'s
+/// `worker_loop` (stop-check before pop, ticket before update, push after
+/// update), with remote destinations staged for the communication thread.
+/// Returns the local ticket count.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    rank: usize,
+    ranks: usize,
+    shared: &Shared,
+    wd: &mut WorkerData,
+    own: &mut FactorMatrix,
+    own_offset: usize,
+    params: HyperParams,
+    routing: RoutingPolicy,
+    seed: u64,
+    budget: u64,
+) -> u64 {
+    let mut rng = nomad_linalg::SmallRng64::new(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+    let mut rr_cursor = rank;
+    let schedule = params.nomad_schedule();
+    let mut tickets = 0u64;
+    let mut local_updates = 0u64;
+    loop {
+        if shared.drain.load(Ordering::Acquire) {
+            break;
+        }
+        // Local hard cap at the *global* budget: any rank that has done
+        // the whole budget alone can stop without waiting for the
+        // driver's drain — and at one rank this reproduces the serial
+        // engine's stop point exactly.
+        if local_updates >= budget {
+            break;
+        }
+        let Some(token) = shared.queue.pop() else {
+            std::thread::yield_now();
+            continue;
+        };
+        tickets += 1;
+        let t = wd.record_pass(token.item);
+        let step = schedule.step(t);
+        // SAFETY: we hold the token for `token.item`; the row is ours
+        // until the token is pushed onward (locally or via the
+        // communication thread).
+        let h = unsafe { shared.slab.owner_row_mut(token.item) };
+        let mut count = 0u64;
+        for (user, rating) in wd.local_cols.col(token.item as usize) {
+            let wi = own.row_mut(user as usize - own_offset);
+            nomad_linalg::vec_ops::sgd_pair_update(wi, h, rating, step, params.lambda);
+            count += 1;
+        }
+        local_updates += count;
+        shared.local_updates.store(local_updates, Ordering::Release);
+
+        let dest = match routing {
+            RoutingPolicy::UniformRandom => rng.next_below(ranks),
+            RoutingPolicy::RoundRobin => {
+                rr_cursor = rr_cursor.wrapping_add(1);
+                rr_cursor % ranks
+            }
+            RoutingPolicy::LeastLoaded => {
+                let a = rng.next_below(ranks);
+                let b = rng.next_below(ranks);
+                let load = |r: usize| {
+                    if r == rank {
+                        shared.queue.len() as u64
+                    } else {
+                        shared.qlen_estimates[r].load(Ordering::Relaxed)
+                    }
+                };
+                if load(b) < load(a) {
+                    b
+                } else {
+                    a
+                }
+            }
+        };
+        if dest == rank {
+            shared.queue.push(Token {
+                item: token.item,
+                pass: token.pass + 1,
+            });
+        } else {
+            shared.outbound.push(Outbound {
+                dest,
+                item: token.item,
+                pass: token.pass + 1,
+                factor: h.to_vec(),
+            });
+        }
+    }
+    shared.worker_exited.store(true, Ordering::Release);
+    tickets
+}

@@ -1,0 +1,441 @@
+//! [`Transport`] over real `std::net` TCP sockets on localhost.
+//!
+//! Topology is a full mesh: every rank holds one stream to the driver and
+//! one to each other rank.  The mesh is built with a three-step handshake:
+//!
+//! 1. every rank binds its own peer listener on `127.0.0.1:0`, connects to
+//!    the driver and sends `Hello { rank, port }`;
+//! 2. the driver, having accepted all `p` connections, replies to each
+//!    with `Peers { ports }` (every rank's listener port, indexed by
+//!    rank);
+//! 3. rank `r` connects to every rank `s < r` (identifying itself with
+//!    `PeerHello { r }`) and accepts a connection from every rank `s > r`.
+//!
+//! After the handshake every stream carries length-prefixed
+//! [`crate::wire`] frames.  One detached reader thread per stream decodes
+//! frames into a shared inbox (preserving per-stream order, which is the
+//! per-edge FIFO guarantee the quiesce protocol needs); writers lock a
+//! per-destination mutex, so any thread of the endpoint may send.
+//!
+//! The same handshake serves both deployment shapes: process mode
+//! (children re-exec'd by [`crate::process`]) and thread mode (rank
+//! threads inside one process, used by tests to exercise the socket path
+//! without `fork`).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::transport::{NetError, Transport};
+use crate::wire::{read_frame, write_frame, Message};
+
+/// Shared inbox: decoded messages tagged with the source endpoint.
+struct Inbox {
+    queue: Mutex<VecDeque<(usize, Message)>>,
+    ready: Condvar,
+}
+
+impl Inbox {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// A TCP mesh endpoint (either a rank or the driver).
+pub struct TcpTransport {
+    id: usize,
+    ranks: usize,
+    /// Write halves, indexed by endpoint id (`None` for self).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    inbox: Arc<Inbox>,
+}
+
+fn spawn_reader(src: usize, stream: TcpStream, inbox: Arc<Inbox>) {
+    std::thread::Builder::new()
+        .name(format!("nomad-net-reader-{src}"))
+        .spawn(move || {
+            let mut stream = stream;
+            // Stops on clean EOF or I/O error (the peer is gone) and on a
+            // decode failure (the peer is broken; the engine notices the
+            // silence — a missing Fin or Shard — and surfaces a timeout).
+            while let Ok(Some(payload)) = read_frame(&mut stream) {
+                let Ok(msg) = Message::decode(&payload) else {
+                    break;
+                };
+                let mut queue = inbox.queue.lock().expect("inbox poisoned");
+                queue.push_back((src, msg));
+                drop(queue);
+                inbox.ready.notify_one();
+            }
+        })
+        .expect("spawn reader thread");
+}
+
+fn send_on(stream: &Mutex<TcpStream>, msg: &Message) -> Result<(), NetError> {
+    let payload = msg.encode()?;
+    let mut guard = stream.lock().expect("writer poisoned");
+    write_frame(&mut *guard, &payload)?;
+    guard.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one frame directly from `stream` (used during the
+/// handshake, before reader threads exist).
+fn read_msg(stream: &mut TcpStream) -> Result<Message, NetError> {
+    match read_frame(stream)? {
+        Some(payload) => Ok(Message::decode(&payload)?),
+        None => Err(NetError::Closed),
+    }
+}
+
+fn configure(stream: &TcpStream) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    Ok(())
+}
+
+/// How long each side of the mesh handshake waits for a counterpart
+/// before giving up.  A party that dies mid-handshake (a rank child
+/// crashing before it connects, say) must surface as an error here, not
+/// as an indefinitely blocked `accept`.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Accepts one connection, erroring once `deadline` passes (a plain
+/// `TcpListener::accept` has no timeout).  The accepted stream is
+/// switched back to blocking mode.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: std::time::Instant,
+    waiting_for: &str,
+) -> Result<TcpStream, NetError> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                // Handshake reads are also bounded, so a party that
+                // connects and then goes silent cannot wedge us either.
+                stream.set_read_timeout(Some(HANDSHAKE_DEADLINE))?;
+                configure(&stream)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(NetError::Protocol(format!(
+                        "handshake deadline: still waiting for {waiting_for}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Driver side of the handshake: accept `ranks` connections on
+    /// `listener`, collect each rank's `Hello`, broadcast `Peers`.
+    ///
+    /// # Errors
+    /// Fails on socket errors, on the handshake deadline (a rank that
+    /// never connects — e.g. a crashed child process), or if a connecting
+    /// party violates the handshake (wrong first message, duplicate or
+    /// out-of-range rank).
+    pub fn accept_ranks(listener: TcpListener, ranks: usize) -> Result<TcpTransport, NetError> {
+        assert!(ranks > 0, "need at least one rank");
+        let deadline = std::time::Instant::now() + HANDSHAKE_DEADLINE;
+        let mut streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
+        let mut ports = vec![0u16; ranks];
+        for already in 0..ranks {
+            let mut stream = accept_with_deadline(
+                &listener,
+                deadline,
+                &format!("rank hello {already}/{ranks}"),
+            )?;
+            match read_msg(&mut stream)? {
+                Message::Hello { rank, port } => {
+                    let r = rank as usize;
+                    if r >= ranks {
+                        return Err(NetError::Protocol(format!("rank {r} out of range")));
+                    }
+                    if streams[r].is_some() {
+                        return Err(NetError::Protocol(format!("duplicate hello from rank {r}")));
+                    }
+                    ports[r] = port;
+                    streams[r] = Some(stream);
+                }
+                other => return Err(NetError::Protocol(format!("expected Hello, got {other:?}"))),
+            }
+        }
+        let peers = Message::Peers {
+            ports: ports.clone(),
+        };
+        for stream in streams.iter_mut().flatten() {
+            let payload = peers.encode()?;
+            write_frame(stream, &payload)?;
+        }
+        let inbox = Arc::new(Inbox::new());
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(ranks + 1);
+        for (r, stream) in streams.into_iter().enumerate() {
+            let stream = stream.expect("all ranks connected");
+            // Steady-state reads block indefinitely (EOF signals a dead
+            // peer); only the handshake was deadline-bounded.
+            stream.set_read_timeout(None)?;
+            spawn_reader(r, stream.try_clone()?, Arc::clone(&inbox));
+            writers.push(Some(Mutex::new(stream)));
+        }
+        writers.push(None); // self
+        Ok(TcpTransport {
+            id: ranks,
+            ranks,
+            writers,
+            inbox,
+        })
+    }
+
+    /// Rank side of the handshake: connect to the driver at
+    /// `driver_addr`, announce our peer listener, then wire up the mesh
+    /// from the driver's `Peers` reply.
+    ///
+    /// # Errors
+    /// Fails on socket errors, on the handshake deadline, or on a
+    /// handshake protocol violation.
+    pub fn connect_rank(driver_addr: &SocketAddr, rank: usize) -> Result<TcpTransport, NetError> {
+        let deadline = std::time::Instant::now() + HANDSHAKE_DEADLINE;
+        let own_listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let own_port = own_listener.local_addr()?.port();
+        let mut driver = TcpStream::connect(driver_addr)?;
+        driver.set_read_timeout(Some(HANDSHAKE_DEADLINE))?;
+        configure(&driver)?;
+        {
+            let payload = Message::Hello {
+                rank: rank as u32,
+                port: own_port,
+            }
+            .encode()?;
+            write_frame(&mut driver, &payload)?;
+        }
+        let ports = match read_msg(&mut driver)? {
+            Message::Peers { ports } => ports,
+            other => return Err(NetError::Protocol(format!("expected Peers, got {other:?}"))),
+        };
+        let ranks = ports.len();
+        if rank >= ranks {
+            return Err(NetError::Protocol(format!(
+                "rank {rank} not in a {ranks}-rank mesh"
+            )));
+        }
+
+        let mut peer_streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
+        // Connect downward: rank r dials every s < r.
+        for (s, &port) in ports.iter().enumerate().take(rank) {
+            let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+            configure(&stream)?;
+            let payload = Message::PeerHello { rank: rank as u32 }.encode()?;
+            write_frame(&mut stream, &payload)?;
+            peer_streams[s] = Some(stream);
+        }
+        // Accept upward: every s > r dials us.
+        for upward in rank + 1..ranks {
+            let mut stream = accept_with_deadline(
+                &own_listener,
+                deadline,
+                &format!("peer hello (expecting rank > {rank}, {upward}/{ranks})"),
+            )?;
+            match read_msg(&mut stream)? {
+                Message::PeerHello { rank: s } => {
+                    let s = s as usize;
+                    if s <= rank || s >= ranks {
+                        return Err(NetError::Protocol(format!(
+                            "unexpected peer hello from rank {s}"
+                        )));
+                    }
+                    if peer_streams[s].is_some() {
+                        return Err(NetError::Protocol(format!("duplicate peer {s}")));
+                    }
+                    peer_streams[s] = Some(stream);
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected PeerHello, got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        let inbox = Arc::new(Inbox::new());
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(ranks + 1);
+        for (s, stream) in peer_streams.into_iter().enumerate() {
+            match stream {
+                Some(stream) => {
+                    // Handshake over: steady-state reads block until EOF.
+                    stream.set_read_timeout(None)?;
+                    spawn_reader(s, stream.try_clone()?, Arc::clone(&inbox));
+                    writers.push(Some(Mutex::new(stream)));
+                }
+                None => {
+                    assert_eq!(s, rank, "only the self-edge may be missing");
+                    writers.push(None);
+                }
+            }
+        }
+        driver.set_read_timeout(None)?;
+        spawn_reader(ranks, driver.try_clone()?, Arc::clone(&inbox));
+        writers.push(Some(Mutex::new(driver)));
+        Ok(TcpTransport {
+            id: rank,
+            ranks,
+            writers,
+            inbox,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
+        assert!(dest <= self.ranks, "destination {dest} out of mesh");
+        let writer = self.writers[dest]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no stream from {} to {dest}", self.id));
+        send_on(writer, msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, NetError> {
+        let mut queue = self.inbox.queue.lock().expect("inbox poisoned");
+        if queue.is_empty() {
+            let (guard, _) = self
+                .inbox
+                .ready
+                .wait_timeout(queue, timeout)
+                .expect("inbox poisoned");
+            queue = guard;
+        }
+        Ok(queue.pop_front())
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Shut the sockets down so the detached reader threads see EOF and
+        // exit instead of blocking forever on a half-open stream.
+        for writer in self.writers.iter().flatten() {
+            if let Ok(stream) = writer.lock() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a full in-process TCP mesh: the driver on the caller thread,
+    /// every rank endpoint created on its own thread, then all endpoints
+    /// returned for the test body to script.
+    fn tcp_mesh(ranks: usize) -> (TcpTransport, Vec<TcpTransport>) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handles: Vec<_> = (0..ranks)
+            .map(|r| std::thread::spawn(move || TcpTransport::connect_rank(&addr, r).unwrap()))
+            .collect();
+        let driver = TcpTransport::accept_ranks(listener, ranks).unwrap();
+        let endpoints = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (driver, endpoints)
+    }
+
+    #[test]
+    fn handshake_builds_a_full_mesh_and_routes_messages() {
+        let (driver, ranks) = tcp_mesh(3);
+        // Driver → every rank.
+        for (r, _) in ranks.iter().enumerate() {
+            driver.send(r, &Message::Drain).unwrap();
+        }
+        for endpoint in &ranks {
+            let (src, msg) = endpoint
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("drain pending");
+            assert_eq!(src, 3, "driver is endpoint `ranks`");
+            assert_eq!(msg, Message::Drain);
+        }
+        // Rank → rank across the mesh, both directions.
+        ranks[0].send(2, &Message::Fin { rank: 0 }).unwrap();
+        ranks[2].send(0, &Message::Fin { rank: 2 }).unwrap();
+        let (src, msg) = ranks[2]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!((src, msg), (0, Message::Fin { rank: 0 }));
+        let (src, msg) = ranks[0]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!((src, msg), (2, Message::Fin { rank: 2 }));
+        // Rank → driver.
+        ranks[1]
+            .send(
+                3,
+                &Message::Progress {
+                    rank: 1,
+                    updates: 7,
+                },
+            )
+            .unwrap();
+        let (src, msg) = driver
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            (src, msg),
+            (
+                1,
+                Message::Progress {
+                    rank: 1,
+                    updates: 7
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn streams_preserve_per_edge_fifo_order() {
+        let (driver, ranks) = tcp_mesh(1);
+        for u in 0..100u64 {
+            ranks[0]
+                .send(
+                    1,
+                    &Message::Progress {
+                        rank: 0,
+                        updates: u,
+                    },
+                )
+                .unwrap();
+        }
+        for expect in 0..100u64 {
+            let (_, msg) = driver
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("message pending");
+            assert_eq!(
+                msg,
+                Message::Progress {
+                    rank: 0,
+                    updates: expect
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! The wire codec: a compact, hand-rolled binary format for everything
+//! that crosses an address-space boundary.
+//!
+//! Section 3.5 of the paper batches ~100 `(j, h_j)` pairs into a single
+//! network message to amortize latency; this module defines that message
+//! (and the control-plane messages around it) as length-prefixed frames of
+//! little-endian scalars.  No external serialization crate is involved —
+//! the format is small enough that a hand-rolled codec is both faster and
+//! easier to audit, and decoding is *total*: any truncated or corrupted
+//! frame produces a [`WireError`], never a panic or an oversized
+//! allocation (a property the fuzz-ish tests pin down).
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [u32 payload length (LE)] [payload bytes]
+//! payload := [u8 tag] [tag-specific fields, little-endian]
+//! ```
+//!
+//! Variable-length sequences are prefixed with a `u32` element count that
+//! is validated against both a hard cap ([`MAX_SEQ_LEN`]) and the number
+//! of bytes actually remaining in the frame before any allocation happens.
+
+use std::io::{Read, Write};
+
+use nomad_matrix::Idx;
+
+/// Hard cap on the byte length of a single frame payload (64 MiB).
+///
+/// Anything larger is a protocol violation: the largest legitimate frames
+/// are dataset shards, and even the `standard`-scale shards stay well
+/// below this.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Hard cap on the element count of any length-prefixed sequence.
+pub const MAX_SEQ_LEN: u32 = 1 << 27;
+
+/// Decoding / framing failure.  Every malformed input maps to one of
+/// these; the codec never panics on attacker-controlled bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced field/frame did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A length prefix exceeds [`MAX_FRAME_LEN`] / [`MAX_SEQ_LEN`] or the
+    /// bytes remaining in the frame.
+    BadLength(u64),
+    /// A fixed-domain field (routing policy, boolean) held an invalid
+    /// value.
+    BadValue(u64),
+    /// The payload decoded cleanly but bytes were left over.
+    Trailing(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadLength(n) => write!(f, "length {n} exceeds frame or cap"),
+            WireError::BadValue(v) => write!(f, "invalid field value {v}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One nomadic `(j, h_j)` pair in flight between address spaces: the item
+/// index, the token's cumulative processing-pass count (the conservation
+/// ledger summed at quiesce), and the item's factor row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireToken {
+    /// Item index `j`.
+    pub item: Idx,
+    /// Total times the token has been processed anywhere.
+    pub pass: u64,
+    /// The factor row `h_j`.
+    pub factor: Vec<f64>,
+}
+
+/// Everything a rank needs to start working: its shard of the statically
+/// partitioned users, the local rating slice, and the run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupPayload {
+    /// This rank's index.
+    pub rank: u32,
+    /// Total number of ranks.
+    pub ranks: u32,
+    /// Global user count.
+    pub nrows: u64,
+    /// Global item count.
+    pub ncols: u64,
+    /// First user row owned by this rank (contiguous shard).
+    pub row_start: u64,
+    /// Number of user rows owned by this rank.
+    pub row_count: u64,
+    /// Latent dimension.
+    pub k: u32,
+    /// RNG seed shared by every rank (routing streams are derived per
+    /// rank, token homes via `token_home`).
+    pub seed: u64,
+    /// Regularization λ.
+    pub lambda: f64,
+    /// Step-size numerator α (Eq. 11).
+    pub alpha: f64,
+    /// Step-size decay β (Eq. 11).
+    pub beta: f64,
+    /// Routing policy (0 = uniform, 1 = least-loaded, 2 = round-robin).
+    pub routing: u8,
+    /// Global SGD-update budget; also each rank's local hard cap.
+    pub budget: u64,
+    /// Tokens per outbound network message (Section 3.5; ~100).
+    pub message_batch: u32,
+    /// Updates between progress reports to the driver.
+    pub progress_every: u64,
+    /// Initial user-factor rows for the shard, row-major
+    /// (`row_count * k` values).
+    pub w_rows: Vec<f64>,
+    /// Local ratings as `(global user, item, rating)` triplets.
+    pub entries: Vec<(u32, u32, f64)>,
+}
+
+/// A rank's final state, gathered by the driver at quiesce: owned user
+/// rows, every token currently held (with factors and pass counts), and
+/// the local slice of the conservation ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPayload {
+    /// The reporting rank.
+    pub rank: u32,
+    /// First global user row of `w_rows`.
+    pub row_start: u64,
+    /// Latent dimension (for framing `w_rows`).
+    pub k: u32,
+    /// Owned user-factor rows, row-major.
+    pub w_rows: Vec<f64>,
+    /// Every token held by this rank when it quiesced.
+    pub tokens: Vec<WireToken>,
+    /// Token-processing events performed locally (local tickets).
+    pub tickets: u64,
+    /// SGD updates performed locally.
+    pub updates: u64,
+    /// Tokens this rank sent to other ranks over the transport.
+    pub remote_sends: u64,
+}
+
+/// Every message of the nomad-net protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Rank → driver (TCP handshake): "I am rank `rank`, my peer listener
+    /// is on 127.0.0.1:`port`".
+    Hello {
+        /// The connecting rank.
+        rank: u32,
+        /// The rank's peer-listener port.
+        port: u16,
+    },
+    /// Rank → rank (TCP handshake): identifies the connecting peer.
+    PeerHello {
+        /// The connecting rank.
+        rank: u32,
+    },
+    /// Driver → rank (TCP handshake): every rank's peer-listener port,
+    /// indexed by rank.
+    Peers {
+        /// `ports[r]` is rank `r`'s listener port on 127.0.0.1.
+        ports: Vec<u16>,
+    },
+    /// Driver → rank: shard + configuration.
+    Setup(Box<SetupPayload>),
+    /// A batch of nomadic tokens, plus the sender's current queue length
+    /// (piggybacked for the least-loaded routing policy, Section 3.3).
+    TokenBatch {
+        /// Sender's queue length when the batch was sealed.
+        qlen: u64,
+        /// The tokens.
+        tokens: Vec<WireToken>,
+    },
+    /// Rank → driver: cumulative local update count.
+    Progress {
+        /// The reporting rank.
+        rank: u32,
+        /// Its cumulative SGD-update count.
+        updates: u64,
+    },
+    /// Driver → rank: stop processing, flush, quiesce.
+    Drain,
+    /// Rank → rank: "no more tokens will ever follow on this edge".
+    Fin {
+        /// The sending rank.
+        rank: u32,
+    },
+    /// Rank → driver: final gathered state.
+    Shard(Box<ShardPayload>),
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_PEER_HELLO: u8 = 2;
+const TAG_PEERS: u8 = 3;
+const TAG_SETUP: u8 = 4;
+const TAG_TOKEN_BATCH: u8 = 5;
+const TAG_PROGRESS: u8 = 6;
+const TAG_DRAIN: u8 = 7;
+const TAG_FIN: u8 = 8;
+const TAG_SHARD: u8 = 9;
+
+// ---------------------------------------------------------------------------
+// Primitive writers/readers.
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) -> Result<(), WireError> {
+    let n = seq_len(vs.len())?;
+    put_u32(buf, n);
+    for &v in vs {
+        put_f64(buf, v);
+    }
+    Ok(())
+}
+
+fn seq_len(len: usize) -> Result<u32, WireError> {
+    if len as u64 > MAX_SEQ_LEN as u64 {
+        return Err(WireError::BadLength(len as u64));
+    }
+    Ok(len as u32)
+}
+
+/// Cursor over a received payload; every getter is bounds-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` sequence length and validates it against the cap
+    /// *and* the bytes remaining for `elem_bytes`-sized elements, so a
+    /// corrupted length can never trigger a huge allocation.
+    fn seq(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()?;
+        if n > MAX_SEQ_LEN {
+            return Err(WireError::BadLength(n as u64));
+        }
+        let need = (n as usize)
+            .checked_mul(elem_bytes)
+            .ok_or(WireError::BadLength(n as u64))?;
+        if self.remaining() < need {
+            return Err(WireError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.seq(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Trailing(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message encode/decode.
+
+fn put_token(buf: &mut Vec<u8>, t: &WireToken) -> Result<(), WireError> {
+    put_u32(buf, t.item);
+    put_u64(buf, t.pass);
+    put_f64s(buf, &t.factor)
+}
+
+fn get_token(r: &mut Reader<'_>) -> Result<WireToken, WireError> {
+    let item = r.u32()?;
+    let pass = r.u64()?;
+    let factor = r.f64s()?;
+    Ok(WireToken { item, pass, factor })
+}
+
+fn put_tokens(buf: &mut Vec<u8>, tokens: &[WireToken]) -> Result<(), WireError> {
+    put_u32(buf, seq_len(tokens.len())?);
+    for t in tokens {
+        put_token(buf, t)?;
+    }
+    Ok(())
+}
+
+fn get_tokens(r: &mut Reader<'_>) -> Result<Vec<WireToken>, WireError> {
+    // Minimum 16 bytes per token (item + pass + empty factor length).
+    let n = r.seq(16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_token(r)?);
+    }
+    Ok(out)
+}
+
+impl Message {
+    /// Encodes the message payload (tag byte + fields, no length prefix).
+    ///
+    /// # Errors
+    /// Fails only if a sequence exceeds [`MAX_SEQ_LEN`] — impossible for
+    /// messages the engine itself builds.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Hello { rank, port } => {
+                buf.push(TAG_HELLO);
+                put_u32(&mut buf, *rank);
+                put_u16(&mut buf, *port);
+            }
+            Message::PeerHello { rank } => {
+                buf.push(TAG_PEER_HELLO);
+                put_u32(&mut buf, *rank);
+            }
+            Message::Peers { ports } => {
+                buf.push(TAG_PEERS);
+                put_u32(&mut buf, seq_len(ports.len())?);
+                for &p in ports {
+                    put_u16(&mut buf, p);
+                }
+            }
+            Message::Setup(s) => {
+                buf.push(TAG_SETUP);
+                put_u32(&mut buf, s.rank);
+                put_u32(&mut buf, s.ranks);
+                put_u64(&mut buf, s.nrows);
+                put_u64(&mut buf, s.ncols);
+                put_u64(&mut buf, s.row_start);
+                put_u64(&mut buf, s.row_count);
+                put_u32(&mut buf, s.k);
+                put_u64(&mut buf, s.seed);
+                put_f64(&mut buf, s.lambda);
+                put_f64(&mut buf, s.alpha);
+                put_f64(&mut buf, s.beta);
+                buf.push(s.routing);
+                put_u64(&mut buf, s.budget);
+                put_u32(&mut buf, s.message_batch);
+                put_u64(&mut buf, s.progress_every);
+                put_f64s(&mut buf, &s.w_rows)?;
+                put_u32(&mut buf, seq_len(s.entries.len())?);
+                for &(i, j, v) in &s.entries {
+                    put_u32(&mut buf, i);
+                    put_u32(&mut buf, j);
+                    put_f64(&mut buf, v);
+                }
+            }
+            Message::TokenBatch { qlen, tokens } => {
+                buf.push(TAG_TOKEN_BATCH);
+                put_u64(&mut buf, *qlen);
+                put_tokens(&mut buf, tokens)?;
+            }
+            Message::Progress { rank, updates } => {
+                buf.push(TAG_PROGRESS);
+                put_u32(&mut buf, *rank);
+                put_u64(&mut buf, *updates);
+            }
+            Message::Drain => buf.push(TAG_DRAIN),
+            Message::Fin { rank } => {
+                buf.push(TAG_FIN);
+                put_u32(&mut buf, *rank);
+            }
+            Message::Shard(s) => {
+                buf.push(TAG_SHARD);
+                put_u32(&mut buf, s.rank);
+                put_u64(&mut buf, s.row_start);
+                put_u32(&mut buf, s.k);
+                put_f64s(&mut buf, &s.w_rows)?;
+                put_tokens(&mut buf, &s.tokens)?;
+                put_u64(&mut buf, s.tickets);
+                put_u64(&mut buf, s.updates);
+                put_u64(&mut buf, s.remote_sends);
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decodes one payload produced by [`Message::encode`].
+    ///
+    /// Total: truncated, oversized, or garbage input returns a
+    /// [`WireError`]; it never panics and never allocates more than the
+    /// input could legitimately describe.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_HELLO => Message::Hello {
+                rank: r.u32()?,
+                port: r.u16()?,
+            },
+            TAG_PEER_HELLO => Message::PeerHello { rank: r.u32()? },
+            TAG_PEERS => {
+                let n = r.seq(2)?;
+                let mut ports = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ports.push(r.u16()?);
+                }
+                Message::Peers { ports }
+            }
+            TAG_SETUP => {
+                let rank = r.u32()?;
+                let ranks = r.u32()?;
+                let nrows = r.u64()?;
+                let ncols = r.u64()?;
+                let row_start = r.u64()?;
+                let row_count = r.u64()?;
+                let k = r.u32()?;
+                let seed = r.u64()?;
+                let lambda = r.f64()?;
+                let alpha = r.f64()?;
+                let beta = r.f64()?;
+                let routing = r.u8()?;
+                if routing > 2 {
+                    return Err(WireError::BadValue(routing as u64));
+                }
+                let budget = r.u64()?;
+                let message_batch = r.u32()?;
+                let progress_every = r.u64()?;
+                let w_rows = r.f64s()?;
+                let n = r.seq(16)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((r.u32()?, r.u32()?, r.f64()?));
+                }
+                Message::Setup(Box::new(SetupPayload {
+                    rank,
+                    ranks,
+                    nrows,
+                    ncols,
+                    row_start,
+                    row_count,
+                    k,
+                    seed,
+                    lambda,
+                    alpha,
+                    beta,
+                    routing,
+                    budget,
+                    message_batch,
+                    progress_every,
+                    w_rows,
+                    entries,
+                }))
+            }
+            TAG_TOKEN_BATCH => Message::TokenBatch {
+                qlen: r.u64()?,
+                tokens: get_tokens(&mut r)?,
+            },
+            TAG_PROGRESS => Message::Progress {
+                rank: r.u32()?,
+                updates: r.u64()?,
+            },
+            TAG_DRAIN => Message::Drain,
+            TAG_FIN => Message::Fin { rank: r.u32()? },
+            TAG_SHARD => Message::Shard(Box::new(ShardPayload {
+                rank: r.u32()?,
+                row_start: r.u64()?,
+                k: r.u32()?,
+                w_rows: r.f64s()?,
+                tokens: get_tokens(&mut r)?,
+                tickets: r.u64()?,
+                updates: r.u64()?,
+                remote_sends: r.u64()?,
+            })),
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O over any byte stream.
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// Propagates I/O errors; fails with `InvalidData` if the payload exceeds
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::BadLength(payload.len() as u64),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+/// Propagates I/O errors; an oversized length prefix or EOF inside a frame
+/// maps to `InvalidData`/`UnexpectedEof` without allocating the announced
+/// length first.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::BadLength(len as u64),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Message) {
+        let bytes = msg.encode().expect("encode");
+        let back = Message::decode(&bytes).expect("decode");
+        assert_eq!(*msg, back);
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        roundtrip(&Message::Hello {
+            rank: 3,
+            port: 40001,
+        });
+        roundtrip(&Message::PeerHello { rank: 7 });
+        roundtrip(&Message::Peers {
+            ports: vec![5000, 5001, 5002],
+        });
+        roundtrip(&Message::Progress {
+            rank: 1,
+            updates: u64::MAX,
+        });
+        roundtrip(&Message::Drain);
+        roundtrip(&Message::Fin { rank: 0 });
+    }
+
+    #[test]
+    fn token_batch_round_trips() {
+        roundtrip(&Message::TokenBatch {
+            qlen: 42,
+            tokens: vec![
+                WireToken {
+                    item: 0,
+                    pass: 0,
+                    factor: vec![],
+                },
+                WireToken {
+                    item: u32::MAX,
+                    pass: 17,
+                    factor: vec![1.5, -0.25, f64::MIN_POSITIVE, f64::MAX],
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn setup_and_shard_round_trip() {
+        roundtrip(&Message::Setup(Box::new(SetupPayload {
+            rank: 2,
+            ranks: 4,
+            nrows: 1000,
+            ncols: 500,
+            row_start: 500,
+            row_count: 250,
+            k: 8,
+            seed: 0xDEAD_BEEF,
+            lambda: 0.05,
+            alpha: 0.012,
+            beta: 0.05,
+            routing: 1,
+            budget: 400_000,
+            message_batch: 100,
+            progress_every: 4096,
+            w_rows: vec![0.125; 16],
+            entries: vec![(500, 3, 4.5), (749, 499, 1.0)],
+        })));
+        roundtrip(&Message::Shard(Box::new(ShardPayload {
+            rank: 0,
+            row_start: 0,
+            k: 2,
+            w_rows: vec![1.0, 2.0, 3.0, 4.0],
+            tokens: vec![WireToken {
+                item: 9,
+                pass: 3,
+                factor: vec![0.5, 0.25],
+            }],
+            tickets: 12,
+            updates: 300,
+            remote_sends: 5,
+        })));
+    }
+
+    #[test]
+    fn truncated_inputs_error_instead_of_panicking() {
+        let full = Message::TokenBatch {
+            qlen: 1,
+            tokens: vec![WireToken {
+                item: 1,
+                pass: 2,
+                factor: vec![1.0, 2.0, 3.0],
+            }],
+        }
+        .encode()
+        .unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                Message::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_are_rejected() {
+        assert_eq!(Message::decode(&[0xFF]), Err(WireError::BadTag(0xFF)));
+        assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+        let mut bytes = Message::Drain.encode().unwrap();
+        bytes.push(0);
+        assert_eq!(Message::decode(&bytes), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_cause_a_huge_allocation() {
+        // A token batch claiming 2^31 tokens in a 16-byte payload.
+        let mut bytes = vec![TAG_TOKEN_BATCH];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = Message::decode(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::BadLength(_) | WireError::Truncated
+        ));
+    }
+
+    #[test]
+    fn invalid_routing_policy_is_rejected() {
+        let mut bytes = Message::Setup(Box::new(SetupPayload {
+            rank: 0,
+            ranks: 1,
+            nrows: 1,
+            ncols: 1,
+            row_start: 0,
+            row_count: 1,
+            k: 1,
+            seed: 0,
+            lambda: 0.0,
+            alpha: 0.1,
+            beta: 0.0,
+            routing: 0,
+            budget: 1,
+            message_batch: 1,
+            progress_every: 1,
+            w_rows: vec![0.0],
+            entries: vec![],
+        }))
+        .encode()
+        .unwrap();
+        // The routing byte sits right after tag + 2*u32 + 4*u64 + u32 + u64
+        // + 3*f64.
+        let routing_off = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8;
+        bytes[routing_off] = 3;
+        assert_eq!(Message::decode(&bytes), Err(WireError::BadValue(3)));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"beta").unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"beta");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected_without_allocating() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(stream)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"full payload").unwrap();
+        stream.truncate(stream.len() - 3);
+        let err = read_frame(&mut std::io::Cursor::new(stream)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the wire codec.
+//!
+//! Two families: (1) arbitrary token batches, setups and shards encode →
+//! decode bit-identically (`f64` payloads compared by bit pattern, since
+//! factors must survive the wire unchanged for the p=1 serial-identity
+//! guarantee to hold); (2) fuzz-ish totality — truncating or corrupting
+//! any encoded frame produces a [`WireError`], never a panic and never an
+//! allocation beyond what the input length could legitimately describe.
+
+use proptest::prelude::*;
+
+use nomad_net::{Message, SetupPayload, ShardPayload, WireError, WireToken};
+
+/// Strategy: an arbitrary factor row, including non-finite and
+/// signed-zero bit patterns (decoded factors must be *bit*-faithful).
+fn arb_factor() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(any::<u64>(), 0..12)
+        .prop_map(|bits| bits.into_iter().map(f64::from_bits).collect())
+}
+
+fn arb_tokens() -> impl Strategy<Value = Vec<WireToken>> {
+    proptest::collection::vec(
+        (any::<u32>(), any::<u64>(), arb_factor()).prop_map(|(item, pass, factor)| WireToken {
+            item,
+            pass,
+            factor,
+        }),
+        0..20,
+    )
+}
+
+/// Bit-exact message equality: `PartialEq` on `f64` treats `-0.0 == 0.0`
+/// and `NaN != NaN`, so compare the re-encoded bytes instead.
+fn assert_bit_identical(a: &Message, b: &Message) {
+    assert_eq!(
+        a.encode().unwrap(),
+        b.encode().unwrap(),
+        "decoded message must re-encode to identical bytes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Token batches survive the wire bit-identically.
+    #[test]
+    fn token_batches_round_trip(qlen in any::<u64>(), tokens in arb_tokens()) {
+        let msg = Message::TokenBatch { qlen, tokens };
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        assert_bit_identical(&msg, &decoded);
+    }
+
+    /// Shards (factor rows + held tokens + conservation counters) survive
+    /// the wire bit-identically.
+    #[test]
+    fn shards_round_trip(
+        rank in 0u32..64,
+        row_start in any::<u64>(),
+        k in 0u32..16,
+        w_bits in proptest::collection::vec(any::<u64>(), 0..64),
+        tokens in arb_tokens(),
+        tickets in any::<u64>(),
+        updates in any::<u64>(),
+        remote_sends in any::<u64>(),
+    ) {
+        let msg = Message::Shard(Box::new(ShardPayload {
+            rank,
+            row_start,
+            k,
+            w_rows: w_bits.into_iter().map(f64::from_bits).collect(),
+            tokens,
+            tickets,
+            updates,
+            remote_sends,
+        }));
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        assert_bit_identical(&msg, &decoded);
+    }
+
+    /// Setup payloads survive the wire (structural equality is enough
+    /// here: the strategy only generates finite floats).
+    #[test]
+    fn setups_round_trip(
+        rank in 0u32..8,
+        ranks in 1u32..8,
+        dims in (1u64..2000, 1u64..2000),
+        seed in any::<u64>(),
+        routing in 0u8..3,
+        budget in any::<u64>(),
+        entries in proptest::collection::vec((any::<u32>(), any::<u32>(), -5.0f64..5.0), 0..40),
+        w in proptest::collection::vec(-1.0f64..1.0, 0..32),
+    ) {
+        let msg = Message::Setup(Box::new(SetupPayload {
+            rank,
+            ranks,
+            nrows: dims.0,
+            ncols: dims.1,
+            row_start: dims.0 / 2,
+            row_count: dims.0 - dims.0 / 2,
+            k: 8,
+            seed,
+            lambda: 0.05,
+            alpha: 0.012,
+            beta: 0.05,
+            routing,
+            budget,
+            message_batch: 100,
+            progress_every: 4096,
+            w_rows: w,
+            entries,
+        }));
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        prop_assert_eq!(&msg, &decoded);
+    }
+
+    /// Every strict prefix of a valid frame fails to decode — cleanly.
+    #[test]
+    fn truncations_error_instead_of_panicking(tokens in arb_tokens(), cut_seed in any::<u64>()) {
+        let bytes = Message::TokenBatch { qlen: 7, tokens }.encode().unwrap();
+        let cut = (cut_seed % bytes.len().max(1) as u64) as usize;
+        prop_assert!(Message::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of a frame either still decodes to *some*
+    /// message (e.g. a flipped float bit) or errors — it never panics.
+    /// Appending garbage after a valid payload always errors.
+    #[test]
+    fn corruption_is_total(tokens in arb_tokens(), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let mut bytes = Message::TokenBatch { qlen: 3, tokens }.encode().unwrap();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        let _ = Message::decode(&bytes); // must not panic
+        let mut extended = Message::Drain.encode().unwrap();
+        extended.push(flip);
+        prop_assert_eq!(Message::decode(&extended), Err(WireError::Trailing(1)));
+    }
+
+    /// Pure random garbage never decodes to a token batch that would
+    /// allocate more factor storage than the input itself contained.
+    #[test]
+    fn garbage_never_over_allocates(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(Message::TokenBatch { tokens, .. }) = Message::decode(&bytes) {
+            let decoded_f64s: usize = tokens.iter().map(|t| t.factor.len()).sum();
+            prop_assert!(decoded_f64s * 8 <= bytes.len());
+        }
+    }
+}

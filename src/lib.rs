@@ -18,6 +18,10 @@
 //! * [`core`] — the NOMAD algorithm itself: serial reference, real
 //!   multi-threaded engine on lock-free queues, and the simulated
 //!   multi-machine/hybrid engine,
+//! * [`net`] — real multi-process distributed NOMAD over localhost TCP:
+//!   a hand-rolled wire codec, pluggable transports (in-memory loopback,
+//!   TCP, re-exec'd rank processes), and a driver that scatters shards
+//!   and gathers a token-conserving model,
 //! * [`baselines`] — every comparison algorithm from the paper's
 //!   evaluation (DSGD, DSGD++, CCD++, FPSGD**, ALS, ASGD, GraphLab-ALS,
 //!   serial SGD),
@@ -79,6 +83,37 @@
 //! The threaded and simulated engines take the same `arrivals` via their
 //! own `run_online`; `examples/streaming_recommender.rs` runs all three
 //! against a batch retrain.
+//!
+//! ## Distributed (multi-process) runs
+//!
+//! The paper's headline configuration — machines exchanging `(j, h_j)`
+//! tokens asynchronously over a network — runs for real via [`net`]: the
+//! SGD hot path is byte-for-byte the threaded engine's, and only the
+//! transport underneath differs (the same code block is the README's
+//! distributed quickstart):
+//!
+//! ```
+//! use nomad::core::{NomadConfig, StopCondition};
+//! use nomad::data::{named_dataset, SizeTier};
+//! use nomad::net::DistributedNomad;
+//! use nomad::sgd::HyperParams;
+//!
+//! let dataset = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+//! let config = NomadConfig::new(HyperParams::netflix().with_k(8))
+//!     .with_stop(StopCondition::Updates(40_000));
+//! // Loopback transport: same engine, no sockets — ideal for tests.  Use
+//! // `run_tcp_threads` for real sockets, or `run_processes` from a binary
+//! // that calls `nomad::net::child_entry()` first (see the `distributed`
+//! // bench binary) for true multi-process ranks.
+//! let out = DistributedNomad::new(config, 2).run_loopback(&dataset.matrix).unwrap();
+//! assert!(out.stats.updates >= 40_000);
+//! ```
+//!
+//! At one rank with a fixed seed the distributed engine reassembles a
+//! model **bit-identical** to [`core::SerialNomad`]'s — the same
+//! correctness anchor the threaded and simulated engines carry — and at
+//! every quiesce the gathered token pass counts must sum to the tickets
+//! drawn across all ranks (token conservation).
 
 /// Sparse rating-matrix substrate (re-export of `nomad-matrix`).
 pub use nomad_matrix as matrix;
@@ -99,6 +134,9 @@ pub use nomad_cluster as cluster;
 
 /// The NOMAD algorithm (re-export of `nomad-core`).
 pub use nomad_core as core;
+
+/// Multi-process distributed NOMAD over TCP (re-export of `nomad-net`).
+pub use nomad_net as net;
 
 /// Baseline solvers (re-export of `nomad-baselines`).
 pub use nomad_baselines as baselines;

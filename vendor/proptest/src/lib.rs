@@ -100,6 +100,24 @@ pub mod strategy {
 
     int_range_strategy!(usize, u8, u16, u32, u64);
 
+    macro_rules! int_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "cannot sample empty range");
+                    // The span is computed in u128 so full-width ranges
+                    // (`0..=u64::MAX`) cannot overflow the `+ 1`.
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    self.start() + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_inclusive_strategy!(usize, u8, u16, u32, u64);
+
     macro_rules! float_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -160,6 +178,18 @@ pub mod strategy {
     impl Arbitrary for u32 {
         fn arbitrary(rng: &mut TestRng) -> Self {
             (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 56) as u8
         }
     }
 
@@ -310,4 +340,38 @@ macro_rules! __proptest_impl {
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn inclusive_ranges_cover_bounds_without_overflow() {
+        let mut rng = TestRng::deterministic(7);
+        // Full-width range: the span computation must not overflow.
+        for _ in 0..64 {
+            let _: u64 = Strategy::sample(&(0u64..=u64::MAX), &mut rng);
+        }
+        // A tight range actually hits both endpoints.
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            let v = Strategy::sample(&(10u8..=11), &mut rng);
+            assert!((10..=11).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "both endpoints reachable");
+    }
+
+    #[test]
+    fn narrow_arbitrary_impls_spread_over_their_domain() {
+        let mut rng = TestRng::deterministic(9);
+        let bytes: std::collections::HashSet<u8> =
+            (0..256).map(|_| u8::arbitrary(&mut rng)).collect();
+        assert!(bytes.len() > 64, "u8 draws should spread: {}", bytes.len());
+        let shorts: std::collections::HashSet<u16> =
+            (0..256).map(|_| u16::arbitrary(&mut rng)).collect();
+        assert!(shorts.len() > 128, "u16 draws should spread");
+    }
 }
