@@ -24,6 +24,8 @@
 //! allows the repository to reproduce the relative behaviour of the
 //! paper's HPC and commodity clusters on a single development machine.
 
+#![warn(missing_docs)]
+
 pub mod als;
 pub mod asgd;
 pub mod ccdpp;

@@ -1,0 +1,445 @@
+//! Serving benchmark: queries/sec and p50/p99 top-k latency against a
+//! **live-training** model.
+//!
+//! For every latent dimension `k` the binary starts a threaded NOMAD run
+//! with snapshot publishing (`ThreadedNomad::run_serving`) and hammers the
+//! `nomad_serve::QueryEngine` from the main thread **while the trainers
+//! run** — per-query user-factor lookup, seen-item filtering (the user's
+//! own training ratings are excluded), exact brute-force top-k.  After the
+//! trainers quiesce it re-measures read throughput at 1 and 2 query
+//! workers, which is the concurrent-read scaling the CI gate checks.
+//!
+//! Before any number is reported, the binary re-verifies the correctness
+//! anchor: the quiesced snapshot must be **bit-identical** to the model the
+//! run returned, and top-k answers from that snapshot must score exactly
+//! like the assembled `FactorModel` — a broken publisher must fail loudly,
+//! not publish plausible latencies.
+//!
+//! Environment:
+//! - `NOMAD_SCALE=quick|standard` — dataset tier / budgets.
+//! - `NOMAD_SERVE_OUT=<path>` — JSON path (default `BENCH_serving.json`).
+//! - `NOMAD_PERF_ASSERT=1` — exit non-zero unless quiesced read throughput
+//!   with 2 query workers reaches ≥ 1.2× a single worker for at least one
+//!   `k` (auto-skipped below 2 cores).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nomad_core::{NomadConfig, StopCondition, ThreadedNomad};
+use nomad_data::{named_dataset, SizeTier};
+use nomad_matrix::Idx;
+use nomad_serve::{QueryEngine, SnapshotPublisher};
+use nomad_sgd::{FactorModel, HyperParams};
+
+/// Top-k sizes measured for every latent dimension.
+const TOP_KS: &[usize] = &[8, 32, 100];
+/// Training threads (the cooperative build path needs real concurrency).
+const TRAIN_WORKERS: usize = 2;
+
+struct ServeScale {
+    label: &'static str,
+    tier: SizeTier,
+    ks: &'static [usize],
+    /// Update budget per latent dimension (index-matched with `ks`).
+    budgets: &'static [u64],
+    publish_every: u64,
+    /// Queries per measurement (live measurements may stop earlier when
+    /// training quiesces first; quiesced measurements always run it full).
+    queries: usize,
+}
+
+impl ServeScale {
+    fn from_env() -> Self {
+        match std::env::var("NOMAD_SCALE").as_deref() {
+            Ok("standard") => Self {
+                label: "standard",
+                tier: SizeTier::Small,
+                ks: &[8, 32, 100],
+                budgets: &[8_000_000, 4_000_000, 1_500_000],
+                publish_every: 200_000,
+                queries: 20_000,
+            },
+            _ => Self {
+                label: "quick",
+                tier: SizeTier::Tiny,
+                ks: &[8, 32, 100],
+                budgets: &[2_000_000, 1_000_000, 400_000],
+                publish_every: 50_000,
+                queries: 5_000,
+            },
+        }
+    }
+}
+
+/// One measured query configuration.
+struct Measurement {
+    k: usize,
+    top_k: usize,
+    phase: &'static str,
+    query_workers: usize,
+    queries: u64,
+    seconds: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Whether training was still running when the measurement ended
+    /// (live-phase honesty marker; always `false` for quiesced rows).
+    training_live: bool,
+}
+
+impl Measurement {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list, in µs.
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1_000.0
+}
+
+/// Runs `queries` top-k queries on one thread, cycling users
+/// deterministically, and returns `(completed, latencies ns)` (unsorted —
+/// [`row`] is the single sorting point, since multi-worker lists must be
+/// merged before taking percentiles anyway).  Stops early when `stop`
+/// flips (live phase: training quiesced).
+fn query_loop(
+    engine: &QueryEngine<'_>,
+    seen: &[Vec<Idx>],
+    top_k: usize,
+    queries: usize,
+    rng_seed: u64,
+    stop: Option<&AtomicBool>,
+) -> (u64, Vec<u64>) {
+    let users = seen.len();
+    let mut rng = nomad_linalg::SmallRng64::new(rng_seed);
+    let mut latencies = Vec::with_capacity(queries);
+    let mut completed = 0u64;
+    for _ in 0..queries {
+        // Live phase: stop once training quiesced — but only after enough
+        // samples for meaningful percentiles (the `training_live` flag in
+        // the output records whether the overlap actually held).
+        if completed >= 50 && stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            break;
+        }
+        let user = rng.next_below(users) as Idx;
+        let start = Instant::now();
+        let top = engine
+            .top_k(user, top_k, &seen[user as usize])
+            .expect("snapshot exists once training published");
+        latencies.push(start.elapsed().as_nanos() as u64);
+        completed += 1;
+        // Keep the answer alive so the scoring work cannot be elided.
+        std::hint::black_box(&top);
+    }
+    (completed, latencies)
+}
+
+/// Merges per-worker latency lists and builds a measurement row.
+fn row(
+    k: usize,
+    top_k: usize,
+    phase: &'static str,
+    query_workers: usize,
+    seconds: f64,
+    mut latencies: Vec<u64>,
+    training_live: bool,
+) -> Measurement {
+    latencies.sort_unstable();
+    Measurement {
+        k,
+        top_k,
+        phase,
+        query_workers,
+        queries: latencies.len() as u64,
+        seconds,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        training_live,
+    }
+}
+
+/// The bit-identity anchor: the quiesced snapshot must equal the returned
+/// model exactly, and top-k answers must score identically to direct
+/// `FactorModel` scoring.
+fn verify_quiesced_identity(publisher: &SnapshotPublisher, model: &FactorModel, k: usize) {
+    let snap = publisher.latest().expect("training published at quiesce");
+    assert_eq!(
+        snap.to_model(),
+        *model,
+        "k={k}: quiesced snapshot diverged from the assembled model"
+    );
+    let users = model.num_users();
+    let items = model.num_items();
+    for user in (0..users).step_by((users / 5).max(1)) {
+        let top = snap.top_k(user as Idx, 10, &[]);
+        // Reference: score every item straight off the FactorModel with
+        // the same deterministic order (score desc, item asc).
+        let mut reference: Vec<(f64, Idx)> = (0..items as Idx)
+            .map(|j| (model.predict(user as Idx, j), j))
+            .collect();
+        reference.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for (rec, (score, item)) in top.recs.iter().zip(&reference) {
+            assert_eq!(
+                (rec.item, rec.score.to_bits()),
+                (*item, score.to_bits()),
+                "k={k} user {user}: top-k must be bit-identical to direct scoring"
+            );
+        }
+    }
+    eprintln!("identity check passed: k={k} quiesced snapshot == assembled model (bit-exact)");
+}
+
+fn main() {
+    nomad_bench::handle_cli_args_with(
+        "serving",
+        "Top-k serving benchmark: queries/sec and p50/p99 latency against a \
+         live-training threaded NOMAD run, plus quiesced read scaling",
+        "Output: BENCH_serving.json (schema nomad-perf-v1), CSV on stdout, \
+         a markdown summary on stderr.",
+        &[
+            "NOMAD_SERVE_OUT=<path>       JSON path (default: BENCH_serving.json)",
+            "NOMAD_PERF_ASSERT=1          fail unless quiesced reads scale >= 1.2x at 2 workers",
+        ],
+    );
+    let scale = ServeScale::from_env();
+    let dataset = named_dataset("netflix-sim", scale.tier)
+        .expect("netflix-sim is always registered")
+        .build();
+    // Per-user seen-item lists (their own training ratings), sorted.
+    let csr = dataset.matrix.by_rows();
+    let seen: Vec<Vec<Idx>> = (0..dataset.matrix.nrows())
+        .map(|i| {
+            let mut items = csr.row_cols(i).to_vec();
+            items.sort_unstable();
+            items
+        })
+        .collect();
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for (&k, &budget) in scale.ks.iter().zip(scale.budgets) {
+        let publisher = SnapshotPublisher::new(scale.publish_every);
+        let engine = QueryEngine::new(&publisher, 1);
+        let config = NomadConfig::new(HyperParams::netflix().with_k(k))
+            .with_stop(StopCondition::Updates(budget))
+            .with_seed(2026)
+            .with_snapshot_every(f64::INFINITY)
+            .with_schedule_recording(false);
+        let trainer_done = Arc::new(AtomicBool::new(false));
+
+        let model = std::thread::scope(|scope| {
+            let trainer = {
+                let data = &dataset.matrix;
+                let test = &dataset.test;
+                let publisher = &publisher;
+                let done = Arc::clone(&trainer_done);
+                scope.spawn(move || {
+                    let out = ThreadedNomad::new(config).run_serving(
+                        data,
+                        test,
+                        TRAIN_WORKERS,
+                        1,
+                        publisher,
+                    );
+                    done.store(true, Ordering::Relaxed);
+                    out.model
+                })
+            };
+            // Wait for the first published epoch, then measure the live
+            // phase: one query worker per top-k size, stopping early if
+            // training quiesces first.
+            while publisher.latest().is_none() && !trainer_done.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+            for &top_k in TOP_KS {
+                let start = Instant::now();
+                let (_, latencies) = query_loop(
+                    &engine,
+                    &seen,
+                    top_k,
+                    scale.queries,
+                    0xBEEF ^ (k as u64) ^ ((top_k as u64) << 32),
+                    Some(&trainer_done),
+                );
+                let live = !trainer_done.load(Ordering::Relaxed);
+                results.push(row(
+                    k,
+                    top_k,
+                    "live",
+                    1,
+                    start.elapsed().as_secs_f64(),
+                    latencies,
+                    live,
+                ));
+            }
+            trainer.join().expect("training thread panicked")
+        });
+
+        // Correctness anchor before any quiesced numbers are taken.
+        verify_quiesced_identity(&publisher, &model, k);
+
+        // Quiesced read scaling: 1 vs 2 query workers at every top-k.
+        for &top_k in TOP_KS {
+            for workers in [1usize, 2] {
+                let start = Instant::now();
+                let mut latencies: Vec<u64> = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let engine = &engine;
+                            let seen = &seen;
+                            scope.spawn(move || {
+                                query_loop(
+                                    engine,
+                                    seen,
+                                    top_k,
+                                    scale.queries / workers,
+                                    0xD00D ^ (w as u64) ^ (top_k as u64),
+                                    None,
+                                )
+                                .1
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        latencies.extend(handle.join().expect("query worker panicked"));
+                    }
+                });
+                results.push(row(
+                    k,
+                    top_k,
+                    "quiesced",
+                    workers,
+                    start.elapsed().as_secs_f64(),
+                    latencies,
+                    false,
+                ));
+            }
+        }
+    }
+
+    // CSV to stdout.
+    println!("k,top_k,phase,query_workers,queries,seconds,qps,p50_us,p99_us,training_live");
+    for m in &results {
+        println!(
+            "{},{},{},{},{},{:.6},{:.1},{:.2},{:.2},{}",
+            m.k,
+            m.top_k,
+            m.phase,
+            m.query_workers,
+            m.queries,
+            m.seconds,
+            m.qps(),
+            m.p50_us,
+            m.p99_us,
+            m.training_live
+        );
+    }
+
+    // Markdown summary to stderr.
+    eprintln!(
+        "## serving ({} scale, netflix-sim {:?}, {} train workers, publish every {} updates)",
+        scale.label, scale.tier, TRAIN_WORKERS, scale.publish_every
+    );
+    eprintln!("| k | top-k | phase | query workers | qps | p50 µs | p99 µs |");
+    eprintln!("|---|---|---|---|---|---|---|");
+    for m in &results {
+        eprintln!(
+            "| {} | {} | {} | {} | {:.0} | {:.1} | {:.1} |",
+            m.k,
+            m.top_k,
+            m.phase,
+            m.query_workers,
+            m.qps(),
+            m.p50_us,
+            m.p99_us
+        );
+    }
+
+    let out_path =
+        std::env::var("NOMAD_SERVE_OUT").unwrap_or_else(|_| "BENCH_serving.json".to_string());
+    let json = render_json(&scale, &results);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    // CI gate: quiesced concurrent reads must scale.  The snapshot is
+    // immutable and the readers lock-free, so 2 workers on >= 2 cores have
+    // no excuse not to beat one by a wide margin.
+    if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 2 {
+            eprintln!("serving assert skipped: only {cores} core(s) available, need >= 2");
+            return;
+        }
+        let best_ratio = scale
+            .ks
+            .iter()
+            .flat_map(|&k| TOP_KS.iter().map(move |&t| (k, t)))
+            .filter_map(|(k, t)| {
+                let find = |workers| {
+                    results
+                        .iter()
+                        .find(|m| {
+                            m.phase == "quiesced"
+                                && m.k == k
+                                && m.top_k == t
+                                && m.query_workers == workers
+                        })
+                        .map(Measurement::qps)
+                };
+                Some(find(2)? / find(1)?)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best_ratio < 1.2 {
+            eprintln!(
+                "SERVING ASSERT FAILED: 2 query workers reached only {best_ratio:.2}x a \
+                 single worker's queries/sec (need >= 1.2x on multi-core hardware).  If \
+                 this machine has fewer than 2 *physical* cores ({cores} logical \
+                 reported), unset NOMAD_PERF_ASSERT instead."
+            );
+            std::process::exit(1);
+        }
+        eprintln!("serving assert passed: 2 query workers = {best_ratio:.2}x one");
+    }
+}
+
+/// Hand-rolled JSON, same convention as the `perf`/`distributed` binaries
+/// (the vendored serde stub has no serializer).
+fn render_json(scale: &ServeScale, results: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"nomad-perf-v1\",\n");
+    s.push_str("  \"bench\": \"serving\",\n");
+    let _ = writeln!(s, "  \"scale\": \"{}\",", scale.label);
+    s.push_str("  \"dataset\": \"netflix-sim\",\n");
+    let _ = writeln!(s, "  \"train_workers\": {TRAIN_WORKERS},");
+    let _ = writeln!(s, "  \"publish_every\": {},", scale.publish_every);
+    s.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"k\": {}, \"top_k\": {}, \"phase\": \"{}\", \"query_workers\": {}, \
+             \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \"p50_us\": {:.2}, \
+             \"p99_us\": {:.2}, \"training_live\": {}}}{}",
+            m.k,
+            m.top_k,
+            m.phase,
+            m.query_workers,
+            m.queries,
+            m.seconds,
+            m.qps(),
+            m.p50_us,
+            m.p99_us,
+            m.training_live,
+            comma
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -5,6 +5,8 @@
 //! and a markdown summary to stderr); the Criterion benches in `benches/`
 //! measure the kernels and ablate the design choices listed in `DESIGN.md`.
 
+#![warn(missing_docs)]
+
 use nomad_eval::{figure_to_csv, figure_to_markdown, Figure, ReproScale};
 
 pub mod distperf;

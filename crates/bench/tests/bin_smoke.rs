@@ -33,6 +33,7 @@ const BINS: &[(&str, &str)] = &[
     ("streaming", env!("CARGO_BIN_EXE_streaming")),
     ("perf", env!("CARGO_BIN_EXE_perf")),
     ("distributed", env!("CARGO_BIN_EXE_distributed")),
+    ("serving", env!("CARGO_BIN_EXE_serving")),
     ("repro_all", env!("CARGO_BIN_EXE_repro_all")),
 ];
 

@@ -29,6 +29,8 @@
 //!   which the throughput figures of the paper (updates/core/sec) are
 //!   derived.
 
+#![warn(missing_docs)]
+
 pub mod compute;
 pub mod event;
 pub mod metrics;

@@ -33,6 +33,14 @@
 //! [`nomad_matrix::ArrivalTrace`]: new items mint fresh nomadic tokens, new
 //! users extend the static partition, and the serializability invariant is
 //! re-verified under arrivals — see [`online`].
+//!
+//! The serial and threaded engines (batch and online) also come in
+//! `_serving` variants ([`SerialNomad::run_serving`],
+//! [`ThreadedNomad::run_serving`], and their `run_online_serving`
+//! counterparts) that publish epoch snapshots of the live model through a
+//! `nomad_serve::SnapshotPublisher`, so top-k recommendation queries can be
+//! answered concurrently with training — lock-free for the readers and
+//! allocation-free for the trainers.
 
 #![warn(missing_docs)]
 

@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use nomad_cluster::{ComputeModel, RunTrace, SimTime, TracePoint};
 use nomad_matrix::{ArrivalTrace, DynamicMatrix, Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_serve::SnapshotPublisher;
 use nomad_sgd::schedule::StepSchedule;
 use nomad_sgd::{FactorModel, HyperParams};
 
@@ -75,6 +76,39 @@ impl SerialNomad {
             &ArrivalTrace::empty(),
             "NOMAD-serial",
             false,
+            None,
+        );
+        (out.model, out.trace)
+    }
+
+    /// Like [`SerialNomad::run`], but additionally publishes epoch
+    /// snapshots of the live model through `publisher`: one exact copy
+    /// every [`SnapshotPublisher::publish_every`] updates (checked at every
+    /// token, so the bound holds up to a single token's worth of updates),
+    /// plus a final publish at quiesce — after the run returns, the latest
+    /// snapshot is bit-identical to the returned model.
+    ///
+    /// Query threads holding the same publisher serve top-k answers
+    /// concurrently and lock-free; the training arithmetic is untouched,
+    /// so for a fixed seed this produces exactly the factors
+    /// [`SerialNomad::run`] produces.
+    pub fn run_serving(
+        &self,
+        data: &RatingMatrix,
+        test: &TripletMatrix,
+        num_workers: usize,
+        compute: &ComputeModel,
+        publisher: &SnapshotPublisher,
+    ) -> (FactorModel, RunTrace) {
+        let out = self.run_loop(
+            OnlineData::Batch(data),
+            test,
+            num_workers,
+            compute,
+            &ArrivalTrace::empty(),
+            "NOMAD-serial",
+            false,
+            Some(publisher),
         );
         (out.model, out.trace)
     }
@@ -110,11 +144,39 @@ impl SerialNomad {
             arrivals,
             "NOMAD-serial-online",
             true,
+            None,
         )
     }
 
-    /// The one serial loop behind both [`SerialNomad::run`] (batch data,
-    /// empty trace, no schedule recording) and [`SerialNomad::run_online`].
+    /// Like [`SerialNomad::run_online`], but with live snapshot publication
+    /// through `publisher` — the online counterpart of
+    /// [`SerialNomad::run_serving`].  Ingested users and items appear in
+    /// the served snapshots from the first post-ingestion publish onward.
+    pub fn run_online_serving(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        num_workers: usize,
+        compute: &ComputeModel,
+        arrivals: &ArrivalTrace,
+        publisher: &SnapshotPublisher,
+    ) -> OnlineOutput {
+        crate::online::assert_warm_start(warm);
+        self.run_loop(
+            OnlineData::Stream(Box::new(DynamicMatrix::from_triplets(warm))),
+            test,
+            num_workers,
+            compute,
+            arrivals,
+            "NOMAD-serial-online",
+            true,
+            Some(publisher),
+        )
+    }
+
+    /// The one serial loop behind [`SerialNomad::run`] (batch data, empty
+    /// trace, no schedule recording), [`SerialNomad::run_online`], and
+    /// their `_serving` variants (`publisher` set).
     #[allow(clippy::too_many_arguments)]
     fn run_loop(
         &self,
@@ -125,6 +187,7 @@ impl SerialNomad {
         arrivals: &ArrivalTrace,
         solver_label: &str,
         record: bool,
+        serving: Option<&SnapshotPublisher>,
     ) -> OnlineOutput {
         assert!(num_workers > 0, "need at least one worker");
         let cfg = &self.config;
@@ -134,6 +197,9 @@ impl SerialNomad {
         let mut partition = RowPartition::contiguous(views.nrows(), num_workers);
         let mut workers = WorkerData::build_all(views, &partition);
         let schedule = params.nomad_schedule();
+        if let Some(publisher) = serving {
+            publisher.begin_run(views.nrows(), views.ncols(), params.k, num_workers);
+        }
 
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E41A1);
         let mut router = Router::new(cfg.routing);
@@ -182,6 +248,11 @@ impl SerialNomad {
                         let j = (delta.first_new_item + offset) as Idx;
                         queues[crate::online::token_home(cfg.seed, j, num_workers)].push_back(j);
                     }
+                    if let Some(publisher) = serving {
+                        // Serve the grown space from this ingestion onward.
+                        publisher.grow(model.num_users(), model.num_items());
+                        publisher.publish_model(&model, total_updates);
+                    }
                     next_batch += 1;
                     segments.push(Vec::new());
                     trace.push(TracePoint {
@@ -215,6 +286,11 @@ impl SerialNomad {
                 elapsed += per_item + local_updates as f64 * per_update;
                 trace.metrics.updates += local_updates;
                 trace.metrics.tokens_processed += 1;
+                if let Some(publisher) = serving {
+                    // One relaxed atomic load when not due; an exact-copy
+                    // publish every `publish_every` updates otherwise.
+                    publisher.publish_model_if_due(&model, total_updates);
+                }
                 trace
                     .metrics
                     .record_busy(q, per_item + local_updates as f64 * per_update);
@@ -240,6 +316,11 @@ impl SerialNomad {
                 // guard against an empty item set.
                 break;
             }
+        }
+        if let Some(publisher) = serving {
+            // Quiesce publish: the latest snapshot now mirrors the returned
+            // model bit for bit.
+            publisher.publish_model(&model, total_updates);
         }
         trace.push(TracePoint {
             seconds: elapsed,
@@ -420,6 +501,59 @@ mod tests {
             "an online run without arrivals must degenerate to the batch run"
         );
         assert_eq!(online.schedule.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn serving_hooks_do_not_perturb_training_and_publish_the_quiesced_model() {
+        let (data, test) = tiny_dataset();
+        let solver = SerialNomad::new(quick_config(8));
+        let (plain, _) = solver.run(&data, &test, 2, &ComputeModel::hpc_core());
+        let publisher = nomad_serve::SnapshotPublisher::new(10_000);
+        let (served, trace) =
+            solver.run_serving(&data, &test, 2, &ComputeModel::hpc_core(), &publisher);
+        // Publishing reads the model but never writes it: bit-identical run.
+        assert_eq!(plain, served);
+        // The quiesced snapshot mirrors the returned model bit for bit.
+        let snap = publisher.latest().expect("published at quiesce");
+        assert_eq!(snap.to_model(), served);
+        assert_eq!(snap.updates_at(), trace.metrics.updates);
+        // Freshness: a 40k budget with a 10k interval publishes at least
+        // once per interval, and consecutive publishes are never further
+        // apart than the interval plus one token's worth of updates.
+        assert!(publisher.snapshots_published() >= 4);
+        let max_token_updates = (0..data.ncols())
+            .map(|j| data.by_cols().col_nnz(j))
+            .max()
+            .unwrap() as u64;
+        assert!(
+            publisher.max_publish_gap() <= 10_000 + max_token_updates,
+            "gap {} exceeds interval + one token ({max_token_updates})",
+            publisher.max_publish_gap()
+        );
+    }
+
+    #[test]
+    fn online_serving_grows_the_served_space() {
+        use nomad_data::{stream_split, StreamSplit};
+        let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+            .unwrap()
+            .build();
+        let (warm, log) = stream_split(&ds.train, &StreamSplit::standard(4));
+        let arrivals = log.arrival_trace(10_000.0);
+        let publisher = nomad_serve::SnapshotPublisher::new(5_000);
+        let solver = SerialNomad::new(quick_config(8));
+        let out = solver.run_online_serving(
+            &warm,
+            &ds.test,
+            2,
+            &ComputeModel::hpc_core(),
+            &arrivals,
+            &publisher,
+        );
+        let snap = publisher.latest().unwrap();
+        assert_eq!(snap.num_users(), ds.train.nrows());
+        assert_eq!(snap.num_items(), ds.train.ncols());
+        assert_eq!(snap.to_model(), out.model);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crossbeam::queue::SegQueue;
 
 use nomad_cluster::{RunTrace, SimTime, TracePoint};
 use nomad_matrix::{ArrivalTrace, DynamicMatrix, Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_serve::SnapshotPublisher;
 use nomad_sgd::schedule::StepSchedule;
 use nomad_sgd::{FactorMatrix, FactorModel};
 
@@ -107,6 +108,43 @@ impl ThreadedNomad {
         num_threads: usize,
         snapshots: usize,
     ) -> ThreadedOutput {
+        self.run_inner(data, test, num_threads, snapshots, None)
+    }
+
+    /// Like [`ThreadedNomad::run`], but additionally publishes epoch
+    /// snapshots of the live model through `publisher` (roughly every
+    /// [`SnapshotPublisher::publish_every`] updates) so that concurrent
+    /// query threads can serve top-k recommendations while training runs.
+    ///
+    /// Mid-run snapshots are built **cooperatively** by the worker threads
+    /// themselves — each worker copies the item rows it currently owns and
+    /// its own user block, reusing NOMAD's token-ownership argument, so the
+    /// hot path stays lock-free and allocation-free (the counting-allocator
+    /// test runs this entry point).  At every quiesce point the assembled
+    /// model is force-published, so after the run returns, the latest
+    /// snapshot is bit-identical to the returned model.
+    ///
+    /// The training arithmetic is untouched: for a fixed seed this produces
+    /// exactly the factors [`ThreadedNomad::run`] produces.
+    pub fn run_serving(
+        &self,
+        data: &RatingMatrix,
+        test: &TripletMatrix,
+        num_threads: usize,
+        snapshots: usize,
+        publisher: &SnapshotPublisher,
+    ) -> ThreadedOutput {
+        self.run_inner(data, test, num_threads, snapshots, Some(publisher))
+    }
+
+    fn run_inner(
+        &self,
+        data: &RatingMatrix,
+        test: &TripletMatrix,
+        num_threads: usize,
+        snapshots: usize,
+        serving: Option<&SnapshotPublisher>,
+    ) -> ThreadedOutput {
         assert!(num_threads > 0, "need at least one thread");
         assert!(snapshots > 0, "need at least one snapshot round");
         let cfg = &self.config;
@@ -138,6 +176,10 @@ impl ThreadedNomad {
                 item: j as Idx,
                 pass: 0,
             });
+        }
+
+        if let Some(publisher) = serving {
+            publisher.begin_run(data.nrows(), data.ncols(), params.k, num_threads);
         }
 
         let mut trace = RunTrace::new("NOMAD-threaded", "", 1, num_threads, num_threads);
@@ -185,6 +227,7 @@ impl ThreadedNomad {
                             params.lambda,
                             seed,
                             record,
+                            serving,
                         )
                     }));
                 }
@@ -196,7 +239,16 @@ impl ThreadedNomad {
             elapsed_wall += round_start.elapsed().as_secs_f64();
 
             // Quiesced: evaluate RMSE on the assembled model.
+            if let Some(publisher) = serving {
+                // A cooperative build interrupted by the round end cannot
+                // complete (its contributors have joined); drop it and
+                // publish the exact quiesced model instead.
+                publisher.abort_build();
+            }
             let model = assemble_model(data.nrows(), &owned, &queues, &slab, &ticket);
+            if let Some(publisher) = serving {
+                publisher.publish_model(&model, updates_done.load(Ordering::SeqCst));
+            }
             trace.push(TracePoint {
                 seconds: elapsed_wall,
                 updates: updates_done.load(Ordering::SeqCst),
@@ -246,6 +298,34 @@ impl ThreadedNomad {
         num_threads: usize,
         arrivals: &ArrivalTrace,
     ) -> OnlineOutput {
+        self.run_online_inner(warm, test, num_threads, arrivals, None)
+    }
+
+    /// Like [`ThreadedNomad::run_online`], but with live snapshot
+    /// publication through `publisher` — the online counterpart of
+    /// [`ThreadedNomad::run_serving`].  Ingested users and items appear in
+    /// the served snapshots from the first post-ingestion publish onward
+    /// (the publisher's dimensions are grown at the same quiesce point that
+    /// grows the factor slab).
+    pub fn run_online_serving(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        num_threads: usize,
+        arrivals: &ArrivalTrace,
+        publisher: &SnapshotPublisher,
+    ) -> OnlineOutput {
+        self.run_online_inner(warm, test, num_threads, arrivals, Some(publisher))
+    }
+
+    fn run_online_inner(
+        &self,
+        warm: &TripletMatrix,
+        test: &TripletMatrix,
+        num_threads: usize,
+        arrivals: &ArrivalTrace,
+        serving: Option<&SnapshotPublisher>,
+    ) -> OnlineOutput {
         assert!(num_threads > 0, "need at least one thread");
         crate::online::assert_warm_start(warm);
         let cfg = &self.config;
@@ -272,6 +352,10 @@ impl ThreadedNomad {
                 item: j as Idx,
                 pass: 0,
             });
+        }
+
+        if let Some(publisher) = serving {
+            publisher.begin_run(warm.nrows(), warm.ncols(), params.k, num_threads);
         }
 
         let mut trace = RunTrace::new("NOMAD-threaded-online", "", 1, num_threads, num_threads);
@@ -327,6 +411,7 @@ impl ThreadedNomad {
                             params.lambda,
                             seed,
                             record,
+                            serving,
                         )
                     }));
                 }
@@ -336,6 +421,9 @@ impl ThreadedNomad {
                 }
             });
             elapsed_wall += round_start.elapsed().as_secs_f64();
+            if let Some(publisher) = serving {
+                publisher.abort_build();
+            }
             round_events.sort_by_key(|(stamp, _)| *stamp);
 
             let done = updates_done.load(Ordering::SeqCst);
@@ -367,6 +455,11 @@ impl ThreadedNomad {
                     }
                     segments.push(round_events.into_iter().map(|(_, e)| e).collect());
                     let model = assemble_model(dynamic.nrows(), &owned, &queues, &slab, &ticket);
+                    if let Some(publisher) = serving {
+                        // Serve the grown space from this quiesce onward.
+                        publisher.grow(dynamic.nrows(), dynamic.ncols());
+                        publisher.publish_model(&model, done);
+                    }
                     trace.push(TracePoint {
                         seconds: elapsed_wall,
                         updates: done,
@@ -391,6 +484,9 @@ impl ThreadedNomad {
         trace.metrics.finished_at = SimTime::from_secs(elapsed_wall.max(0.0));
 
         let model = assemble_model(dynamic.nrows(), &owned, &queues, &slab, &ticket);
+        if let Some(publisher) = serving {
+            publisher.publish_model(&model, trace.metrics.updates);
+        }
         trace.push(TracePoint {
             seconds: elapsed_wall,
             updates: trace.metrics.updates,
@@ -492,6 +588,12 @@ fn assemble_model(
 }
 
 /// The per-worker processing loop for one round.
+///
+/// `serving` is the snapshot-publication hook of
+/// [`ThreadedNomad::run_serving`]: when set, the worker calls
+/// [`SnapshotPublisher::coop_tick`] once per token hop (two relaxed atomic
+/// loads when no build is in flight) while it still owns the popped token —
+/// the only moment it may legally read the token's slab row.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     q: usize,
@@ -509,6 +611,7 @@ fn worker_loop(
     lambda: f64,
     seed: u64,
     record: bool,
+    serving: Option<&SnapshotPublisher>,
 ) -> Vec<(u64, ProcessingEvent)> {
     let mut rng = nomad_linalg::SmallRng64::new(seed ^ (q as u64).wrapping_mul(0x9E37_79B9));
     // Round-robin cursor, staggered per worker so the first destination is
@@ -524,6 +627,17 @@ fn worker_loop(
             break;
         }
         let Some(token) = queues[q].pop() else {
+            if let Some(publisher) = serving {
+                // An idle worker can still contribute its user block to an
+                // in-flight build (it owns no token, so no item row).
+                publisher.coop_tick(
+                    q,
+                    updates_done.load(Ordering::Relaxed),
+                    own.offset,
+                    &own.rows,
+                    None,
+                );
+            }
             std::thread::yield_now();
             continue;
         };
@@ -553,7 +667,12 @@ fn worker_loop(
                 },
             ));
         }
-        updates_done.fetch_add(count, Ordering::Relaxed);
+        let done_now = updates_done.fetch_add(count, Ordering::Relaxed) + count;
+        if let Some(publisher) = serving {
+            // Must happen before the push below: this worker may only read
+            // slab row `token.item` while it still holds the token.
+            publisher.coop_tick(q, done_now, own.offset, &own.rows, Some((token.item, &*h)));
+        }
 
         let dest = match routing {
             RoutingPolicy::UniformRandom => rng.next_below(num_threads),
@@ -731,6 +850,62 @@ mod tests {
             out.model, replayed,
             "mid-run ingestion must preserve serializability (bit-identical replay)"
         );
+    }
+
+    #[test]
+    fn serving_run_is_deterministic_at_one_thread_and_publishes_quiesced_model() {
+        let (data, test) = tiny_dataset();
+        let solver = ThreadedNomad::new(quick_config(40_000));
+        let plain = solver.run(&data, &test, 1, 1);
+        let publisher = SnapshotPublisher::new(10_000);
+        let served = solver.run_serving(&data, &test, 1, 1, &publisher);
+        // One thread has a deterministic execution order, so the serving
+        // hooks (which never write to the model) must be invisible.
+        assert_eq!(plain.model, served.model);
+        let snap = publisher.latest().expect("published at quiesce");
+        assert_eq!(snap.to_model(), served.model);
+        // Cooperative publishes fired between quiesce points: a 40k budget
+        // with a 10k interval yields the final quiesce publish plus at
+        // least the first cooperative builds.
+        assert!(
+            publisher.snapshots_published() >= 3,
+            "published only {}",
+            publisher.snapshots_published()
+        );
+    }
+
+    #[test]
+    fn serving_run_bounds_staleness_across_threads() {
+        let (data, test) = tiny_dataset();
+        let publisher = SnapshotPublisher::new(8_000);
+        let out =
+            ThreadedNomad::new(quick_config(48_000)).run_serving(&data, &test, 2, 2, &publisher);
+        let snap = publisher.latest().unwrap();
+        assert_eq!(snap.to_model(), out.model);
+        assert_eq!(snap.updates_at(), out.trace.metrics.updates);
+        // Freshness: consecutive publishes never drift apart by more than
+        // the interval plus the workers' overshoot (each worker can run a
+        // token past the threshold before noticing, and a build started
+        // near a round end is replaced by the quiesce publish).
+        let slack = 4_000;
+        assert!(
+            publisher.max_publish_gap() <= 8_000 + slack,
+            "gap {} exceeds interval + slack",
+            publisher.max_publish_gap()
+        );
+        assert!(publisher.snapshots_published() >= 48_000 / 8_000);
+    }
+
+    #[test]
+    fn online_serving_grows_the_served_space() {
+        let (warm, test, arrivals) = streamed_tiny();
+        let publisher = SnapshotPublisher::new(5_000);
+        let solver = ThreadedNomad::new(quick_config(30_000));
+        let out = solver.run_online_serving(&warm, &test, 2, &arrivals, &publisher);
+        let snap = publisher.latest().unwrap();
+        assert_eq!(snap.num_users(), out.model.num_users());
+        assert_eq!(snap.num_items(), out.model.num_items());
+        assert_eq!(snap.to_model(), out.model);
     }
 
     #[test]

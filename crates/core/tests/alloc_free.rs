@@ -9,6 +9,15 @@
 //! `(item, pass)` tokens, block-recycling queues, and schedule recording
 //! off, that difference must be (almost) zero — a small slack absorbs the
 //! rare queue-block cache miss under thread races.
+//!
+//! Since the serving PR the measured entry point is
+//! `ThreadedNomad::run_serving` with **snapshot publishing enabled**: the
+//! longer run publishes several more epoch snapshots than the shorter one,
+//! and the test proves that steady-state publishing stays off the
+//! allocator too — cooperative builds write into recycled buffers
+//! (`nomad_serve::SnapshotPublisher`'s spare pool), so only the first few
+//! publishes that fill the epoch ring allocate, and those are covered by
+//! the same small slack.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,8 +51,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Runs the threaded engine to `budget` updates and returns
-/// `(allocations, token hops)` for the whole run.
+/// Runs the threaded engine to `budget` updates — with live snapshot
+/// publishing every 50k updates — and returns `(allocations, token hops)`
+/// for the whole run, allocator-counted end to end (including every
+/// publish and the publisher's own bookkeeping).
 fn measure(budget: u64, threads: usize) -> (u64, u64) {
     let ds = named_dataset("netflix-sim", SizeTier::Tiny)
         .unwrap()
@@ -52,9 +63,14 @@ fn measure(budget: u64, threads: usize) -> (u64, u64) {
         .with_stop(StopCondition::Updates(budget))
         .with_seed(7)
         .with_schedule_recording(false);
+    let publisher = nomad_serve::SnapshotPublisher::new(50_000);
     let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let out = ThreadedNomad::new(cfg).run(&ds.matrix, &ds.test, threads, 1);
+    let out = ThreadedNomad::new(cfg).run_serving(&ds.matrix, &ds.test, threads, 1, &publisher);
     let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(
+        publisher.snapshots_published() >= budget / 50_000,
+        "publishing must actually happen for this test to mean anything"
+    );
     (after - before, out.trace.metrics.tokens_processed)
 }
 

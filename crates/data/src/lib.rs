@@ -23,6 +23,8 @@
 //! * a re-export of the text loader so that users who *do* have a licensed
 //!   copy of the original data can run the experiments on it.
 
+#![warn(missing_docs)]
+
 pub mod generator;
 pub mod profiles;
 pub mod registry;

@@ -13,6 +13,8 @@
 //! * [`report`] — CSV / markdown renderers used by the `fig*` and `table*`
 //!   binaries in `crates/bench`.
 
+#![warn(missing_docs)]
+
 pub mod env;
 pub mod figures;
 pub mod report;

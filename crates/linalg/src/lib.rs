@@ -21,6 +21,8 @@
 //! over [`Real`] so the single-precision experiments of Section 5.2 of the
 //! paper can be reproduced as well.
 
+#![warn(missing_docs)]
+
 pub mod cholesky;
 pub mod matrix;
 pub mod rng;

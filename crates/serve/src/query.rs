@@ -1,0 +1,278 @@
+//! The query side: exact top-k answers, single or batched, against the
+//! latest published snapshot.
+//!
+//! A [`QueryEngine`] is a thin, `Sync` front over a
+//! [`SnapshotPublisher`]: every query grabs the latest epoch once (one
+//! lock-free `Arc` clone) and scores against that immutable snapshot, so a
+//! batch of queries is answered from a **single consistent epoch** no
+//! matter how many times the trainers publish mid-batch — and query
+//! threads never take a lock the trainers contend on.
+
+use std::sync::Arc;
+
+use nomad_matrix::Idx;
+
+use crate::publisher::SnapshotPublisher;
+use crate::snapshot::{ModelSnapshot, TopK};
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Nothing has been published yet (training has not reached the first
+    /// publish threshold).
+    NoSnapshot,
+    /// The queried user does not exist in the served snapshot (yet — with
+    /// online ingestion a user may arrive later).
+    UnknownUser {
+        /// The requested user.
+        user: Idx,
+        /// Number of users in the current snapshot.
+        num_users: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoSnapshot => write!(f, "no snapshot published yet"),
+            ServeError::UnknownUser { user, num_users } => {
+                write!(
+                    f,
+                    "user {user} not in the served snapshot ({num_users} users)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One query of a multi-user batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserQuery {
+    /// The user to recommend for.
+    pub user: Idx,
+    /// Items to exclude (already seen/rated), sorted ascending.
+    pub seen: Vec<Idx>,
+}
+
+impl UserQuery {
+    /// A query with no exclusions.
+    pub fn new(user: Idx) -> Self {
+        Self {
+            user,
+            seen: Vec::new(),
+        }
+    }
+
+    /// A query excluding `seen` items (sorts them for the caller).
+    pub fn with_seen(user: Idx, mut seen: Vec<Idx>) -> Self {
+        seen.sort_unstable();
+        seen.dedup();
+        Self { user, seen }
+    }
+}
+
+/// Answers top-k recommendation queries from the latest published epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'p> {
+    publisher: &'p SnapshotPublisher,
+    query_workers: usize,
+}
+
+impl<'p> QueryEngine<'p> {
+    /// Creates an engine that fans sufficiently large batches over up to
+    /// `query_workers` scoped threads (1 answers everything inline; see
+    /// [`QueryEngine::batch_top_k`] for when fan-out actually engages).
+    ///
+    /// # Panics
+    /// Panics if `query_workers == 0`.
+    pub fn new(publisher: &'p SnapshotPublisher, query_workers: usize) -> Self {
+        assert!(query_workers > 0, "need at least one query worker");
+        Self {
+            publisher,
+            query_workers,
+        }
+    }
+
+    /// The latest snapshot, or [`ServeError::NoSnapshot`].
+    pub fn snapshot(&self) -> Result<Arc<ModelSnapshot>, ServeError> {
+        self.publisher.latest().ok_or(ServeError::NoSnapshot)
+    }
+
+    /// Exact top-k for one user against the latest epoch.  `seen` must be
+    /// sorted ascending without duplicates (see
+    /// [`UserQuery::with_seen`]); those items are excluded.
+    ///
+    /// # Panics
+    /// Panics if `seen` is not sorted — see [`ModelSnapshot::top_k`].
+    pub fn top_k(&self, user: Idx, k: usize, seen: &[Idx]) -> Result<TopK, ServeError> {
+        let snap = self.snapshot()?;
+        check_user(&snap, user)?;
+        Ok(snap.top_k(user, k, seen))
+    }
+
+    /// Exact top-k for a batch of users, all answered from **one**
+    /// consistent epoch.
+    ///
+    /// Large batches fan out across scoped worker threads (up to the
+    /// engine's `query_workers`); batches whose total scoring work would
+    /// not amortize a thread spawn are answered inline — spawning two
+    /// threads to score a handful of microsecond queries would be slower
+    /// than just answering them.
+    ///
+    /// Results come back in query order.  The whole batch fails with
+    /// [`ServeError::UnknownUser`] if any query names a user the snapshot
+    /// does not have — validated up front, before any scoring work.
+    pub fn batch_top_k(&self, queries: &[UserQuery], k: usize) -> Result<Vec<TopK>, ServeError> {
+        /// Minimum per-thread scoring work (in factor multiplies,
+        /// `queries × items × k`) before fanning out pays for the ~tens of
+        /// µs a thread spawn/join costs.
+        const SPAWN_WORK: usize = 1 << 18;
+        let snap = self.snapshot()?;
+        for q in queries {
+            check_user(&snap, q.user)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let work = queries.len() * snap.num_items() * snap.k();
+        let workers = self
+            .query_workers
+            .min(queries.len())
+            .min((work / SPAWN_WORK).max(1));
+        if workers == 1 {
+            return Ok(queries
+                .iter()
+                .map(|q| snap.top_k(q.user, k, &q.seen))
+                .collect());
+        }
+        let chunk = queries.len().div_ceil(workers);
+        let mut results: Vec<Vec<TopK>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    let snap = &snap;
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|q| snap.top_k(q.user, k, &q.seen))
+                            .collect::<Vec<TopK>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("query worker panicked"));
+            }
+        });
+        Ok(results.into_iter().flatten().collect())
+    }
+}
+
+fn check_user(snap: &ModelSnapshot, user: Idx) -> Result<(), ServeError> {
+    if (user as usize) < snap.num_users() {
+        Ok(())
+    } else {
+        Err(ServeError::UnknownUser {
+            user,
+            num_users: snap.num_users(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomad_sgd::FactorModel;
+
+    fn served(users: usize, items: usize, k: usize, seed: u64) -> SnapshotPublisher {
+        let p = SnapshotPublisher::new(100);
+        p.publish_model(&FactorModel::init(users, items, k, seed), 100);
+        p
+    }
+
+    #[test]
+    fn empty_publisher_yields_no_snapshot() {
+        let p = SnapshotPublisher::new(10);
+        let engine = QueryEngine::new(&p, 1);
+        assert_eq!(engine.top_k(0, 3, &[]).unwrap_err(), ServeError::NoSnapshot);
+        assert_eq!(
+            engine.batch_top_k(&[UserQuery::new(0)], 3).unwrap_err(),
+            ServeError::NoSnapshot
+        );
+    }
+
+    #[test]
+    fn unknown_user_is_rejected_up_front() {
+        let p = served(4, 6, 3, 1);
+        let engine = QueryEngine::new(&p, 2);
+        let err = engine.top_k(4, 3, &[]).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownUser {
+                user: 4,
+                num_users: 4
+            }
+        );
+        assert!(err.to_string().contains("user 4"));
+        // One bad query fails the whole batch, before any scoring.
+        let batch = vec![UserQuery::new(0), UserQuery::new(9)];
+        assert!(matches!(
+            engine.batch_top_k(&batch, 3),
+            Err(ServeError::UnknownUser { user: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_per_user_queries_across_pool_sizes() {
+        let p = served(9, 25, 4, 7);
+        let queries: Vec<UserQuery> = (0..9)
+            .map(|u| UserQuery::with_seen(u, vec![u % 5, (u + 3) % 25, u % 5]))
+            .collect();
+        let reference: Vec<TopK> = {
+            let engine = QueryEngine::new(&p, 1);
+            queries
+                .iter()
+                .map(|q| engine.top_k(q.user, 6, &q.seen).unwrap())
+                .collect()
+        };
+        for workers in [1, 2, 3, 8] {
+            let engine = QueryEngine::new(&p, workers);
+            let batched = engine.batch_top_k(&queries, 6).unwrap();
+            assert_eq!(batched, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn large_batches_fan_out_and_still_match_per_user_queries() {
+        // 64 queries × 512 items × k=16 crosses the spawn-work threshold,
+        // so this exercises the real scoped-thread path (small batches are
+        // answered inline).
+        let p = served(64, 512, 16, 3);
+        let queries: Vec<UserQuery> = (0..64).map(UserQuery::new).collect();
+        let inline = QueryEngine::new(&p, 1).batch_top_k(&queries, 10).unwrap();
+        let fanned = QueryEngine::new(&p, 2).batch_top_k(&queries, 10).unwrap();
+        assert_eq!(inline, fanned);
+        assert_eq!(fanned.len(), 64);
+    }
+
+    #[test]
+    fn with_seen_sorts_and_dedups() {
+        let q = UserQuery::with_seen(1, vec![5, 2, 5, 9, 2]);
+        assert_eq!(q.seen, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let p = served(2, 2, 2, 0);
+        let engine = QueryEngine::new(&p, 4);
+        assert_eq!(engine.batch_top_k(&[], 3).unwrap(), Vec::<TopK>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query worker")]
+    fn zero_workers_rejected() {
+        let p = served(2, 2, 2, 0);
+        let _ = QueryEngine::new(&p, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Concurrency test for the epoch ring: readers racing a fast publisher
+//! must always observe *internally consistent* snapshots — every entry of
+//! a published snapshot belongs to the same epoch, even while the
+//! publisher laps the ring and recycles buffers underneath them.
+//!
+//! The publisher writes models whose every entry equals the publish
+//! epoch's update stamp, so one mismatched `f64` anywhere is proof of a
+//! torn snapshot.  Readers also hold an early epoch across many publishes
+//! to prove reclamation is reference-counted (the held snapshot's contents
+//! must never change, because its buffer can only be recycled once the
+//! last reader drops it).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nomad_serve::SnapshotPublisher;
+use nomad_sgd::{FactorModel, InitStrategy};
+
+const USERS: usize = 8;
+const ITEMS: usize = 16;
+const K: usize = 9;
+
+fn constant_model(value: f64) -> FactorModel {
+    FactorModel::init_with(USERS, ITEMS, K, InitStrategy::Constant { value }, 0)
+}
+
+/// Every factor entry of `snap` must equal the value its stamp implies.
+fn assert_uniform(snap: &nomad_serve::ModelSnapshot) {
+    let expect = snap.updates_at() as f64;
+    for i in 0..USERS {
+        let row = snap.user_factor(i as u32);
+        assert!(
+            row.iter().all(|&v| v == expect),
+            "torn user row {i}: epoch {} expected {expect}, got {row:?}",
+            snap.epoch()
+        );
+    }
+    for j in 0..ITEMS {
+        let row = snap.item_factor(j as u32);
+        assert!(
+            row.iter().all(|&v| v == expect),
+            "torn item row {j}: epoch {} expected {expect}, got {row:?}",
+            snap.epoch()
+        );
+    }
+}
+
+#[test]
+fn readers_always_see_consistent_snapshots_while_publisher_advances() {
+    const PUBLISHES: u64 = 2_000;
+    const READERS: usize = 3;
+
+    let publisher = Arc::new(SnapshotPublisher::new(1));
+    let done = Arc::new(AtomicBool::new(false));
+    let max_seen = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..READERS {
+            let publisher = Arc::clone(&publisher);
+            let done = Arc::clone(&done);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(scope.spawn(move || {
+                let mut held: Option<Arc<nomad_serve::ModelSnapshot>> = None;
+                let mut last_epoch = 0;
+                let mut reads = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    if let Some(snap) = publisher.latest() {
+                        // Epochs are monotone from a reader's perspective.
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "epoch went backwards: {} after {last_epoch}",
+                            snap.epoch()
+                        );
+                        last_epoch = snap.epoch();
+                        assert_eq!(snap.updates_at(), snap.epoch());
+                        assert_uniform(&snap);
+                        max_seen.fetch_max(snap.epoch(), Ordering::Relaxed);
+                        // Pin the first snapshot we ever saw for the whole
+                        // run: its contents must stay frozen while the
+                        // publisher laps the ring hundreds of times.
+                        held.get_or_insert(snap);
+                        reads += 1;
+                    }
+                    std::hint::spin_loop();
+                }
+                if let Some(old) = held {
+                    assert_uniform(&old);
+                }
+                reads
+            }));
+        }
+
+        // The publisher: one epoch per iteration, every entry equal to the
+        // epoch's update stamp.  The yield stands in for the training work
+        // between publishes and gives the readers scheduler turns on
+        // single-core machines.
+        for e in 1..=PUBLISHES {
+            publisher.publish_model(&constant_model(e as f64), e);
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+
+        let total_reads: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // On a single-core machine the readers may only get a few turns,
+        // but they must have observed *something* and never a torn state.
+        assert!(total_reads > 0, "readers never observed a snapshot");
+    });
+
+    assert_eq!(publisher.epoch(), PUBLISHES);
+    let last = publisher.latest().expect("final epoch");
+    assert_eq!(last.epoch(), PUBLISHES);
+    assert_uniform(&last);
+    assert!(max_seen.load(Ordering::Relaxed) <= PUBLISHES);
+}

@@ -16,6 +16,8 @@
 //!   DSGD/DSGD++, plus constant and `1/t` schedules for ablations,
 //! * [`params`] — the per-dataset hyper-parameters of Table 1.
 
+#![warn(missing_docs)]
+
 pub mod model;
 pub mod objective;
 pub mod params;

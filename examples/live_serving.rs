@@ -1,0 +1,115 @@
+//! Live serving: answer top-k recommendation queries **while** the
+//! threaded NOMAD engine is still training the model.
+//!
+//! The trainer runs `ThreadedNomad::run_serving` on 2 worker threads; its
+//! workers cooperatively publish an epoch snapshot roughly every 25k
+//! updates.  Meanwhile the main thread plays "front-end": it serves exact
+//! top-5 recommendations (excluding each user's already-rated items) from
+//! whatever epoch is current, recording how the answers — and their
+//! freshness stamps — evolve as training converges.  At the end it checks
+//! the serving-side contract: the final snapshot is bit-identical to the
+//! trained model the engine returned.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example live_serving
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use nomad::core::{NomadConfig, StopCondition, ThreadedNomad};
+use nomad::data::{named_dataset, SizeTier};
+use nomad::matrix::Idx;
+use nomad::serve::{QueryEngine, SnapshotPublisher, UserQuery};
+use nomad::sgd::HyperParams;
+
+fn main() {
+    let dataset = named_dataset("netflix-sim", SizeTier::Tiny)
+        .expect("registered dataset")
+        .build();
+    println!(
+        "training on {} ratings ({} users × {} items), serving concurrently\n",
+        dataset.matrix.nnz(),
+        dataset.matrix.nrows(),
+        dataset.matrix.ncols()
+    );
+
+    // Each user's already-rated items, to be filtered out of their answers.
+    let csr = dataset.matrix.by_rows();
+    let seen: Vec<Vec<Idx>> = (0..dataset.matrix.nrows())
+        .map(|i| {
+            let mut items = csr.row_cols(i).to_vec();
+            items.sort_unstable();
+            items
+        })
+        .collect();
+
+    let publisher = SnapshotPublisher::new(25_000);
+    let config = NomadConfig::new(HyperParams::netflix().with_k(8))
+        .with_stop(StopCondition::Updates(1_500_000))
+        .with_snapshot_every(f64::INFINITY)
+        .with_schedule_recording(false);
+    let done = AtomicBool::new(false);
+
+    let model = std::thread::scope(|scope| {
+        let trainer = scope.spawn(|| {
+            let out = ThreadedNomad::new(config).run_serving(
+                &dataset.matrix,
+                &dataset.test,
+                2,
+                1,
+                &publisher,
+            );
+            done.store(true, Ordering::Relaxed);
+            out.model
+        });
+
+        // The "front-end": batched queries against whatever epoch is live.
+        let engine = QueryEngine::new(&publisher, 2);
+        let queries: Vec<UserQuery> = (0..4)
+            .map(|u| UserQuery::with_seen(u, seen[u as usize].clone()))
+            .collect();
+        let mut served = 0u64;
+        let mut last_epoch = 0;
+        let start = Instant::now();
+        while !done.load(Ordering::Relaxed) {
+            match engine.batch_top_k(&queries, 5) {
+                Err(_) => std::thread::yield_now(), // nothing published yet
+                Ok(answers) => {
+                    served += answers.len() as u64;
+                    let epoch = answers[0].epoch;
+                    if epoch != last_epoch {
+                        last_epoch = epoch;
+                        println!(
+                            "epoch {epoch:>3} (model at {:>8} updates): user 0 → {:?}",
+                            answers[0].updates_at,
+                            answers[0].recs.iter().map(|r| r.item).collect::<Vec<_>>()
+                        );
+                    }
+                }
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "\nserved {served} answers in {secs:.2}s ({:.0} answers/sec) while training ran",
+            served as f64 / secs
+        );
+        trainer.join().expect("trainer panicked")
+    });
+
+    // The serving contract: after quiesce, what we serve IS the model.
+    let snap = publisher.latest().expect("final publish");
+    assert_eq!(
+        snap.to_model(),
+        model,
+        "quiesced snapshot must be bit-identical to the trained model"
+    );
+    println!(
+        "final epoch {} is bit-identical to the trained model ({} snapshots published, \
+         max publish gap {} updates)",
+        snap.epoch(),
+        publisher.snapshots_published(),
+        publisher.max_publish_gap()
+    );
+}

@@ -18,6 +18,10 @@
 //! * [`core`] — the NOMAD algorithm itself: serial reference, real
 //!   multi-threaded engine on lock-free queues, and the simulated
 //!   multi-machine/hybrid engine,
+//! * [`serve`] — low-latency top-k recommendation serving over
+//!   live-training models: epoch-published immutable snapshots, a
+//!   lock-free publisher, and an exact brute-force query engine with
+//!   batching and seen-item filtering,
 //! * [`net`] — real multi-process distributed NOMAD over localhost TCP:
 //!   a hand-rolled wire codec, pluggable transports (in-memory loopback,
 //!   TCP, re-exec'd rank processes), and a driver that scatters shards
@@ -84,6 +88,57 @@
 //! own `run_online`; `examples/streaming_recommender.rs` runs all three
 //! against a batch retrain.
 //!
+//! ## Serving top-k recommendations while training runs
+//!
+//! Training never stops for queries and queries never wait for training:
+//! the engines publish **epoch snapshots** of the live model through a
+//! [`serve::SnapshotPublisher`] (at most `publish_every` updates apart),
+//! and query threads answer exact top-k against the latest epoch with a
+//! handful of atomic operations — no lock the trainers contend on (the
+//! same code block is the README's serving quickstart):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nomad::cluster::ComputeModel;
+//! use nomad::core::{NomadConfig, SerialNomad, StopCondition};
+//! use nomad::data::{named_dataset, SizeTier};
+//! use nomad::serve::{QueryEngine, SnapshotPublisher};
+//! use nomad::sgd::HyperParams;
+//!
+//! let dataset = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+//! let publisher = Arc::new(SnapshotPublisher::new(10_000));
+//!
+//! // Train in the background, publishing a snapshot every 10k updates.
+//! let trainer = {
+//!     let publisher = Arc::clone(&publisher);
+//!     let (data, test) = (dataset.matrix.clone(), dataset.test.clone());
+//!     std::thread::spawn(move || {
+//!         let config = NomadConfig::new(HyperParams::netflix().with_k(8))
+//!             .with_stop(StopCondition::Updates(40_000));
+//!         SerialNomad::new(config)
+//!             .run_serving(&data, &test, 2, &ComputeModel::hpc_core(), &publisher)
+//!     })
+//! };
+//!
+//! // Serve exact top-8 recommendations while training runs.
+//! let engine = QueryEngine::new(&publisher, 1);
+//! while publisher.latest().is_none() {
+//!     std::thread::yield_now(); // training hasn't hit the first epoch yet
+//! }
+//! let top = engine.top_k(0, 8, &[]).unwrap();
+//! assert_eq!(top.recs.len(), 8);
+//!
+//! // After the run quiesces, the served snapshot IS the trained model.
+//! let (model, _) = trainer.join().unwrap();
+//! assert_eq!(publisher.latest().unwrap().to_model(), model);
+//! assert!(engine.top_k(0, 8, &[]).unwrap().updates_at >= 40_000);
+//! ```
+//!
+//! The threaded engine serves the same way (`run_serving` /
+//! `run_online_serving`); its mid-run snapshots are built cooperatively by
+//! the training workers so the hot path stays allocation-free —
+//! `examples/live_serving.rs` runs it end to end.
+//!
 //! ## Distributed (multi-process) runs
 //!
 //! The paper's headline configuration — machines exchanging `(j, h_j)`
@@ -134,6 +189,9 @@ pub use nomad_cluster as cluster;
 
 /// The NOMAD algorithm (re-export of `nomad-core`).
 pub use nomad_core as core;
+
+/// Top-k serving over live-training models (re-export of `nomad-serve`).
+pub use nomad_serve as serve;
 
 /// Multi-process distributed NOMAD over TCP (re-export of `nomad-net`).
 pub use nomad_net as net;
