@@ -1,0 +1,311 @@
+//! Seeded schedule-fuzz driver: sweeps adversarial interleavings over the
+//! threaded engine and the nomad-net loopback mesh, self-checks that the
+//! invariant oracles catch a deliberately-seeded ownership bug, and
+//! calibrates wall-clock exploration against the virtual-time explorer.
+//!
+//! Built only with `--features sched-fuzz` (the hook call-sites must be
+//! compiled into the engines for the controller to steer anything).
+//!
+//! Modes:
+//! - sweep (default): `NOMAD_FUZZ_SEEDS` cases per strategy, each run at
+//!   3 workers / 4 ranks (conservation, ledger, serializability) and at
+//!   p = 1 (bit-identity vs `SerialNomad`).  Every failure prints its
+//!   replayable `strategy@seed` pair and lands in the failing-seeds file.
+//! - replay: `NOMAD_FUZZ_REPLAY=<strategy@seed>` re-runs exactly one case
+//!   through both engines and exits 1 if it still fails.
+//!
+//! Environment:
+//! - `NOMAD_FUZZ_SEEDS=<n>` — seeds per strategy in sweep mode (default 4).
+//! - `NOMAD_FUZZ_REPLAY=<strategy@seed>` — replay one case (e.g. `pct@0x7`).
+//! - `NOMAD_FUZZ_OUT=<path>` — JSON output (default `BENCH_schedfuzz.json`).
+//!
+//! Output: `BENCH_schedfuzz.json` (schema `nomad-schedfuzz-v1`), a markdown
+//! calibration table on stderr, and — only when cases fail —
+//! `BENCH_schedfuzz_failures.txt` with one replay pair per line.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nomad_core::sched::{explore_virtual, fuzz_threaded, FaultPlan, FuzzCase, Strategy};
+use nomad_core::{NomadConfig, StopCondition};
+use nomad_data::{named_dataset, SizeTier};
+use nomad_matrix::{RatingMatrix, TripletMatrix};
+use nomad_net::fuzz::fuzz_loopback;
+use nomad_sgd::HyperParams;
+
+const FAILURES_PATH: &str = "BENCH_schedfuzz_failures.txt";
+
+fn tiny() -> (RatingMatrix, TripletMatrix) {
+    let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build();
+    (ds.matrix, ds.test)
+}
+
+fn quick_config(k: usize, updates: u64, seed: u64) -> NomadConfig {
+    NomadConfig::new(HyperParams::netflix().with_k(k))
+        .with_stop(StopCondition::Updates(updates))
+        .with_seed(seed)
+}
+
+/// One fuzzed case across both engines: threaded at 3 workers and p = 1,
+/// loopback at 4 ranks and p = 1.  Returns the per-engine wall-clock
+/// hop rates on success, or the failure reports.
+struct CaseOutcome {
+    case: FuzzCase,
+    threaded_hops_per_sec: f64,
+    loopback_hops_per_sec: f64,
+    escapes: u64,
+    failures: Vec<String>,
+}
+
+fn run_case(data: &RatingMatrix, test: &TripletMatrix, case: FuzzCase) -> CaseOutcome {
+    let mut out = CaseOutcome {
+        case,
+        threaded_hops_per_sec: 0.0,
+        loopback_hops_per_sec: 0.0,
+        escapes: 0,
+        failures: Vec::new(),
+    };
+    match fuzz_threaded(
+        data,
+        test,
+        quick_config(6, 8_000, 33 ^ case.seed),
+        3,
+        case,
+        FaultPlan::default(),
+    ) {
+        Ok(stats) => {
+            out.threaded_hops_per_sec = stats.hops as f64 / stats.wall_seconds.max(1e-9);
+            out.escapes += stats.escapes;
+        }
+        Err(f) => out.failures.push(f.to_string()),
+    }
+    if let Err(f) = fuzz_threaded(
+        data,
+        test,
+        quick_config(6, 5_000, 33 ^ case.seed),
+        1,
+        case,
+        FaultPlan::default(),
+    ) {
+        out.failures.push(f.to_string());
+    }
+    match fuzz_loopback(
+        data,
+        test,
+        quick_config(8, 6_000, 77 ^ case.seed),
+        4,
+        case,
+        FaultPlan::default(),
+    ) {
+        Ok(stats) => {
+            out.loopback_hops_per_sec = stats.hops as f64 / stats.wall_seconds.max(1e-9);
+            out.escapes += stats.escapes;
+        }
+        Err(f) => out.failures.push(f.to_string()),
+    }
+    if let Err(f) = fuzz_loopback(
+        data,
+        test,
+        quick_config(8, 4_000, 77 ^ case.seed),
+        1,
+        case,
+        FaultPlan::default(),
+    ) {
+        out.failures.push(f.to_string());
+    }
+    out
+}
+
+/// The harness's own acceptance gate: a seeded ownership bug (one skipped
+/// slab-row write in the comm inject path) must be caught by the oracles,
+/// print a replayable pair, and reproduce the identical failure on replay.
+fn mutation_self_check(data: &RatingMatrix, test: &TripletMatrix) -> Result<(), String> {
+    let case = FuzzCase::new(0, Strategy::Pct);
+    let fault = FaultPlan {
+        skip_inject_write_at: Some(2),
+    };
+    let cfg = quick_config(8, 3_000, 77);
+    let failure = match fuzz_loopback(data, test, cfg, 1, case, fault) {
+        Err(f) => f,
+        Ok(_) => return Err("seeded ownership mutation was NOT caught by the oracles".into()),
+    };
+    let report = failure.to_string();
+    if !report.contains("NOMAD_FUZZ_REPLAY=pct@0x0") {
+        return Err(format!("failure report lacks the replay pair: {report}"));
+    }
+    match fuzz_loopback(data, test, cfg, 1, case, fault) {
+        Err(again) if again == failure => {
+            eprintln!("mutation self-check: caught and replayed — {report}");
+            Ok(())
+        }
+        Err(again) => Err(format!("replay diverged: {failure:?} vs {again:?}")),
+        Ok(_) => Err("replaying the failing case did not fail again".into()),
+    }
+}
+
+fn main() {
+    nomad_bench::handle_cli_args_with(
+        "schedfuzz",
+        "Seeded schedule fuzzing: adversarial interleavings over the threaded \
+         engine and the nomad-net loopback mesh, with invariant oracles and a \
+         mutation self-check",
+        "Output: BENCH_schedfuzz.json (schema nomad-schedfuzz-v1), a markdown \
+         calibration table on stderr, and BENCH_schedfuzz_failures.txt (one \
+         replayable strategy@seed pair per line) when cases fail.",
+        &[
+            "NOMAD_FUZZ_SEEDS=<n>           seeds per strategy in sweep mode (default: 4)",
+            "NOMAD_FUZZ_REPLAY=<strat@seed> replay one case (e.g. pct@0x7) instead of sweeping",
+            "NOMAD_FUZZ_OUT=<path>          JSON output path (default: BENCH_schedfuzz.json)",
+        ],
+    );
+    let (data, test) = tiny();
+
+    // Replay mode: one case through both engines, nothing else.
+    if let Ok(spec) = std::env::var("NOMAD_FUZZ_REPLAY") {
+        let case: FuzzCase = spec
+            .parse()
+            .unwrap_or_else(|e| panic!("bad NOMAD_FUZZ_REPLAY {spec:?}: {e}"));
+        eprintln!("replaying {case} ...");
+        let outcome = run_case(&data, &test, case);
+        if outcome.failures.is_empty() {
+            eprintln!("{case}: all invariants hold");
+            return;
+        }
+        for f in &outcome.failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+
+    let seeds: u64 = std::env::var("NOMAD_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(4);
+
+    let started = Instant::now();
+    let mut outcomes = Vec::new();
+    let mut failing = Vec::new();
+    for strategy in Strategy::ALL {
+        for seed in 0..seeds {
+            let case = FuzzCase::new(seed, strategy);
+            let outcome = run_case(&data, &test, case);
+            for f in &outcome.failures {
+                eprintln!("{f}");
+            }
+            if !outcome.failures.is_empty() {
+                failing.push(case);
+            }
+            outcomes.push(outcome);
+        }
+    }
+    let sweep_seconds = started.elapsed().as_secs_f64();
+
+    let mutation = mutation_self_check(&data, &test);
+    if let Err(why) = &mutation {
+        eprintln!("mutation self-check FAILED: {why}");
+    }
+
+    // Calibration: wall-clock hop rates per strategy vs the virtual-time
+    // explorer's rate on the same seeds.  The virtual explorer circulates
+    // abstract tokens (no SGD arithmetic), so the interesting comparison
+    // is the *relative* spread across strategies, not the magnitudes.
+    eprintln!("\n| strategy | wall threaded hops/s | wall loopback hops/s | virtual hops/vs |");
+    eprintln!("|---|---|---|---|");
+    let mut calibration = Vec::new();
+    for strategy in Strategy::ALL {
+        let rows: Vec<&CaseOutcome> = outcomes
+            .iter()
+            .filter(|o| o.case.strategy == strategy && o.failures.is_empty())
+            .collect();
+        let mean = |f: fn(&CaseOutcome) -> f64| {
+            if rows.is_empty() {
+                0.0
+            } else {
+                rows.iter().map(|o| f(o)).sum::<f64>() / rows.len() as f64
+            }
+        };
+        let wall_threaded = mean(|o| o.threaded_hops_per_sec);
+        let wall_loopback = mean(|o| o.loopback_hops_per_sec);
+        let virt = (0..seeds)
+            .map(|seed| {
+                explore_virtual(FuzzCase::new(seed, strategy), 4, 24, 0.05)
+                    .hops_per_virtual_second()
+            })
+            .sum::<f64>()
+            / seeds as f64;
+        eprintln!("| {strategy} | {wall_threaded:.0} | {wall_loopback:.0} | {virt:.0} |");
+        calibration.push((strategy, wall_threaded, wall_loopback, virt));
+    }
+
+    let cases = outcomes.len();
+    let escapes: u64 = outcomes.iter().map(|o| o.escapes).sum();
+    eprintln!(
+        "\nschedfuzz: {cases} cases ({} strategies x {seeds} seeds), {} failing, \
+         {escapes} turnstile escapes, {sweep_seconds:.2}s",
+        Strategy::ALL.len(),
+        failing.len(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"nomad-schedfuzz-v1\",\n");
+    json.push_str("  \"bench\": \"schedfuzz\",\n");
+    json.push_str("  \"dataset\": \"netflix-sim\",\n");
+    let _ = writeln!(json, "  \"seeds_per_strategy\": {seeds},");
+    let _ = writeln!(json, "  \"cases\": {cases},");
+    let _ = writeln!(json, "  \"failing_cases\": {},", failing.len());
+    let _ = writeln!(json, "  \"turnstile_escapes\": {escapes},");
+    let _ = writeln!(
+        json,
+        "  \"mutation_self_check\": \"{}\",",
+        if mutation.is_ok() { "caught" } else { "MISSED" }
+    );
+    let _ = writeln!(json, "  \"sweep_seconds\": {sweep_seconds:.3},");
+    json.push_str("  \"calibration\": [\n");
+    for (i, (strategy, wt, wl, virt)) in calibration.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"strategy\": \"{strategy}\", \"wall_threaded_hops_per_sec\": {wt:.1}, \
+             \"wall_loopback_hops_per_sec\": {wl:.1}, \"virtual_hops_per_virtual_sec\": {virt:.1} }}"
+        );
+        json.push_str(if i + 1 < calibration.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"failures\": [");
+    for (i, case) in failing.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{case}\"");
+    }
+    json.push_str("]\n}\n");
+    let out_path =
+        std::env::var("NOMAD_FUZZ_OUT").unwrap_or_else(|_| "BENCH_schedfuzz.json".to_string());
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    // Failing-seed artifact for CI: one replay pair per line, only when
+    // something failed (a clean run leaves no stale artifact behind).
+    if failing.is_empty() && mutation.is_ok() {
+        let _ = std::fs::remove_file(FAILURES_PATH);
+        return;
+    }
+    let mut lines = String::new();
+    for case in &failing {
+        let _ = writeln!(lines, "{case}");
+    }
+    if let Err(why) = &mutation {
+        let _ = writeln!(lines, "mutation-self-check: {why}");
+    }
+    std::fs::write(FAILURES_PATH, lines)
+        .unwrap_or_else(|e| panic!("cannot write {FAILURES_PATH}: {e}"));
+    eprintln!("wrote {FAILURES_PATH} (replay with NOMAD_FUZZ_REPLAY=<line>)");
+    std::process::exit(1);
+}

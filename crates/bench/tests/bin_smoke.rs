@@ -37,9 +37,16 @@ const BINS: &[(&str, &str)] = &[
     ("repro_all", env!("CARGO_BIN_EXE_repro_all")),
 ];
 
+/// The `schedfuzz` bin only exists under `--features sched-fuzz`
+/// (`required-features`), so its `CARGO_BIN_EXE_*` var is only set then.
+#[cfg(feature = "sched-fuzz")]
+const FEATURE_BINS: &[(&str, &str)] = &[("schedfuzz", env!("CARGO_BIN_EXE_schedfuzz"))];
+#[cfg(not(feature = "sched-fuzz"))]
+const FEATURE_BINS: &[(&str, &str)] = &[];
+
 #[test]
 fn every_bin_answers_help() {
-    for (name, path) in BINS {
+    for (name, path) in BINS.iter().chain(FEATURE_BINS) {
         let out = Command::new(path)
             .arg("--help")
             .output()
@@ -63,7 +70,7 @@ fn every_bin_answers_help() {
 
 #[test]
 fn every_bin_rejects_unknown_arguments() {
-    for (name, path) in BINS {
+    for (name, path) in BINS.iter().chain(FEATURE_BINS) {
         let out = Command::new(path)
             .arg("--definitely-not-a-flag")
             .output()

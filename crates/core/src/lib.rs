@@ -47,6 +47,7 @@
 pub mod config;
 pub mod online;
 pub mod routing;
+pub mod sched;
 pub mod serial;
 pub mod sim;
 pub mod slab;
@@ -56,6 +57,7 @@ pub mod worker;
 pub use config::{NomadConfig, StopCondition};
 pub use online::{replay_online, token_home, OnlineOutput};
 pub use routing::RoutingPolicy;
+pub use sched::{FaultPlan, FuzzCase, FuzzController, ScheduleController, Strategy};
 pub use serial::SerialNomad;
 pub use sim::SimNomad;
 pub use slab::FactorSlab;

@@ -1,0 +1,210 @@
+//! Virtual-time schedule exploration on the discrete-event executor.
+//!
+//! The wall-clock fuzz harness ([`super::fuzz_threaded`]) can only
+//! produce worker-speed ratios the host machine produces.  Here the same
+//! `(seed, strategy)` cases drive a *virtual-time* token circulation on
+//! [`nomad_cluster::ExecEngine`]: each worker is a component with its
+//! own seeded clock rate (heterogeneous periods, up to ~4x apart), so a
+//! seed can explore "worker 3 runs four times as fast as worker 0"
+//! deterministically on any box.  The circulation moves the same
+//! `(item, pass)` tokens through per-worker FIFO queues with
+//! strategy-biased routing, and the token-conservation oracle is checked
+//! at the horizon.
+//!
+//! The `schedfuzz` bench binary prints a calibration table of hops per
+//! (virtual vs wall) second from this module and the wall-clock harness.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use nomad_cluster::{Component, ExecEngine, SimTime};
+use nomad_linalg::SmallRng64;
+
+use super::strategy::{FuzzCase, Strategy};
+
+/// Nominal seconds per hop for the fastest possible worker clock.
+const BASE_PERIOD: f64 = 1e-6;
+
+/// What a virtual-time exploration did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualReport {
+    /// The case that drove the exploration.
+    pub case: FuzzCase,
+    /// Virtual workers circulating tokens.
+    pub workers: usize,
+    /// Tokens in circulation.
+    pub items: usize,
+    /// Token hops performed before the horizon.
+    pub hops: u64,
+    /// Virtual time consumed.
+    pub virtual_seconds: f64,
+}
+
+impl VirtualReport {
+    /// Hops per virtual second — the number the calibration table
+    /// compares against the wall-clock harness's hops per real second.
+    pub fn hops_per_virtual_second(&self) -> f64 {
+        if self.virtual_seconds > 0.0 {
+            self.hops as f64 / self.virtual_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Shared circulation state: per-worker token queues plus the counters
+/// the oracle checks.
+struct Circulation {
+    queues: Vec<VecDeque<(u32, u64)>>,
+    route_rng: SmallRng64,
+    strategy: Strategy,
+    hops: u64,
+}
+
+impl Circulation {
+    /// Strategy-biased destination for a token leaving `who`.
+    fn route(&mut self, who: usize) -> usize {
+        let n = self.queues.len();
+        if n == 1 {
+            return 0;
+        }
+        match self.strategy {
+            Strategy::Pct => self.route_rng.next_below(n),
+            // Pile tokens onto worker 0 half the time (the victim slot).
+            Strategy::Starve => {
+                if self.route_rng.next_below(2) == 0 {
+                    0
+                } else {
+                    self.route_rng.next_below(n)
+                }
+            }
+            // Mostly keep tokens local so one worker bursts.
+            Strategy::Burst => {
+                if self.route_rng.next_below(4) == 0 {
+                    self.route_rng.next_below(n)
+                } else {
+                    who
+                }
+            }
+        }
+    }
+}
+
+/// One virtual worker: pops its queue each clock tick and forwards the
+/// token.
+struct VirtWorker {
+    id: usize,
+    state: Rc<RefCell<Circulation>>,
+}
+
+impl Component for VirtWorker {
+    fn tick(&mut self, _now: SimTime) -> bool {
+        let mut st = self.state.borrow_mut();
+        if let Some((item, pass)) = st.queues[self.id].pop_front() {
+            st.hops += 1;
+            let dest = st.route(self.id);
+            st.queues[dest].push_back((item, pass + 1));
+        }
+        true
+    }
+}
+
+/// Circulates `items` tokens among `workers` heterogeneous virtual
+/// workers until `horizon_seconds` of virtual time, then re-checks token
+/// conservation.
+///
+/// # Panics
+/// Panics if the conservation oracle fails (a token was lost or
+/// duplicated — a bug in the circulation model itself) or if
+/// `workers == 0`.
+pub fn explore_virtual(
+    case: FuzzCase,
+    workers: usize,
+    items: usize,
+    horizon_seconds: f64,
+) -> VirtualReport {
+    assert!(workers > 0, "need at least one virtual worker");
+    let mut seed_rng = SmallRng64::new(case.seed ^ 0x51D0_11FE_BADC_0DE5);
+
+    // Seeded initial placement, like the engine's.
+    let mut queues: Vec<VecDeque<(u32, u64)>> = vec![VecDeque::new(); workers];
+    for j in 0..items {
+        queues[seed_rng.next_below(workers)].push_back((j as u32, 0));
+    }
+    let state = Rc::new(RefCell::new(Circulation {
+        queues,
+        route_rng: SmallRng64::new(case.seed ^ 0x0DE5_0DE5_0DE5_0DE5),
+        strategy: case.strategy,
+        hops: 0,
+    }));
+
+    let mut engine = ExecEngine::new();
+    for id in 0..workers {
+        // Heterogeneous clocks: periods spread up to ~4x apart.
+        let period = BASE_PERIOD * (1.0 + 3.0 * seed_rng.next_f64());
+        engine.add(
+            period,
+            Box::new(VirtWorker {
+                id,
+                state: Rc::clone(&state),
+            }),
+        );
+    }
+    engine.run_until(SimTime::from_secs(horizon_seconds));
+
+    let st = state.borrow();
+    // Token conservation at the horizon: every item in exactly one
+    // queue, and the pass counts sum to the hops performed.
+    let mut seen = vec![0u32; items];
+    let mut pass_sum = 0u64;
+    for q in &st.queues {
+        for &(item, pass) in q {
+            seen[item as usize] += 1;
+            pass_sum += pass;
+        }
+    }
+    for (item, &count) in seen.iter().enumerate() {
+        assert_eq!(
+            count, 1,
+            "token conservation violated in virtual exploration ({case}): \
+             item {item} present {count} times"
+        );
+    }
+    assert_eq!(
+        pass_sum, st.hops,
+        "pass counts diverged from hops in virtual exploration ({case})"
+    );
+
+    VirtualReport {
+        case,
+        workers,
+        items,
+        hops: st.hops,
+        virtual_seconds: engine.now().as_secs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_exploration_is_deterministic_and_conserves_tokens() {
+        for strategy in Strategy::ALL {
+            let case = FuzzCase::new(0xABCD, strategy);
+            let a = explore_virtual(case, 4, 32, 0.05);
+            let b = explore_virtual(case, 4, 32, 0.05);
+            assert_eq!(a, b, "same case must replay identically");
+            assert!(a.hops > 0, "horizon long enough for progress");
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_schedules() {
+        let a = explore_virtual(FuzzCase::new(1, Strategy::Pct), 3, 16, 0.02);
+        let b = explore_virtual(FuzzCase::new(2, Strategy::Pct), 3, 16, 0.02);
+        // Clock rates differ with the seed, so so does the hop count.
+        assert_ne!((a.hops, a.virtual_seconds), (b.hops, b.virtual_seconds));
+    }
+}

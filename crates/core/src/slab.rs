@@ -44,6 +44,12 @@ pub struct FactorSlab {
     k: usize,
     /// Cache lines per row.
     lines_per_row: usize,
+    /// Debug ownership ledger (schedule fuzzing only): per row, `0` when
+    /// free or `owner + 1` while claimed.  [`FactorSlab::claim_row`] /
+    /// [`FactorSlab::release_row`] panic the moment two workers hold the
+    /// same row between hand-offs — the single-ownership oracle.
+    #[cfg(feature = "sched-fuzz")]
+    ledger: Vec<std::sync::atomic::AtomicU32>,
 }
 
 // SAFETY: the slab hands out `&mut` aliases into `lines` via
@@ -78,6 +84,10 @@ impl FactorSlab {
             rows,
             k,
             lines_per_row,
+            #[cfg(feature = "sched-fuzz")]
+            ledger: std::iter::repeat_with(|| std::sync::atomic::AtomicU32::new(0))
+                .take(rows)
+                .collect(),
         }
     }
 
@@ -161,9 +171,53 @@ impl FactorSlab {
                 CacheLine(UnsafeCell::new([0.0; LINE]))
             });
         self.rows += m.rows();
+        #[cfg(feature = "sched-fuzz")]
+        self.ledger
+            .extend(std::iter::repeat_with(|| std::sync::atomic::AtomicU32::new(0)).take(m.rows()));
         for offset in 0..m.rows() {
             self.set_row(first_new + offset, m.row(offset));
         }
+    }
+
+    /// Records `who` as the owner of row `j` in the debug ownership
+    /// ledger (schedule fuzzing only; engines call this right after
+    /// popping token `j`).
+    ///
+    /// # Panics
+    /// Panics if the row is already claimed — two workers holding the
+    /// same row between hand-offs is exactly the ownership-invariant
+    /// violation the fuzz oracles exist to catch.
+    #[cfg(feature = "sched-fuzz")]
+    pub fn claim_row(&self, j: Idx, who: u32) {
+        use std::sync::atomic::Ordering;
+        let prev = self.ledger[j as usize].swap(who + 1, Ordering::AcqRel);
+        assert_eq!(
+            prev,
+            0,
+            "ownership ledger violation: row {j} claimed by worker {who} \
+             while still owned by worker {}",
+            prev.wrapping_sub(1)
+        );
+    }
+
+    /// Clears `who`'s claim on row `j` (schedule fuzzing only; engines
+    /// call this right before pushing token `j` onward).
+    ///
+    /// # Panics
+    /// Panics if the row is not currently owned by `who` — a hand-off
+    /// that does not match its claim means the queue transfer and the
+    /// row ownership went out of sync.
+    #[cfg(feature = "sched-fuzz")]
+    pub fn release_row(&self, j: Idx, who: u32) {
+        use std::sync::atomic::Ordering;
+        let prev = self.ledger[j as usize].swap(0, Ordering::AcqRel);
+        assert_eq!(
+            prev,
+            who + 1,
+            "ownership ledger violation: row {j} released by worker {who} \
+             but the claim belongs to {}",
+            prev.wrapping_sub(1)
+        );
     }
 }
 
@@ -256,5 +310,40 @@ mod tests {
     fn set_row_wrong_length_panics() {
         let mut slab = FactorSlab::zeroed(2, 4);
         slab.set_row(0, &[1.0; 5]);
+    }
+
+    #[cfg(feature = "sched-fuzz")]
+    #[test]
+    fn ledger_tracks_claim_release_cycles() {
+        let mut slab = FactorSlab::zeroed(2, 4);
+        slab.claim_row(0, 3);
+        slab.claim_row(1, 5);
+        slab.release_row(0, 3);
+        slab.claim_row(0, 5);
+        slab.release_row(0, 5);
+        slab.release_row(1, 5);
+        // Appended rows join the ledger too.
+        let extra = FactorMatrix::init(2, 4, nomad_sgd::InitStrategy::Constant { value: 1.0 }, 0);
+        slab.append_rows(&extra);
+        slab.claim_row(3, 0);
+        slab.release_row(3, 0);
+    }
+
+    #[cfg(feature = "sched-fuzz")]
+    #[test]
+    #[should_panic(expected = "ownership ledger violation")]
+    fn ledger_catches_double_claim() {
+        let slab = FactorSlab::zeroed(2, 4);
+        slab.claim_row(1, 0);
+        slab.claim_row(1, 7);
+    }
+
+    #[cfg(feature = "sched-fuzz")]
+    #[test]
+    #[should_panic(expected = "ownership ledger violation")]
+    fn ledger_catches_mismatched_release() {
+        let slab = FactorSlab::zeroed(2, 4);
+        slab.claim_row(0, 2);
+        slab.release_row(0, 4);
     }
 }

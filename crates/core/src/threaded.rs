@@ -626,7 +626,13 @@ fn worker_loop(
             stop_flag.store(true, Ordering::Relaxed);
             break;
         }
+        // Hop boundary: a schedule controller may pause this worker here
+        // (and observe the pop outcome below) to steer the interleaving.
+        #[cfg(feature = "sched-fuzz")]
+        crate::sched::hooks::before_pop(q);
         let Some(token) = queues[q].pop() else {
+            #[cfg(feature = "sched-fuzz")]
+            crate::sched::hooks::after_pop(q, false);
             if let Some(publisher) = serving {
                 // An idle worker can still contribute its user block to an
                 // in-flight build (it owns no token, so no item row).
@@ -641,6 +647,11 @@ fn worker_loop(
             std::thread::yield_now();
             continue;
         };
+        #[cfg(feature = "sched-fuzz")]
+        {
+            crate::sched::hooks::after_pop(q, true);
+            slab.claim_row(token.item, q as u32);
+        }
         // The ticket establishes the linearization order: it is taken
         // before the updates, the updates finish before the push, and the
         // next owner can only take its ticket after popping — so ticket
@@ -690,11 +701,23 @@ fn worker_loop(
                 }
             }
         };
+        // The controller may override the routing decision (bias) and is
+        // told about the hand-off; the ledger release must precede the
+        // push — after the push the row belongs to the next owner.
+        #[cfg(feature = "sched-fuzz")]
+        let dest = crate::sched::hooks::route(q, token.item, dest, num_threads);
+        #[cfg(feature = "sched-fuzz")]
+        {
+            slab.release_row(token.item, q as u32);
+            crate::sched::hooks::before_push(q, dest);
+        }
         queues[dest].push(Token {
             item: token.item,
             pass: token.pass + 1,
         });
     }
+    #[cfg(feature = "sched-fuzz")]
+    crate::sched::hooks::done(q);
     events
 }
 

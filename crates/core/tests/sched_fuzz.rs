@@ -1,0 +1,104 @@
+//! Schedule-fuzzed exploration of the threaded engine.
+//!
+//! This is deliberately its own integration-test binary: the schedule
+//! controller installs process-wide, so fuzz runs must not share a
+//! process with unrelated engine tests (the turnstile would intercept
+//! their workers too).  Within this binary, concurrent fuzz runs
+//! serialize through the exclusive-install lock.
+//!
+//! Without `--features sched-fuzz` the hook call-sites are not compiled
+//! and these runs are ordinary threaded runs — the invariant oracles
+//! (conservation, serializability replay, p=1 bit-identity) still apply.
+//! With the feature, the seeded turnstile additionally forces
+//! adversarial interleavings and the slab ownership ledger arms.
+
+use nomad_core::sched::{explore_virtual, fuzz_threaded, FaultPlan, FuzzCase, Strategy};
+use nomad_core::{NomadConfig, StopCondition};
+use nomad_data::{named_dataset, SizeTier};
+use nomad_matrix::{RatingMatrix, TripletMatrix};
+use nomad_sgd::HyperParams;
+
+fn tiny() -> (RatingMatrix, TripletMatrix) {
+    let ds = named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build();
+    (ds.matrix, ds.test)
+}
+
+fn quick_config(k: usize, updates: u64) -> NomadConfig {
+    NomadConfig::new(HyperParams::netflix().with_k(k))
+        .with_stop(StopCondition::Updates(updates))
+        .with_seed(33)
+}
+
+/// Runs `seeds` cases (cycling strategies) at three workers and at one
+/// worker; every oracle failure panics with the replayable
+/// `(seed, strategy)` pair.
+fn sweep(seeds: u64) {
+    let (data, test) = tiny();
+    for seed in 0..seeds {
+        let strategy = Strategy::ALL[(seed % 3) as usize];
+        let case = FuzzCase::new(seed, strategy);
+        // Three workers: conservation + ledger + serializability replay.
+        let cfg = quick_config(6, 8_000).with_seed(33 ^ seed);
+        let stats = fuzz_threaded(&data, &test, cfg, 3, case, FaultPlan::default())
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert!(stats.hops > 0, "{case}: no hops performed");
+        // One worker: p=1 bit-identity vs SerialNomad on top.
+        let cfg1 = quick_config(6, 5_000).with_seed(33 ^ seed);
+        fuzz_threaded(&data, &test, cfg1, 1, case, FaultPlan::default())
+            .unwrap_or_else(|f| panic!("{f}"));
+    }
+}
+
+#[test]
+fn fuzzed_schedules_quick_sweep_holds_all_invariants() {
+    sweep(4);
+}
+
+#[test]
+#[ignore = "long fuzz sweep (NOMAD_FUZZ_SEEDS, default 32); nightly CI runs it with --ignored"]
+fn fuzzed_schedules_long_sweep_holds_all_invariants() {
+    let seeds = std::env::var("NOMAD_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    sweep(seeds);
+}
+
+/// The virtual-time explorer is a pure function of its case: same seeds,
+/// same schedule, and the conservation oracle holds at the horizon.
+#[test]
+fn virtual_time_exploration_replays_deterministically() {
+    for strategy in Strategy::ALL {
+        for seed in 0..4u64 {
+            let case = FuzzCase::new(seed, strategy);
+            let a = explore_virtual(case, 4, 24, 0.05);
+            let b = explore_virtual(case, 4, 24, 0.05);
+            assert_eq!(a, b, "{case}: virtual exploration must replay");
+            assert!(a.hops > 0, "{case}: horizon too short for progress");
+        }
+    }
+}
+
+/// With the hooks compiled in, the controller genuinely observes and
+/// orders the workers' hops (not just rides along).
+#[cfg(feature = "sched-fuzz")]
+#[test]
+fn controller_steers_the_engine_when_hooks_are_compiled() {
+    let (data, test) = tiny();
+    let case = FuzzCase::new(5, Strategy::Pct);
+    let stats = fuzz_threaded(
+        &data,
+        &test,
+        quick_config(4, 6_000),
+        2,
+        case,
+        FaultPlan::default(),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(
+        stats.controlled_hops > 0,
+        "hooks compiled in but the controller observed no hops"
+    );
+}

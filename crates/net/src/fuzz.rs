@@ -1,0 +1,103 @@
+//! Schedule-fuzz harness for the distributed engine over
+//! [`Loopback`](crate::transport::Loopback).
+//!
+//! The counterpart of `nomad_core::sched::fuzz_threaded` for real
+//! multi-rank runs: install the seeded [`FuzzController`] for a
+//! [`FuzzCase`], run [`DistributedNomad::run_loopback`] under it, and
+//! convert every violated invariant into a replayable
+//! [`FuzzFailure`].  The oracles:
+//!
+//! * **Token conservation at gather** — the driver's `assemble_model`
+//!   asserts every item arrived in exactly one shard and that pass
+//!   counts sum to the tickets drawn across all ranks; a violation
+//!   panics, which the harness catches.
+//! * **Single ownership** — under `--features sched-fuzz` the slab
+//!   ledger panics if the comm thread injects a row a worker still
+//!   holds (or vice versa).
+//! * **p=1 bit-identity** — at one rank the distributed engine must
+//!   reproduce [`SerialNomad`] exactly, so a lost or torn factor row
+//!   (e.g. the seeded [`FaultPlan`] mutation that skips one slab-row
+//!   write before a queue push) is caught deterministically.
+//!
+//! This module compiles without the `sched-fuzz` feature — the
+//! controller simply has no hook call-sites to bite on, so the run is
+//! an ordinary loopback run with the same oracles applied.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nomad_cluster::ComputeModel;
+use nomad_core::sched::{install, FaultPlan, FuzzCase, FuzzController, FuzzFailure};
+use nomad_core::{NomadConfig, SerialNomad};
+use nomad_matrix::{RatingMatrix, TripletMatrix};
+
+use crate::driver::DistributedNomad;
+
+/// What a surviving distributed schedule looked like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFuzzStats {
+    /// Updates performed across all ranks.
+    pub updates: u64,
+    /// Tokens processed across all ranks (hops).
+    pub hops: u64,
+    /// Token batches that crossed rank boundaries.
+    pub remote_sends: u64,
+    /// Liveness escapes the turnstile took (see
+    /// [`FuzzController::escapes`]).
+    pub escapes: u64,
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+}
+
+/// Runs a `ranks`-rank loopback mesh under the seeded controller for
+/// `case` and re-checks the invariant oracles; `Err` carries the
+/// `(seed, strategy)` replay pair.
+///
+/// p=1 bit-identity vs [`SerialNomad`] is checked whenever
+/// `ranks == 1`; conservation is checked at every gather.
+pub fn fuzz_loopback(
+    data: &RatingMatrix,
+    test: &TripletMatrix,
+    cfg: NomadConfig,
+    ranks: usize,
+    case: FuzzCase,
+    fault: FaultPlan,
+) -> Result<NetFuzzStats, FuzzFailure> {
+    let controller = Arc::new(FuzzController::new(case, fault));
+    let installed = install(controller.clone());
+    let start = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        DistributedNomad::new(cfg, ranks).run_loopback(data)
+    }));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    drop(installed);
+    let out = match run {
+        Ok(Ok(out)) => out,
+        Ok(Err(e)) => {
+            return Err(FuzzFailure::new(
+                case,
+                format!("distributed run failed: {e}"),
+            ))
+        }
+        Err(payload) => return Err(FuzzFailure::from_panic(case, payload)),
+    };
+
+    if ranks == 1 {
+        let (serial, _) = SerialNomad::new(cfg).run(data, test, 1, &ComputeModel::hpc_core());
+        if serial != out.model {
+            return Err(FuzzFailure::new(
+                case,
+                "p=1 bit-identity violated: one controlled rank diverged from SerialNomad",
+            ));
+        }
+    }
+
+    Ok(NetFuzzStats {
+        updates: out.stats.updates,
+        hops: out.stats.tokens_processed,
+        remote_sends: out.stats.remote_sends,
+        escapes: controller.escapes(),
+        wall_seconds,
+    })
+}

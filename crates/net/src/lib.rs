@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod fuzz;
 pub mod process;
 pub mod rank;
 pub mod tcp;
@@ -48,7 +49,8 @@ pub mod transport;
 pub mod wire;
 
 pub use driver::{DistOutput, DistributedNomad, NetConfig, NetStats};
+pub use fuzz::{fuzz_loopback, NetFuzzStats};
 pub use process::{child_entry, CHILD_FAILURE_EXIT, DRIVER_ENV, RANK_ENV};
 pub use tcp::TcpTransport;
-pub use transport::{Loopback, NetError, Transport};
+pub use transport::{DelayedTransport, Loopback, NetError, Transport};
 pub use wire::{Message, SetupPayload, ShardPayload, WireError, WireToken};

@@ -220,6 +220,10 @@ fn run_rank_inner<T: Transport>(
                 }
             }
 
+            // A schedule controller may oversleep the poll here to model
+            // a lagging communication thread (reordered comm wakeups).
+            #[cfg(feature = "sched-fuzz")]
+            nomad_core::sched::hooks::comm_poll(rank);
             if let Some((src, msg)) = transport.recv_timeout(COMM_POLL)? {
                 comm.handle(transport, &shared, src, msg)?;
             }
@@ -403,7 +407,25 @@ impl CommState {
                     // other thread can touch the row; the queue push below
                     // is the release edge that hands the row to the
                     // worker.
+                    #[cfg(not(feature = "sched-fuzz"))]
                     unsafe { shared.slab.owner_row_mut(token.item) }.copy_from_slice(&token.factor);
+                    #[cfg(feature = "sched-fuzz")]
+                    {
+                        // Comm-thread claims are tagged so a ledger
+                        // violation names the claimant unambiguously.
+                        let who = 0x8000_0000 | self.rank as u32;
+                        shared.slab.claim_row(token.item, who);
+                        // Mutation point for the fuzz self-test: skipping
+                        // this write is the seeded ownership bug (the
+                        // token circulates, its factors were never handed
+                        // off) that the oracles must catch.
+                        if !nomad_core::sched::hooks::skip_inject_write(self.rank) {
+                            // SAFETY: as above — the claim is ours.
+                            unsafe { shared.slab.owner_row_mut(token.item) }
+                                .copy_from_slice(&token.factor);
+                        }
+                        shared.slab.release_row(token.item, who);
+                    }
                     shared.queue.push(Token {
                         item: token.item,
                         pass: token.pass,
@@ -456,10 +478,21 @@ fn worker_loop(
         if local_updates >= budget {
             break;
         }
+        // Hop boundary: a schedule controller may pause this rank's
+        // worker here, exactly like the threaded engine's hook.
+        #[cfg(feature = "sched-fuzz")]
+        nomad_core::sched::hooks::before_pop(rank);
         let Some(token) = shared.queue.pop() else {
+            #[cfg(feature = "sched-fuzz")]
+            nomad_core::sched::hooks::after_pop(rank, false);
             std::thread::yield_now();
             continue;
         };
+        #[cfg(feature = "sched-fuzz")]
+        {
+            nomad_core::sched::hooks::after_pop(rank, true);
+            shared.slab.claim_row(token.item, rank as u32);
+        }
         tickets += 1;
         let t = wd.record_pass(token.item);
         let step = schedule.step(t);
@@ -499,6 +532,17 @@ fn worker_loop(
                 }
             }
         };
+        // Route override + ledger release + push notification, mirroring
+        // the threaded engine's hop tail.  The release precedes both the
+        // local push and the outbound staging: either is the hand-off
+        // edge after which the row belongs to the next owner.
+        #[cfg(feature = "sched-fuzz")]
+        let dest = nomad_core::sched::hooks::route(rank, token.item, dest, ranks);
+        #[cfg(feature = "sched-fuzz")]
+        {
+            shared.slab.release_row(token.item, rank as u32);
+            nomad_core::sched::hooks::before_push(rank, dest);
+        }
         if dest == rank {
             shared.queue.push(Token {
                 item: token.item,
@@ -513,6 +557,8 @@ fn worker_loop(
             });
         }
     }
+    #[cfg(feature = "sched-fuzz")]
+    nomad_core::sched::hooks::done(rank);
     shared.worker_exited.store(true, Ordering::Release);
     tickets
 }

@@ -181,6 +181,47 @@ impl Transport for Loopback {
     }
 }
 
+/// A transport wrapper that sleeps before every send — a deterministic
+/// straggler.
+///
+/// Wrapping one rank's endpoint makes that rank's communication thread
+/// maximally slow relative to the comm thread's poll interval without
+/// touching the engine: every outbound token batch, progress report and
+/// `Fin` is held up by `delay`.  The drain-barrier regression test uses
+/// this to pin that quiesce completes even when one comm thread lags
+/// orders of magnitude behind the others (today's protocol has no
+/// timeout — a dead rank hangs forever; a *slow* rank must not).
+pub struct DelayedTransport<T> {
+    inner: T,
+    send_delay: Duration,
+}
+
+impl<T: Transport> DelayedTransport<T> {
+    /// Wraps `inner`, delaying every send by `send_delay`.
+    pub fn new(inner: T, send_delay: Duration) -> Self {
+        Self { inner, send_delay }
+    }
+}
+
+impl<T: Transport> Transport for DelayedTransport<T> {
+    fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    fn ranks(&self) -> usize {
+        self.inner.ranks()
+    }
+
+    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
+        std::thread::sleep(self.send_delay);
+        self.inner.send(dest, msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, NetError> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +269,21 @@ mod tests {
         let (driver, _ranks) = Loopback::mesh(1);
         let got = driver.recv_timeout(Duration::from_millis(10)).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn delayed_transport_delivers_after_its_delay() {
+        let (driver, mut ranks) = Loopback::mesh(1);
+        let slow = DelayedTransport::new(ranks.remove(0), Duration::from_millis(2));
+        let before = std::time::Instant::now();
+        slow.send(1, &Message::Fin { rank: 0 }).unwrap();
+        assert!(before.elapsed() >= Duration::from_millis(2));
+        let (src, msg) = driver
+            .recv_timeout(Duration::from_secs(1))
+            .unwrap()
+            .expect("delayed message still arrives");
+        assert_eq!(src, 0);
+        assert!(matches!(msg, Message::Fin { rank: 0 }));
     }
 
     #[test]

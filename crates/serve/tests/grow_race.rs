@@ -1,0 +1,135 @@
+//! Race test: snapshot publishes vs `publisher.grow` from online
+//! ingestion, observed through `QueryEngine` batched queries.
+//!
+//! Online ingestion grows the served coordinate space mid-run: the
+//! trainer publishes, ingests (users and items arrive), calls
+//! [`SnapshotPublisher::grow`], and publishes again at the new
+//! dimensions.  Readers meanwhile hammer [`QueryEngine::batch_top_k`]
+//! and raw snapshot reads.  The contract under test:
+//!
+//! * every observed snapshot is internally consistent — its dimensions,
+//!   update stamp and *every factor entry* belong to one publish (a torn
+//!   epoch would mix generations);
+//! * a batch is answered from a single epoch, so all of its scores agree
+//!   on the generation;
+//! * a user known before the first grow can never become unknown —
+//!   dimensions only grow.
+//!
+//! Each generation `g` publishes at dimensions `(U0 + g, I0 + g)` with
+//! every factor entry equal to `g + 1` and update stamp `g + 1`, so any
+//! cross-generation mixture is detectable from a single `f64`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use nomad_serve::{QueryEngine, SnapshotPublisher, UserQuery};
+use nomad_sgd::{FactorModel, InitStrategy};
+
+const U0: usize = 8;
+const I0: usize = 6;
+const K: usize = 4;
+const GENERATIONS: usize = 300;
+
+fn generation_model(g: usize) -> FactorModel {
+    FactorModel::init_with(
+        U0 + g,
+        I0 + g,
+        K,
+        InitStrategy::Constant {
+            value: (g + 1) as f64,
+        },
+        0,
+    )
+}
+
+#[test]
+fn batched_queries_stay_consistent_while_publishes_race_grow() {
+    let publisher = SnapshotPublisher::new(1);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let publisher = &publisher;
+        let done = &done;
+
+        // Trainer: publish → grow → publish → ... at racing speed.
+        scope.spawn(move || {
+            publisher.begin_run(U0, I0, K, 1);
+            for g in 0..GENERATIONS {
+                publisher.publish_model(&generation_model(g), (g + 1) as u64);
+                // Ingestion grows the space for the next generation.
+                publisher.grow(U0 + g + 1, I0 + g + 1);
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        // Readers: batched queries + raw snapshot integrity checks.
+        for _ in 0..3 {
+            scope.spawn(move || {
+                let engine = QueryEngine::new(publisher, 2);
+                let queries: Vec<UserQuery> = (0..U0 as u32).map(UserQuery::new).collect();
+                let mut observed_any = false;
+                while !done.load(Ordering::Acquire) || !observed_any {
+                    // Raw snapshot: dims, stamp and every entry must
+                    // agree on one generation.
+                    if let Some(snap) = publisher.latest() {
+                        observed_any = true;
+                        let g = snap.num_users() - U0;
+                        assert_eq!(
+                            snap.num_items() - I0,
+                            g,
+                            "torn epoch: user dims from generation {g}, item dims from another"
+                        );
+                        assert_eq!(
+                            snap.updates_at(),
+                            (g + 1) as u64,
+                            "torn epoch: dims say generation {g}, stamp disagrees"
+                        );
+                        let expect = (g + 1) as f64;
+                        for u in 0..snap.num_users() {
+                            let row = snap.user_factor(u as u32);
+                            assert!(
+                                row.iter().all(|&v| v == expect),
+                                "torn user row {u} in generation {g}: {row:?}"
+                            );
+                        }
+                        for i in 0..snap.num_items() {
+                            let row = snap.item_factor(i as u32);
+                            assert!(
+                                row.iter().all(|&v| v == expect),
+                                "torn item row {i} in generation {g}: {row:?}"
+                            );
+                        }
+                    }
+                    // Batched queries: one epoch answers the whole batch,
+                    // and the pre-grow users always exist.
+                    match engine.batch_top_k(&queries, 3) {
+                        Err(nomad_serve::ServeError::NoSnapshot) => continue,
+                        Err(e) => panic!("pre-grow users must stay known: {e}"),
+                        Ok(results) => {
+                            assert_eq!(results.len(), U0);
+                            let stamp = results[0].updates_at;
+                            let expect = stamp as f64 * stamp as f64 * K as f64;
+                            for top in &results {
+                                assert_eq!(
+                                    top.updates_at, stamp,
+                                    "batch answered from more than one epoch"
+                                );
+                                for rec in &top.recs {
+                                    assert_eq!(
+                                        rec.score, expect,
+                                        "score from a different generation than the batch epoch"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The final published state is the last generation, fully grown.
+    let snap = publisher.latest().expect("trainer published");
+    assert_eq!(snap.num_users(), U0 + GENERATIONS - 1);
+    assert_eq!(snap.num_items(), I0 + GENERATIONS - 1);
+    assert_eq!(snap.updates_at(), GENERATIONS as u64);
+}

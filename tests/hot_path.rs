@@ -93,6 +93,99 @@ fn vec_payload_reference(
     FactorModel { w, h }
 }
 
+/// Satellite stress test for the schedule-fuzz PR: 8 producers and 8
+/// consumers hammer the same `SegQueue` ring the engine uses, with the
+/// consumers driven through a seeded [`FuzzController`] turnstile
+/// (delayed pops, paused consumers, biased routing).  The controller is
+/// exercised as a plain object here — no global install, no `sched-fuzz`
+/// feature needed — and the oracle is exact token conservation: every
+/// token retires after exactly `HOPS` visits, none lost, none duplicated.
+#[test]
+fn segqueue_stress_under_schedule_controller_conserves_tokens() {
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+    use crossbeam::queue::SegQueue;
+    use nomad::core::sched::{FaultPlan, FuzzCase, FuzzController, ScheduleController, Strategy};
+
+    const LANES: usize = 8;
+    const TOKENS_PER_PRODUCER: usize = 200;
+    const TOTAL: usize = LANES * TOKENS_PER_PRODUCER;
+    const HOPS: u32 = 4;
+
+    for strategy in [Strategy::Pct, Strategy::Starve, Strategy::Burst] {
+        let ctrl = FuzzController::new(FuzzCase::new(0xF00D, strategy), FaultPlan::default());
+        let queues: Vec<SegQueue<usize>> = (0..LANES).map(|_| SegQueue::new()).collect();
+        let visits: Vec<AtomicU32> = (0..TOTAL).map(|_| AtomicU32::new(0)).collect();
+        let retired = SegQueue::new();
+        let retired_count = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            // Producers run free (uncontrolled), racing the turnstile.
+            for p in 0..LANES {
+                let queues = &queues;
+                scope.spawn(move || {
+                    for i in 0..TOKENS_PER_PRODUCER {
+                        let id = p * TOKENS_PER_PRODUCER + i;
+                        queues[(p + i) % LANES].push(id);
+                    }
+                });
+            }
+            // Consumers pause at hop boundaries under the controller.
+            for c in 0..LANES {
+                let (ctrl, queues, visits) = (&ctrl, &queues, &visits);
+                let (retired, retired_count) = (&retired, &retired_count);
+                scope.spawn(move || loop {
+                    if retired_count.load(Ordering::Acquire) == TOTAL {
+                        ctrl.done(c);
+                        break;
+                    }
+                    ctrl.before_pop(c);
+                    match queues[c].pop() {
+                        None => {
+                            ctrl.after_pop(c, false);
+                            std::thread::yield_now();
+                        }
+                        Some(id) => {
+                            ctrl.after_pop(c, true);
+                            let seen = visits[id].fetch_add(1, Ordering::AcqRel) + 1;
+                            if seen < HOPS {
+                                let dest = ctrl.route(c, id as Idx, (c + 1) % LANES, LANES);
+                                assert!(dest < LANES, "controller routed out of range");
+                                ctrl.before_push(c, dest);
+                                queues[dest].push(id);
+                            } else {
+                                retired.push(id);
+                                retired_count.fetch_add(1, Ordering::Release);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Conservation: every token retired exactly once after exactly
+        // HOPS visits, and no queue still holds anything.
+        assert_eq!(retired.len(), TOTAL, "{strategy}: token count drifted");
+        let mut seen = vec![false; TOTAL];
+        while let Some(id) = retired.pop() {
+            assert!(!seen[id], "{strategy}: token {id} retired twice");
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{strategy}: token lost");
+        for (id, v) in visits.iter().enumerate() {
+            assert_eq!(
+                v.load(Ordering::Acquire),
+                HOPS,
+                "{strategy}: token {id} visit count"
+            );
+        }
+        assert!(
+            queues.iter().all(|q| q.is_empty()),
+            "{strategy}: queue not drained"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
