@@ -58,14 +58,21 @@ fn main() {
     distperf::print_csv(&results);
     distperf::print_markdown(&scale, mode, &results);
 
+    // Elastic membership: the same budget solo vs. with a mid-run joiner.
+    let join = distperf::measure_join(&scale, reps);
+    distperf::print_join_markdown(&join);
+
     let out_path =
         std::env::var("NOMAD_DIST_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
-    let json = distperf::render_json(&scale, mode, &results);
+    let json = distperf::render_json(&scale, mode, &results, Some(&join));
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
-    if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") && !distperf::scaling_gate(&results)
-    {
-        std::process::exit(1);
+    if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {
+        let ok = distperf::scaling_gate(&results);
+        let join_ok = distperf::join_gate(&join);
+        if !(ok && join_ok) {
+            std::process::exit(1);
+        }
     }
 }

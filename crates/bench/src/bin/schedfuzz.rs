@@ -9,10 +9,14 @@
 //! Modes:
 //! - sweep (default): `NOMAD_FUZZ_SEEDS` cases per strategy, each run at
 //!   3 workers / 4 ranks (conservation, ledger, serializability) and at
-//!   p = 1 (bit-identity vs `SerialNomad`).  Every failure prints its
-//!   replayable `strategy@seed` pair and lands in the failing-seeds file.
+//!   p = 1 (bit-identity vs `SerialNomad`), plus a chaos sweep — scripted
+//!   `crash@<step>` / `partition@<step>` transport faults over a 3-rank
+//!   loopback mesh, checking completion, conservation, and eviction of
+//!   crashed victims.  Every failure prints its replayable
+//!   `strategy@seed` pair and lands in the failing-seeds file.
 //! - replay: `NOMAD_FUZZ_REPLAY=<strategy@seed>` re-runs exactly one case
-//!   through both engines and exits 1 if it still fails.
+//!   and exits 1 if it still fails.  Chaos pairs (`crash@12@0x3`,
+//!   `partition@8@0x1`) are routed to the chaos harness automatically.
 //!
 //! Environment:
 //! - `NOMAD_FUZZ_SEEDS=<n>` — seeds per strategy in sweep mode (default 4).
@@ -30,7 +34,8 @@ use nomad_core::sched::{explore_virtual, fuzz_threaded, FaultPlan, FuzzCase, Str
 use nomad_core::{NomadConfig, StopCondition};
 use nomad_data::{named_dataset, SizeTier};
 use nomad_matrix::{RatingMatrix, TripletMatrix};
-use nomad_net::fuzz::fuzz_loopback;
+use nomad_net::fuzz::{fuzz_loopback, fuzz_loopback_chaos};
+use nomad_net::NetConfig;
 use nomad_sgd::HyperParams;
 
 const FAILURES_PATH: &str = "BENCH_schedfuzz_failures.txt";
@@ -118,6 +123,52 @@ fn run_case(data: &RatingMatrix, test: &TripletMatrix, case: FuzzCase) -> CaseOu
     out
 }
 
+/// The chaos run configuration, mirroring the `chaos` regression test:
+/// small batches multiply the transport-op count (finer fault
+/// granularity) and a short heartbeat timeout keeps eviction fast.
+fn chaos_config(seed: u64) -> NetConfig {
+    let nomad = quick_config(8, 8_000, 99 ^ seed).with_message_batch(4);
+    let mut cfg = NetConfig::new(nomad);
+    cfg.heartbeat_timeout_ms = 300;
+    cfg
+}
+
+/// One chaos case over a 3-rank loopback mesh: the seeded transport
+/// fault fires, the survivors must finish the budget and conserve.
+struct ChaosOutcome {
+    case: FuzzCase,
+    hops_per_sec: f64,
+    evicted: usize,
+    failures: Vec<String>,
+}
+
+fn run_chaos_case(data: &RatingMatrix, case: FuzzCase) -> ChaosOutcome {
+    let mut out = ChaosOutcome {
+        case,
+        hops_per_sec: 0.0,
+        evicted: 0,
+        failures: Vec::new(),
+    };
+    match fuzz_loopback_chaos(data, &chaos_config(case.seed), 3, case) {
+        Ok(stats) => {
+            out.hops_per_sec = stats.hops as f64 / stats.wall_seconds.max(1e-9);
+            out.evicted = stats.evicted.len();
+        }
+        Err(f) => out.failures.push(f.to_string()),
+    }
+    out
+}
+
+/// The chaos fault steps swept per seed — two-digit on purpose: flushes
+/// coalesce aggressively, so a full quick run is only on the order of a
+/// hundred transport operations per endpoint.
+fn chaos_cases(seed: u64) -> [FuzzCase; 2] {
+    [
+        FuzzCase::new(seed, Strategy::Crash(2 + 9 * (seed % 5))),
+        FuzzCase::new(seed, Strategy::Partition(1 + 7 * (seed % 6))),
+    ]
+}
+
 /// The harness's own acceptance gate: a seeded ownership bug (one skipped
 /// slab-row write in the comm inject path) must be caught by the oracles,
 /// print a replayable pair, and reproduce the identical failure on replay.
@@ -149,31 +200,37 @@ fn main() {
     nomad_bench::handle_cli_args_with(
         "schedfuzz",
         "Seeded schedule fuzzing: adversarial interleavings over the threaded \
-         engine and the nomad-net loopback mesh, with invariant oracles and a \
-         mutation self-check",
+         engine and the nomad-net loopback mesh, plus scripted crash/partition \
+         chaos, with invariant oracles and a mutation self-check",
         "Output: BENCH_schedfuzz.json (schema nomad-schedfuzz-v1), a markdown \
          calibration table on stderr, and BENCH_schedfuzz_failures.txt (one \
          replayable strategy@seed pair per line) when cases fail.",
         &[
             "NOMAD_FUZZ_SEEDS=<n>           seeds per strategy in sweep mode (default: 4)",
-            "NOMAD_FUZZ_REPLAY=<strat@seed> replay one case (e.g. pct@0x7) instead of sweeping",
+            "NOMAD_FUZZ_REPLAY=<strat@seed> replay one case (e.g. pct@0x7 or crash@12@0x3)",
             "NOMAD_FUZZ_OUT=<path>          JSON output path (default: BENCH_schedfuzz.json)",
         ],
     );
     let (data, test) = tiny();
 
-    // Replay mode: one case through both engines, nothing else.
+    // Replay mode: one case, nothing else.  Chaos cases carry a stepped
+    // strategy and run through the chaos harness; scheduling cases run
+    // through both engines.
     if let Ok(spec) = std::env::var("NOMAD_FUZZ_REPLAY") {
         let case: FuzzCase = spec
             .parse()
             .unwrap_or_else(|e| panic!("bad NOMAD_FUZZ_REPLAY {spec:?}: {e}"));
         eprintln!("replaying {case} ...");
-        let outcome = run_case(&data, &test, case);
-        if outcome.failures.is_empty() {
+        let failures = if matches!(case.strategy, Strategy::Crash(_) | Strategy::Partition(_)) {
+            run_chaos_case(&data, case).failures
+        } else {
+            run_case(&data, &test, case).failures
+        };
+        if failures.is_empty() {
             eprintln!("{case}: all invariants hold");
             return;
         }
-        for f in &outcome.failures {
+        for f in &failures {
             eprintln!("{f}");
         }
         std::process::exit(1);
@@ -202,6 +259,26 @@ fn main() {
         }
     }
     let sweep_seconds = started.elapsed().as_secs_f64();
+
+    // Chaos sweep: the same seeds, now with a scripted transport fault —
+    // a crash or a healed partition at a seed-varied operation index.
+    // The victim varies with the seed too (seed % ranks), so the sweep
+    // covers the driver's edge (rank 0) and plain worker ranks alike.
+    let chaos_started = Instant::now();
+    let mut chaos_outcomes = Vec::new();
+    for seed in 0..seeds {
+        for case in chaos_cases(seed) {
+            let outcome = run_chaos_case(&data, case);
+            for f in &outcome.failures {
+                eprintln!("{f}");
+            }
+            if !outcome.failures.is_empty() {
+                failing.push(case);
+            }
+            chaos_outcomes.push(outcome);
+        }
+    }
+    let chaos_seconds = chaos_started.elapsed().as_secs_f64();
 
     let mutation = mutation_self_check(&data, &test);
     if let Err(why) = &mutation {
@@ -240,12 +317,45 @@ fn main() {
         calibration.push((strategy, wall_threaded, wall_loopback, virt));
     }
 
+    // Chaos summary per fault family: survival rate and how often the
+    // fault actually cost a rank (partition victims may ride it out).
+    eprintln!("\n| fault | cases | failing | evictions | hops/s |");
+    eprintln!("|---|---|---|---|---|");
+    let mut chaos_rows = Vec::new();
+    for (family, is_family) in [
+        (
+            "crash",
+            (|s| matches!(s, Strategy::Crash(_))) as fn(Strategy) -> bool,
+        ),
+        ("partition", |s| matches!(s, Strategy::Partition(_))),
+    ] {
+        let rows: Vec<&ChaosOutcome> = chaos_outcomes
+            .iter()
+            .filter(|o| is_family(o.case.strategy))
+            .collect();
+        let failing_count = rows.iter().filter(|o| !o.failures.is_empty()).count();
+        let evictions: usize = rows.iter().map(|o| o.evicted).sum();
+        let ok: Vec<&&ChaosOutcome> = rows.iter().filter(|o| o.failures.is_empty()).collect();
+        let hops = if ok.is_empty() {
+            0.0
+        } else {
+            ok.iter().map(|o| o.hops_per_sec).sum::<f64>() / ok.len() as f64
+        };
+        eprintln!(
+            "| {family} | {} | {failing_count} | {evictions} | {hops:.0} |",
+            rows.len()
+        );
+        chaos_rows.push((family, rows.len(), failing_count, evictions, hops));
+    }
+
     let cases = outcomes.len();
     let escapes: u64 = outcomes.iter().map(|o| o.escapes).sum();
     eprintln!(
-        "\nschedfuzz: {cases} cases ({} strategies x {seeds} seeds), {} failing, \
-         {escapes} turnstile escapes, {sweep_seconds:.2}s",
+        "\nschedfuzz: {cases} schedule cases ({} strategies x {seeds} seeds) in \
+         {sweep_seconds:.2}s + {} chaos cases in {chaos_seconds:.2}s, {} failing, \
+         {escapes} turnstile escapes",
         Strategy::ALL.len(),
+        chaos_outcomes.len(),
         failing.len(),
     );
 
@@ -264,6 +374,22 @@ fn main() {
         if mutation.is_ok() { "caught" } else { "MISSED" }
     );
     let _ = writeln!(json, "  \"sweep_seconds\": {sweep_seconds:.3},");
+    let _ = writeln!(json, "  \"chaos_cases\": {},", chaos_outcomes.len());
+    let _ = writeln!(json, "  \"chaos_seconds\": {chaos_seconds:.3},");
+    json.push_str("  \"chaos\": [\n");
+    for (i, (family, n, failing_count, evictions, hops)) in chaos_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"fault\": \"{family}\", \"cases\": {n}, \"failing\": {failing_count}, \
+             \"evictions\": {evictions}, \"hops_per_sec\": {hops:.1} }}"
+        );
+        json.push_str(if i + 1 < chaos_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"calibration\": [\n");
     for (i, (strategy, wt, wl, virt)) in calibration.iter().enumerate() {
         let _ = write!(

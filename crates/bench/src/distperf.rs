@@ -11,12 +11,12 @@
 //! the ratio between the two is recorded rather than asserted.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nomad_cluster::{ClusterTopology, ComputeModel, NetworkModel};
 use nomad_core::{NomadConfig, SerialNomad, SimNomad, StopCondition};
 use nomad_data::{named_dataset, GeneratedDataset, SizeTier};
-use nomad_net::DistributedNomad;
+use nomad_net::{DistributedNomad, NetConfig};
 use nomad_sgd::HyperParams;
 
 /// How rank endpoints are deployed.
@@ -235,6 +235,133 @@ pub fn measure(scale: &DistScale, mode: DeployMode, reps: u32) -> Vec<DistMeasur
     results
 }
 
+/// Wall-clock effect of elastic membership: the same update budget run
+/// solo (one rank, capacity two) vs. with a second rank joining the mesh
+/// shortly after the start.
+pub struct JoinMeasurement {
+    /// Latent dimension.
+    pub k: usize,
+    /// SGD-update budget both runs completed (escalated from the scale's
+    /// budget if the solo run was too fast for the joiner to make it).
+    pub budget: u64,
+    /// Throughput of the fixed single-rank run.
+    pub solo_updates_per_sec: f64,
+    /// Throughput with the mid-run joiner.
+    pub joined_updates_per_sec: f64,
+    /// Whether the joiner was actually admitted (it always is, barring an
+    /// escalation cap — a turned-away joiner makes the gate fail).
+    pub joined: bool,
+}
+
+impl JoinMeasurement {
+    /// Throughput ratio: joined over solo.
+    pub fn speedup(&self) -> f64 {
+        self.joined_updates_per_sec / self.solo_updates_per_sec.max(1e-12)
+    }
+}
+
+/// Measures the join-throughput scenario on the loopback transport (the
+/// join path is transport-independent; loopback keeps the scenario free
+/// of socket jitter).  `reps` repetitions keep the fastest wall clock
+/// per side.  The budget escalates until the run outlives the joiner's
+/// small delay, so the comparison is apples-to-apples on any machine.
+pub fn measure_join(scale: &DistScale, reps: u32) -> JoinMeasurement {
+    let ds = scale.dataset();
+    let k = scale.ks.first().copied().unwrap_or(8);
+    let delay = Duration::from_millis(20);
+
+    // Elastic side first: it fixes the budget the solo side must match.
+    let mut budget = scale.budget;
+    let (joined, joined_secs, joined_updates) = loop {
+        let mut cfg = NetConfig::new(dist_config(k, budget));
+        cfg.initial_ranks = 1;
+        let start = Instant::now();
+        let out = DistributedNomad::with_config(cfg, 2)
+            .run_loopback_elastic(&ds.matrix, &[(1, delay)])
+            .unwrap_or_else(|e| panic!("join-throughput elastic run: {e}"));
+        let secs = start.elapsed().as_secs_f64();
+        if !out.stats.joined.is_empty() {
+            break (true, secs, out.stats.updates);
+        }
+        if budget >= scale.budget.saturating_mul(256) {
+            eprintln!(
+                "join-throughput: joiner never admitted even at {budget} updates; \
+                 reporting the solo-equivalent numbers"
+            );
+            break (false, secs, out.stats.updates);
+        }
+        budget *= 4;
+    };
+    let mut best_joined = (joined_secs, joined_updates);
+    for _ in 1..reps.max(1) {
+        let mut cfg = NetConfig::new(dist_config(k, budget));
+        cfg.initial_ranks = 1;
+        let start = Instant::now();
+        let out = DistributedNomad::with_config(cfg, 2)
+            .run_loopback_elastic(&ds.matrix, &[(1, delay)])
+            .unwrap_or_else(|e| panic!("join-throughput elastic run: {e}"));
+        let secs = start.elapsed().as_secs_f64();
+        if !out.stats.joined.is_empty() && secs < best_joined.0 {
+            best_joined = (secs, out.stats.updates);
+        }
+    }
+
+    // Solo baseline: same capacity, same budget, nobody joins.
+    let mut best_solo: Option<(f64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let mut cfg = NetConfig::new(dist_config(k, budget));
+        cfg.initial_ranks = 1;
+        let start = Instant::now();
+        let out = DistributedNomad::with_config(cfg, 2)
+            .run_loopback_elastic(&ds.matrix, &[])
+            .unwrap_or_else(|e| panic!("join-throughput solo run: {e}"));
+        let secs = start.elapsed().as_secs_f64();
+        if best_solo.is_none_or(|(s, _)| secs < s) {
+            best_solo = Some((secs, out.stats.updates));
+        }
+    }
+    let (solo_secs, solo_updates) = best_solo.expect("reps >= 1");
+
+    JoinMeasurement {
+        k,
+        budget,
+        solo_updates_per_sec: solo_updates as f64 / solo_secs.max(1e-12),
+        joined_updates_per_sec: best_joined.1 as f64 / best_joined.0.max(1e-12),
+        joined,
+    }
+}
+
+/// The `NOMAD_PERF_ASSERT` gate for elastic membership: a rank joining
+/// mid-run must lift throughput to ≥ 1.1× the solo run.  Skipped
+/// (loudly) on machines with fewer than two cores — a joiner cannot add
+/// compute there.
+///
+/// Returns `false` if the gate fails (caller exits non-zero).
+#[must_use]
+pub fn join_gate(m: &JoinMeasurement) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("join-throughput assert skipped: only {cores} core(s), need >= 2");
+        return true;
+    }
+    if !m.joined {
+        eprintln!("JOIN-THROUGHPUT ASSERT FAILED: the joiner was never admitted");
+        return false;
+    }
+    let speedup = m.speedup();
+    if speedup < 1.1 {
+        eprintln!(
+            "JOIN-THROUGHPUT ASSERT FAILED: a mid-run joiner lifted throughput only \
+             {speedup:.2}x over solo (need >= 1.1x on multi-core hardware; {cores} logical \
+             cores reported — if they are SMT siblings of one physical core, unset \
+             NOMAD_PERF_ASSERT)."
+        );
+        return false;
+    }
+    eprintln!("join-throughput assert passed: mid-run joiner = {speedup:.2}x solo");
+    true
+}
+
 /// Verifies the engine's correctness anchor in the given deployment mode:
 /// one rank, fixed seed, model bit-identical to `SerialNomad`.
 ///
@@ -339,9 +466,32 @@ pub fn print_markdown(scale: &DistScale, mode: DeployMode, results: &[DistMeasur
     }
 }
 
+/// Markdown summary of the join-throughput scenario (stderr).
+pub fn print_join_markdown(m: &JoinMeasurement) {
+    eprintln!(
+        "## elastic join (loopback, k = {}, {} updates)",
+        m.k, m.budget
+    );
+    eprintln!("| side | upd/s |");
+    eprintln!("|---|---|");
+    eprintln!("| solo (1 rank) | {:.0} |", m.solo_updates_per_sec);
+    eprintln!(
+        "| +1 joiner mid-run{} | {:.0} |",
+        if m.joined { "" } else { " (never admitted!)" },
+        m.joined_updates_per_sec
+    );
+    eprintln!("| speedup | {:.2}x |", m.speedup());
+}
+
 /// Machine-readable JSON, schema `nomad-perf-v1` (hand-rolled like the
-/// `perf` binary's: the vendored serde stub has no serializer).
-pub fn render_json(scale: &DistScale, mode: DeployMode, results: &[DistMeasurement]) -> String {
+/// `perf` binary's: the vendored serde stub has no serializer).  The
+/// optional `join` section records the elastic-membership scenario.
+pub fn render_json(
+    scale: &DistScale,
+    mode: DeployMode,
+    results: &[DistMeasurement],
+    join: Option<&JoinMeasurement>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"nomad-perf-v1\",\n");
@@ -350,6 +500,20 @@ pub fn render_json(scale: &DistScale, mode: DeployMode, results: &[DistMeasureme
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale.label);
     s.push_str("  \"dataset\": \"netflix-sim\",\n");
     let _ = writeln!(s, "  \"budget_updates\": {},", scale.budget);
+    if let Some(m) = join {
+        let _ = writeln!(
+            s,
+            "  \"join\": {{\"k\": {}, \"budget\": {}, \"joined\": {}, \
+             \"solo_updates_per_sec\": {:.1}, \"joined_updates_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}},",
+            m.k,
+            m.budget,
+            m.joined,
+            m.solo_updates_per_sec,
+            m.joined_updates_per_sec,
+            m.speedup()
+        );
+    }
     s.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -14,6 +14,21 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use nomad_matrix::Idx;
 
+/// A fault the controller asks a chaos transport to inject for one
+/// operation (see [`ScheduleController::transport_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// No fault: the operation proceeds normally.
+    None,
+    /// Partition: the message is held (delayed, never lost) until the
+    /// partition heals — TCP semantics, where a cable unplugged and
+    /// replugged delivers the backlog.
+    Drop,
+    /// Crash: the endpoint dies.  Every later send vanishes and every
+    /// later receive fails, exactly as if the process took a `SIGKILL`.
+    Kill,
+}
+
 /// Observes and steers the interleaving decisions of the threaded engine
 /// and the `nomad-net` rank loops.
 ///
@@ -69,6 +84,17 @@ pub trait ScheduleController: Send + Sync {
     fn skip_inject_write(&self, rank: usize) -> bool {
         let _ = rank;
         false
+    }
+
+    /// Chaos injection for a transport wrapper: decides the fault for
+    /// the `op`-th transport operation (sends and deliveries, counted
+    /// per endpoint) at `endpoint`.  Unlike the scheduling hooks this
+    /// one is consulted by the *test-layer* `ChaosTransport` wrapper,
+    /// which is always compiled — no feature gate — because it never
+    /// appears on a production path.
+    fn transport_fault(&self, endpoint: usize, op: u64) -> TransportFault {
+        let _ = (endpoint, op);
+        TransportFault::None
     }
 }
 
@@ -181,6 +207,13 @@ pub mod hooks {
     #[inline]
     pub fn skip_inject_write(rank: usize) -> bool {
         with(false, |c| c.skip_inject_write(rank))
+    }
+
+    /// Forwards [`ScheduleController::transport_fault`];
+    /// [`TransportFault::None`] when idle.
+    #[inline]
+    pub fn transport_fault(endpoint: usize, op: u64) -> TransportFault {
+        with(TransportFault::None, |c| c.transport_fault(endpoint, op))
     }
 }
 

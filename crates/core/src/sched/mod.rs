@@ -37,7 +37,7 @@ pub mod harness;
 pub mod strategy;
 pub mod virt;
 
-pub use controller::{hooks, install, Installed, ScheduleController};
+pub use controller::{hooks, install, Installed, ScheduleController, TransportFault};
 pub use harness::{fuzz_threaded, FuzzFailure, FuzzStats};
-pub use strategy::{FaultPlan, FuzzCase, FuzzController, Strategy};
+pub use strategy::{FaultPlan, FuzzCase, FuzzController, Strategy, DEFAULT_PARTITION_OPS};
 pub use virt::{explore_virtual, VirtualReport};

@@ -41,6 +41,11 @@ const STARVE_BURST: u64 = 23;
 /// Consecutive grants the same worker receives under [`Strategy::Burst`].
 const BURST_LEN: u64 = 13;
 
+/// Default length, in transport operations, of a
+/// [`Strategy::Partition`] window (override with
+/// [`FuzzController::with_chaos`]).
+pub const DEFAULT_PARTITION_OPS: u64 = 600;
+
 /// A seeded interleaving-exploration strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
@@ -55,20 +60,34 @@ pub enum Strategy {
     /// Burst/delay: one worker runs many hops back-to-back while the
     /// others pause, and comm threads are made to oversleep their polls.
     Burst,
+    /// Chaos: kill the victim endpoint at the given transport operation
+    /// (its sends vanish, its receives fail — a process `SIGKILL` as
+    /// seen from the mesh).  Scheduling decisions fall back to
+    /// [`Strategy::Pct`]; the payload is the 0-based op index.
+    Crash(u64),
+    /// Chaos: partition the victim endpoint for a window of transport
+    /// operations starting at the given op — traffic is *held*, not
+    /// lost, and delivered when the partition heals (TCP semantics).
+    /// Scheduling decisions fall back to [`Strategy::Pct`].
+    Partition(u64),
 }
 
 impl Strategy {
-    /// All strategies, in sweep order.
+    /// All pure scheduling strategies, in sweep order.  The chaos
+    /// strategies ([`Strategy::Crash`], [`Strategy::Partition`]) carry a
+    /// step payload and are swept by the chaos harnesses instead.
     pub const ALL: [Strategy; 3] = [Strategy::Pct, Strategy::Starve, Strategy::Burst];
 }
 
 impl std::fmt::Display for Strategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Strategy::Pct => "pct",
-            Strategy::Starve => "starve",
-            Strategy::Burst => "burst",
-        })
+        match self {
+            Strategy::Pct => f.write_str("pct"),
+            Strategy::Starve => f.write_str("starve"),
+            Strategy::Burst => f.write_str("burst"),
+            Strategy::Crash(step) => write!(f, "crash@{step}"),
+            Strategy::Partition(step) => write!(f, "partition@{step}"),
+        }
     }
 }
 
@@ -76,12 +95,24 @@ impl std::str::FromStr for Strategy {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((name, step)) = s.split_once('@') {
+            let step: u64 = step
+                .parse()
+                .map_err(|e| format!("bad step in strategy {s:?}: {e}"))?;
+            return match name {
+                "crash" => Ok(Strategy::Crash(step)),
+                "partition" => Ok(Strategy::Partition(step)),
+                other => Err(format!(
+                    "unknown stepped strategy {other:?} (expected crash or partition)"
+                )),
+            };
+        }
         match s {
             "pct" => Ok(Strategy::Pct),
             "starve" => Ok(Strategy::Starve),
             "burst" => Ok(Strategy::Burst),
             other => Err(format!(
-                "unknown strategy {other:?} (expected pct, starve or burst)"
+                "unknown strategy {other:?} (expected pct, starve, burst, crash@N or partition@N)"
             )),
         }
     }
@@ -115,8 +146,10 @@ impl std::str::FromStr for FuzzCase {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // The seed is the *last* `@` field so the stepped chaos
+        // strategies round-trip: `crash@12@0x7` is `(crash@12, 0x7)`.
         let (name, seed) = s
-            .split_once('@')
+            .rsplit_once('@')
             .ok_or_else(|| format!("expected strategy@seed, got {s:?}"))?;
         let strategy: Strategy = name.parse()?;
         let seed = match seed.strip_prefix("0x") {
@@ -163,6 +196,11 @@ struct Sched {
 pub struct FuzzController {
     case: FuzzCase,
     fault: FaultPlan,
+    /// Endpoint the chaos strategies victimize; `None` disarms
+    /// [`ScheduleController::transport_fault`].
+    chaos_victim: Option<usize>,
+    /// Length of a [`Strategy::Partition`] window in transport ops.
+    partition_ops: u64,
     sched: Mutex<Sched>,
     turn: Condvar,
     /// Comm threads draw delays from their own rng so their (wall-clock
@@ -193,6 +231,8 @@ impl FuzzController {
         Self {
             case,
             fault,
+            chaos_victim: None,
+            partition_ops: DEFAULT_PARTITION_OPS,
             sched: Mutex::new(Sched {
                 rng,
                 present: [false; MAX_PARTIES],
@@ -210,6 +250,19 @@ impl FuzzController {
             escapes: AtomicU64::new(0),
             hops: AtomicU64::new(0),
         }
+    }
+
+    /// Arms the chaos strategies: `victim` is the endpoint index the
+    /// [`Strategy::Crash`]/[`Strategy::Partition`] fault targets, and
+    /// `partition_ops` the partition window length in transport
+    /// operations (`0` keeps [`DEFAULT_PARTITION_OPS`]).  Without this,
+    /// `transport_fault` never fires.
+    pub fn with_chaos(mut self, victim: usize, partition_ops: u64) -> Self {
+        self.chaos_victim = Some(victim);
+        if partition_ops > 0 {
+            self.partition_ops = partition_ops;
+        }
+        self
     }
 
     /// The case this controller replays.
@@ -255,7 +308,9 @@ impl FuzzController {
             parties[(s.grants as usize) % parties.len()]
         } else {
             match self.case.strategy {
-                Strategy::Pct => {
+                // Chaos strategies inject transport faults; their
+                // scheduling side is plain PCT.
+                Strategy::Pct | Strategy::Crash(_) | Strategy::Partition(_) => {
                     if s.last_shuffle == 0 || s.grants - s.last_shuffle >= PCT_RESHUFFLE {
                         for &p in &parties {
                             s.priorities[p] = s.rng.next_u64();
@@ -361,7 +416,7 @@ impl ScheduleController for FuzzController {
         }
         let mut s = self.lock_sched();
         match self.case.strategy {
-            Strategy::Pct => {
+            Strategy::Pct | Strategy::Crash(_) | Strategy::Partition(_) => {
                 if s.rng.next_below(4) == 0 {
                     s.rng.next_below(n)
                 } else {
@@ -416,6 +471,23 @@ impl ScheduleController for FuzzController {
             None => false,
         }
     }
+
+    fn transport_fault(&self, endpoint: usize, op: u64) -> super::TransportFault {
+        use super::TransportFault;
+        let Some(victim) = self.chaos_victim else {
+            return TransportFault::None;
+        };
+        if endpoint != victim {
+            return TransportFault::None;
+        }
+        match self.case.strategy {
+            Strategy::Crash(step) if op >= step => TransportFault::Kill,
+            Strategy::Partition(step) if op >= step && op < step + self.partition_ops => {
+                TransportFault::Drop
+            }
+            _ => TransportFault::None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +509,50 @@ mod tests {
         assert!("bogus@1".parse::<FuzzCase>().is_err());
         assert!("pct".parse::<FuzzCase>().is_err());
         assert!("pct@zzz".parse::<FuzzCase>().is_err());
+    }
+
+    #[test]
+    fn chaos_cases_round_trip_through_replay_strings() {
+        for strategy in [Strategy::Crash(12), Strategy::Partition(400)] {
+            for seed in [0u64, 7, 0xBEEF] {
+                let case = FuzzCase::new(seed, strategy);
+                let parsed: FuzzCase = case.to_string().parse().unwrap();
+                assert_eq!(parsed, case, "round-trip of {case}");
+            }
+        }
+        assert_eq!(
+            "crash@12@0x7".parse::<FuzzCase>().unwrap(),
+            FuzzCase::new(7, Strategy::Crash(12))
+        );
+        assert!("crash@@3".parse::<FuzzCase>().is_err());
+        // A lone `@` field is the seed, leaving a step-less `crash`:
+        // rejected rather than misread.
+        assert!("crash@1".parse::<FuzzCase>().is_err());
+    }
+
+    #[test]
+    fn transport_fault_fires_only_for_the_armed_victim() {
+        use crate::sched::TransportFault;
+        let c = FuzzController::new(FuzzCase::new(9, Strategy::Crash(5)), FaultPlan::default())
+            .with_chaos(2, 0);
+        assert_eq!(c.transport_fault(2, 4), TransportFault::None);
+        assert_eq!(c.transport_fault(2, 5), TransportFault::Kill);
+        assert_eq!(c.transport_fault(2, 500), TransportFault::Kill);
+        assert_eq!(c.transport_fault(1, 500), TransportFault::None);
+
+        let p = FuzzController::new(
+            FuzzCase::new(9, Strategy::Partition(10)),
+            FaultPlan::default(),
+        )
+        .with_chaos(0, 4);
+        assert_eq!(p.transport_fault(0, 9), TransportFault::None);
+        assert_eq!(p.transport_fault(0, 10), TransportFault::Drop);
+        assert_eq!(p.transport_fault(0, 13), TransportFault::Drop);
+        assert_eq!(p.transport_fault(0, 14), TransportFault::None);
+
+        // Unarmed controller never faults, chaos strategy or not.
+        let idle = FuzzController::new(FuzzCase::new(9, Strategy::Crash(0)), FaultPlan::default());
+        assert_eq!(idle.transport_fault(0, 99), TransportFault::None);
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl Circulation {
             return 0;
         }
         match self.strategy {
-            Strategy::Pct => self.route_rng.next_below(n),
+            Strategy::Pct | Strategy::Crash(_) | Strategy::Partition(_) => {
+                self.route_rng.next_below(n)
+            }
             // Pile tokens onto worker 0 half the time (the victim slot).
             Strategy::Starve => {
                 if self.route_rng.next_below(2) == 0 {

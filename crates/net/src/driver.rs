@@ -17,26 +17,83 @@
 //!    the threaded engine's shared atomic counter; reports lag reality, so
 //!    runs overshoot the budget slightly, exactly like a threaded worker
 //!    overshooting on its last token).
-//! 3. **Gather**: wait for every rank's [`ShardPayload`].
+//! 3. **Gather**: wait for every *active* rank's [`ShardPayload`].
 //! 4. **Verify**: re-assemble the model, asserting token conservation —
-//!    every item in exactly one shard, and the pass counts of all tokens
-//!    summing to the tickets drawn across all ranks — the same invariant
-//!    `ThreadedNomad::assemble_model` asserts at every quiesce.
+//!    every item in exactly one shard, every user row in exactly one
+//!    segment, and tickets minus passes equal to the pass debt recorded
+//!    by evictions (see below) — the same invariant
+//!    `ThreadedNomad::assemble_model` asserts at every quiesce, extended
+//!    to survive membership changes.
+//!
+//! ## Membership arbitration
+//!
+//! The driver is also the failure arbiter and the admission gate:
+//!
+//! * **Eviction** — a rank is declared dead when the driver's own
+//!   silence timer for it expires, when the transport has hard evidence
+//!   ([`Transport::peer_down`]), or when a peer's [`Message::Suspect`]
+//!   corroborates a half-expired timer.  The driver broadcasts
+//!   [`Message::Evict`], the survivors run the census described in
+//!   [`crate::rank`], and the driver collects one [`Message::Inventory`]
+//!   per survivor.  Items in *nobody's* inventory were lost with the
+//!   corpse (its queue, plus tokens on the wire to it); the driver
+//!   re-mints them at pass 0 with deterministic fresh factors
+//!   ([`fresh_item_rows`]) and homes them with the same [`token_home`]
+//!   hash over the surviving ranks.  Every ticket the dead rank drew and
+//!   every pass on a lost token vanishes from the conservation ledger;
+//!   the census exposes exactly that quantity as `Σ survivor tickets − Σ
+//!   inventoried passes`, which the driver accumulates as a signed *pass
+//!   debt* and re-asserts at gather: `tickets − passes == debt`.  The
+//!   dead rank's user rows are re-materialized from the driver's copy of
+//!   the data (fresh factors, same ratings) on the survivor owning the
+//!   fewest rows.  One census runs at a time; failures detected during a
+//!   census queue behind it.
+//!
+//!   Deaths *after* the drain broadcast run the same census with two
+//!   twists.  A survivor whose shard already arrived has quiesced and
+//!   cannot inventory — its shard **is** its inventory, so the driver
+//!   folds the shard's tickets and token passes into the census directly
+//!   (a shard landing mid-census from a still-needed survivor folds the
+//!   same way).  And because survivors are draining, nothing is re-minted
+//!   or transferred to them: the driver itself holds the lost items and
+//!   the corpse's user segments and synthesizes them as fresh rows
+//!   (zero tickets, zero passes) at gather, which keeps both the
+//!   exactly-once assertion and the debt equation intact.
+//! * **Join** — a [`Message::Join`] (or a TCP `Hello` the transport
+//!   surfaces as one) admits a new rank mid-run: the driver ships it an
+//!   empty-shard `Setup`, broadcasts [`Message::AddRank`] (no barrier —
+//!   adding a routing destination is always safe), and rebalances half of
+//!   the largest segment of the most-loaded rank to it via
+//!   [`Message::Rebalance`].  Joins after drain are rejected with a
+//!   best-effort `Evict` so the newcomer exits cleanly.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use nomad_core::online::token_home;
 use nomad_core::NomadConfig;
 use nomad_matrix::{RatingMatrix, RowPartition};
-use nomad_sgd::{FactorMatrix, FactorModel};
+use nomad_sgd::{fresh_item_rows, fresh_user_rows, FactorMatrix, FactorModel};
 
 use crate::rank::routing_to_wire;
 use crate::transport::{Loopback, NetError, Transport};
-use crate::wire::{Message, SetupPayload, ShardPayload, WireToken};
+use crate::wire::{
+    Message, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment, WireToken,
+};
 
 /// Hard deadline for a distributed run; a mesh that cannot finish a test
 /// or bench workload in this window is wedged, and erroring beats hanging.
 const DRIVER_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Hard deadline for one eviction census: every survivor must inventory
+/// within this window or the run is declared wedged.
+const CENSUS_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Default peer-silence threshold before eviction.  Generous on purpose:
+/// it must sit far above worst-case comm-thread lag (the sched-fuzz
+/// controller parks comm threads for tens of milliseconds) so that a
+/// slow rank is never confused with a dead one by default.
+pub const DEFAULT_HEARTBEAT_TIMEOUT_MS: u32 = 10_000;
 
 /// Configuration of a distributed run: the shared NOMAD configuration
 /// plus the transport-level knobs.
@@ -50,6 +107,20 @@ pub struct NetConfig {
     /// Updates between a rank's progress reports to the driver; `0`
     /// derives a default from the budget (~64 reports per rank per run).
     pub progress_every: u64,
+    /// Peer-silence threshold in milliseconds before the driver evicts a
+    /// rank; `0` disables failure detection entirely (pre-elastic
+    /// behavior: a dead rank hangs the run until the driver deadline).
+    pub heartbeat_timeout_ms: u32,
+    /// Ranks active at startup; `0` means every mesh slot.  Slots
+    /// `initial_ranks..capacity` stay empty until a [`Message::Join`]
+    /// claims them.
+    pub initial_ranks: usize,
+    /// Chaos knob: this rank's `Setup` carries `abort_after_updates`, so
+    /// a re-exec'd child kills its whole process mid-run (the
+    /// kill-a-rank regression's deterministic `SIGKILL` stand-in).
+    pub abort_rank: Option<u32>,
+    /// Chaos knob: local update count at which `abort_rank` dies.
+    pub abort_after_updates: u64,
 }
 
 impl NetConfig {
@@ -58,6 +129,10 @@ impl NetConfig {
         Self {
             nomad,
             progress_every: 0,
+            heartbeat_timeout_ms: DEFAULT_HEARTBEAT_TIMEOUT_MS,
+            initial_ranks: 0,
+            abort_rank: None,
+            abort_after_updates: 0,
         }
     }
 
@@ -73,16 +148,25 @@ impl NetConfig {
 /// Execution metrics of a distributed run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetStats {
-    /// Total SGD updates across all ranks.
+    /// Total SGD updates across the ranks that survived to gather.
     pub updates: u64,
-    /// Total token-processing events (tickets) across all ranks.
+    /// Total token-processing events (tickets) across surviving ranks.
     pub tokens_processed: u64,
     /// Tokens that crossed an address-space boundary.
     pub remote_sends: u64,
     /// Wall-clock seconds from scatter to the last gathered shard.
     pub wall_seconds: f64,
-    /// Per-rank update counts (index = rank).
+    /// Per-rank update counts (index = mesh slot; evicted and
+    /// never-joined slots read 0).
     pub per_rank_updates: Vec<u64>,
+    /// Per-rank ticket counts (index = mesh slot).
+    pub per_rank_tickets: Vec<u64>,
+    /// Ranks evicted during the run, in eviction order.
+    pub evicted: Vec<u32>,
+    /// Ranks that joined mid-run, in admission order.
+    pub joined: Vec<u32>,
+    /// Tokens re-minted after evictions (lost with dead ranks).
+    pub reminted: u64,
 }
 
 /// Output of a distributed run.
@@ -94,12 +178,110 @@ pub struct DistOutput {
     pub stats: NetStats,
 }
 
+fn bit(r: usize) -> u64 {
+    1u64 << r
+}
+
+/// An in-progress eviction census, driver side.
+struct Census {
+    epoch: u64,
+    dead: usize,
+    /// Bitmap of survivors whose [`Message::Inventory`] is outstanding.
+    need: u64,
+    started: Instant,
+    /// Σ survivor tickets reported at the cut.
+    tickets: u64,
+    /// Σ passes on inventoried tokens.
+    passes: u64,
+    /// Which items some survivor holds (duplicates are a protocol bug).
+    seen: Vec<bool>,
+}
+
+/// Everything the driver tracks while clocking a run.
+struct DriverState {
+    capacity: usize,
+    active: u64,
+    evicted: u64,
+    epoch: u64,
+    /// User-row segments owned per mesh slot, mirrored from the
+    /// setups/transfers the driver itself ordered.
+    owned: Vec<Vec<(usize, usize)>>,
+    latest: Vec<u64>,
+    last_heard: Vec<Instant>,
+    /// Peers some rank has reported silent (any reporter sets the bit).
+    suspected: u64,
+    census: Option<Census>,
+    pending_evictions: VecDeque<usize>,
+    pending_joins: VecDeque<usize>,
+    drained: bool,
+    /// Signed pass debt recorded by the latest census (see module docs).
+    debt: i128,
+    /// Items lost to a post-drain death, synthesized at gather (no
+    /// survivor can absorb new tokens once draining).
+    held_items: Vec<u32>,
+    /// User segments of post-drain corpses, synthesized at gather.
+    held_segments: Vec<(usize, usize)>,
+    reminted: u64,
+    evicted_list: Vec<u32>,
+    joined_list: Vec<u32>,
+    shards: Vec<Option<ShardPayload>>,
+}
+
+impl DriverState {
+    fn new(capacity: usize, initial: usize) -> Self {
+        Self {
+            capacity,
+            active: (0..initial).map(bit).fold(0, |a, b| a | b),
+            evicted: 0,
+            epoch: 0,
+            owned: vec![Vec::new(); capacity],
+            latest: vec![0; capacity],
+            last_heard: vec![Instant::now(); capacity],
+            suspected: 0,
+            census: None,
+            pending_evictions: VecDeque::new(),
+            pending_joins: VecDeque::new(),
+            drained: false,
+            debt: 0,
+            held_items: Vec::new(),
+            held_segments: Vec::new(),
+            reminted: 0,
+            evicted_list: Vec::new(),
+            joined_list: Vec::new(),
+            shards: (0..capacity).map(|_| None).collect(),
+        }
+    }
+
+    fn is_active(&self, r: usize) -> bool {
+        r < self.capacity && self.active & bit(r) != 0
+    }
+
+    fn active_ranks(&self) -> Vec<usize> {
+        (0..self.capacity).filter(|&r| self.is_active(r)).collect()
+    }
+
+    fn progress_sum(&self) -> u64 {
+        (0..self.capacity)
+            .filter(|&r| self.is_active(r))
+            .map(|r| self.latest[r])
+            .sum()
+    }
+
+    fn gather_complete(&self) -> bool {
+        (0..self.capacity)
+            .filter(|&r| self.is_active(r))
+            .all(|r| self.shards[r].is_some())
+    }
+}
+
 /// Runs the driver over an already-connected mesh: scatter, clock,
-/// gather, verify.  `transport` must be the driver endpoint.
+/// arbitrate membership, gather, verify.  `transport` must be the driver
+/// endpoint; the mesh capacity is `transport.ranks()` and
+/// `cfg.initial_ranks` of those slots start active.
 ///
 /// # Errors
-/// Fails on transport errors, protocol violations, or the global
-/// deadline.
+/// Fails on transport errors, protocol violations, the census deadline,
+/// or the global deadline.
 ///
 /// # Panics
 /// Panics if the stop condition has no update budget, or if gather
@@ -110,11 +292,20 @@ pub fn run_driver<T: Transport>(
     data: &RatingMatrix,
     cfg: &NetConfig,
 ) -> Result<DistOutput, NetError> {
-    let ranks = transport.ranks();
+    let capacity = transport.ranks();
     assert_eq!(
         transport.id(),
-        ranks,
+        capacity,
         "run_driver needs the driver endpoint"
+    );
+    let initial = if cfg.initial_ranks == 0 {
+        capacity
+    } else {
+        cfg.initial_ranks
+    };
+    assert!(
+        initial <= capacity,
+        "initial_ranks {initial} exceeds mesh capacity {capacity}"
     );
     let nomad = &cfg.nomad;
     let budget = nomad
@@ -122,15 +313,18 @@ pub fn run_driver<T: Transport>(
         .updates()
         .expect("distributed NOMAD requires an update budget in the stop condition");
     let params = nomad.params;
+    let k = params.k;
     let start = Instant::now();
+    let mut st = DriverState::new(capacity, initial);
 
     // Scatter: shards first (per-edge FIFO keeps Setup ahead of tokens).
-    let init = FactorModel::init(data.nrows(), data.ncols(), params.k, nomad.seed);
-    let partition = RowPartition::contiguous(data.nrows(), ranks);
-    for r in 0..ranks {
+    let init = FactorModel::init(data.nrows(), data.ncols(), k, nomad.seed);
+    let partition = RowPartition::contiguous(data.nrows(), initial);
+    let active_ranks: Vec<u32> = (0..initial as u32).collect();
+    for r in 0..initial {
         let members = partition.members(r);
         let row_start = members.first().map_or(0, |&i| i as u64);
-        let mut w_rows = Vec::with_capacity(members.len() * params.k);
+        let mut w_rows = Vec::with_capacity(members.len() * k);
         let mut entries = Vec::new();
         for &i in members {
             w_rows.extend_from_slice(init.w.row(i as usize));
@@ -138,33 +332,25 @@ pub fn run_driver<T: Transport>(
                 entries.push((i, j, v));
             }
         }
+        if !members.is_empty() {
+            st.owned[r].push((row_start as usize, members.len()));
+        }
+        let setup = make_setup(cfg, data, budget, r, capacity, &active_ranks, 0);
         let setup = SetupPayload {
-            rank: r as u32,
-            ranks: ranks as u32,
-            nrows: data.nrows() as u64,
-            ncols: data.ncols() as u64,
             row_start,
             row_count: members.len() as u64,
-            k: params.k as u32,
-            seed: nomad.seed,
-            lambda: params.lambda,
-            alpha: params.alpha,
-            beta: params.beta,
-            routing: routing_to_wire(nomad.routing),
-            budget,
-            message_batch: nomad.message_batch as u32,
-            progress_every: cfg.effective_progress_every(budget),
             w_rows,
             entries,
+            ..setup
         };
         transport.send(r, &Message::Setup(Box::new(setup)))?;
     }
 
     // Mint the initial tokens in ascending item order per home rank (at
     // one rank this reproduces the serial engine's initial queue order).
-    let mut pending: Vec<Vec<WireToken>> = (0..ranks).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Vec<WireToken>> = (0..initial).map(|_| Vec::new()).collect();
     for j in 0..data.ncols() {
-        let home = token_home(nomad.seed, j as u32, ranks);
+        let home = token_home(nomad.seed, j as u32, initial);
         pending[home].push(WireToken {
             item: j as u32,
             pass: 0,
@@ -181,53 +367,132 @@ pub fn run_driver<T: Transport>(
         }
     }
 
-    // Clock + gather.
-    let mut latest = vec![0u64; ranks];
-    let mut drained = budget == 0;
-    if drained {
-        for r in 0..ranks {
+    // Clock + arbitrate + gather.
+    if budget == 0 {
+        st.drained = true;
+        for r in st.active_ranks() {
             transport.send(r, &Message::Drain)?;
         }
     }
-    let mut shards: Vec<Option<ShardPayload>> = (0..ranks).map(|_| None).collect();
-    let mut gathered = 0usize;
-    while gathered < ranks {
+    let hb_timeout = (cfg.heartbeat_timeout_ms > 0)
+        .then(|| Duration::from_millis(cfg.heartbeat_timeout_ms as u64));
+    loop {
+        if st.gather_complete() && st.census.is_none() {
+            break;
+        }
         if start.elapsed() > DRIVER_DEADLINE {
+            let missing: Vec<usize> = st
+                .active_ranks()
+                .into_iter()
+                .filter(|&r| st.shards[r].is_none())
+                .collect();
             return Err(NetError::Protocol(format!(
-                "driver deadline: {gathered}/{ranks} shards after {:?}",
-                DRIVER_DEADLINE
+                "driver deadline: shards missing from ranks {missing:?} after {DRIVER_DEADLINE:?}"
             )));
         }
+        if let Some(census) = &st.census {
+            if census.started.elapsed() > CENSUS_DEADLINE {
+                return Err(NetError::Protocol(format!(
+                    "census for epoch {} incomplete after {CENSUS_DEADLINE:?}",
+                    census.epoch
+                )));
+            }
+        }
+
+        // Failure detection: the driver's own evidence, cross-checked
+        // against peer reports.  One census at a time.  A rank whose
+        // shard has arrived is done, not dead — it has every right to
+        // exit and go silent — but everyone else stays evictable even
+        // after drain: a corpse in the fin-wait wedges all survivors.
+        if let Some(timeout) = hb_timeout {
+            let now = Instant::now();
+            for r in st.active_ranks() {
+                if st.shards[r].is_some() {
+                    continue;
+                }
+                let silent = now.duration_since(st.last_heard[r]);
+                let dead = transport.peer_down(r)
+                    || silent > timeout
+                    || (st.suspected & bit(r) != 0 && silent > timeout / 2);
+                if dead {
+                    start_eviction(transport, &mut st, data, cfg, budget, r)?;
+                }
+            }
+        }
+
         let Some((src, msg)) = transport.recv_timeout(Duration::from_millis(10))? else {
             continue;
         };
+        // A dead rank's messages are dropped wholesale: its inventory
+        // contribution was re-minted, so counting anything it says would
+        // double-mint.
+        if src < capacity && st.evicted & bit(src) != 0 {
+            continue;
+        }
+        if src < capacity {
+            st.last_heard[src] = Instant::now();
+        }
         match msg {
             Message::Progress { rank, updates } => {
                 let r = rank as usize;
-                if r >= ranks || r != src {
+                if r >= capacity || r != src {
                     return Err(NetError::Protocol(format!(
                         "progress for rank {r} from endpoint {src}"
                     )));
                 }
-                latest[r] = latest[r].max(updates);
-                if !drained && latest.iter().sum::<u64>() >= budget {
-                    drained = true;
-                    for dest in 0..ranks {
-                        transport.send(dest, &Message::Drain)?;
-                    }
+                st.latest[r] = st.latest[r].max(updates);
+                maybe_drain(transport, &mut st, budget)?;
+            }
+            Message::Ping { .. } => {}
+            Message::Suspect { rank, peer } => {
+                let (r, p) = (rank as usize, peer as usize);
+                if r != src || p >= capacity {
+                    return Err(NetError::Protocol(format!(
+                        "suspect report for {p} from endpoint {src} claiming rank {r}"
+                    )));
                 }
+                st.suspected |= bit(p);
+            }
+            Message::Inventory {
+                epoch,
+                rank,
+                tickets,
+                held,
+            } => {
+                handle_inventory(
+                    transport, &mut st, data, cfg, budget, src, epoch, rank, tickets, held,
+                )?;
+            }
+            Message::Join { rank } => {
+                let r = rank as usize;
+                if r >= capacity || r != src {
+                    return Err(NetError::Protocol(format!(
+                        "join for slot {r} from endpoint {src}"
+                    )));
+                }
+                request_join(transport, &mut st, data, cfg, budget, r)?;
             }
             Message::Shard(shard) => {
                 let r = shard.rank as usize;
-                if r >= ranks || r != src {
+                if r >= capacity || r != src {
                     return Err(NetError::Protocol(format!(
                         "shard for rank {r} from endpoint {src}"
                     )));
                 }
-                if shards[r].replace(*shard).is_some() {
+                if st.shards[r].is_some() {
                     return Err(NetError::Protocol(format!("duplicate shard from rank {r}")));
                 }
-                gathered += 1;
+                // A shard landing mid-census from a still-needed survivor
+                // means it quiesced before the eviction notice reached
+                // it; the shard stands in for its inventory.
+                if let Some(census) = &mut st.census {
+                    if census.need & bit(r) != 0 {
+                        fold_shard_into_census(census, &shard)?;
+                        census.need &= !bit(r);
+                    }
+                }
+                st.shards[r] = Some(*shard);
+                census_try_finish(transport, &mut st, data, cfg, budget)?;
             }
             other => {
                 return Err(NetError::Protocol(format!(
@@ -238,38 +503,552 @@ pub fn run_driver<T: Transport>(
     }
     let wall_seconds = start.elapsed().as_secs_f64();
 
-    let shards: Vec<ShardPayload> = shards.into_iter().map(|s| s.expect("gathered")).collect();
-    let model = assemble_model(data.nrows(), data.ncols(), params.k, &shards);
+    // Farewell to slots that never joined: a joiner waking up after the
+    // run is over finds a rejection waiting instead of 30s of silence.
+    for r in 0..capacity {
+        if !st.is_active(r) && st.evicted & bit(r) == 0 {
+            let _ = transport.send(
+                r,
+                &Message::Evict {
+                    epoch: st.epoch,
+                    rank: r as u32,
+                },
+            );
+        }
+    }
+
+    let mut gathered: Vec<ShardPayload> = Vec::new();
+    let mut per_rank_updates = vec![0u64; capacity];
+    let mut per_rank_tickets = vec![0u64; capacity];
+    for r in 0..capacity {
+        if let Some(shard) = st.shards[r].take() {
+            per_rank_updates[r] = shard.updates;
+            per_rank_tickets[r] = shard.tickets;
+            gathered.push(shard);
+        }
+    }
+    // Post-drain deaths left items and user segments in the driver's
+    // hands (no survivor could absorb them); synthesize one extra shard
+    // of fresh rows.  Zero tickets and zero passes keep the debt
+    // equation intact.
+    if !st.held_items.is_empty() || !st.held_segments.is_empty() {
+        let tokens = st
+            .held_items
+            .iter()
+            .map(|&j| WireToken {
+                item: j,
+                pass: 0,
+                factor: fresh_item_rows(1, k, j as usize, nomad.seed)
+                    .row(0)
+                    .to_vec(),
+            })
+            .collect();
+        let segments = st
+            .held_segments
+            .iter()
+            .map(|&(start, count)| {
+                let fresh = fresh_user_rows(count, k, start, nomad.seed);
+                let mut rows = Vec::with_capacity(count * k);
+                for local in 0..count {
+                    rows.extend_from_slice(fresh.row(local));
+                }
+                WireSegment {
+                    row_start: start as u64,
+                    rows,
+                }
+            })
+            .collect();
+        gathered.push(ShardPayload {
+            rank: capacity as u32,
+            k: k as u32,
+            segments,
+            tokens,
+            tickets: 0,
+            updates: 0,
+            remote_sends: 0,
+        });
+    }
+    let model = assemble_model(data.nrows(), data.ncols(), k, &gathered, st.debt);
     let stats = NetStats {
-        updates: shards.iter().map(|s| s.updates).sum(),
-        tokens_processed: shards.iter().map(|s| s.tickets).sum(),
-        remote_sends: shards.iter().map(|s| s.remote_sends).sum(),
+        updates: gathered.iter().map(|s| s.updates).sum(),
+        tokens_processed: gathered.iter().map(|s| s.tickets).sum(),
+        remote_sends: gathered.iter().map(|s| s.remote_sends).sum(),
         wall_seconds,
-        per_rank_updates: shards.iter().map(|s| s.updates).collect(),
+        per_rank_updates,
+        per_rank_tickets,
+        evicted: st.evicted_list,
+        joined: st.joined_list,
+        reminted: st.reminted,
     };
     Ok(DistOutput { model, stats })
 }
 
+/// Builds the configuration half of a `Setup` (shard fields zeroed; the
+/// caller fills them in).
+fn make_setup(
+    cfg: &NetConfig,
+    data: &RatingMatrix,
+    budget: u64,
+    rank: usize,
+    capacity: usize,
+    active_ranks: &[u32],
+    epoch: u64,
+) -> SetupPayload {
+    let nomad = &cfg.nomad;
+    let abort_after = match cfg.abort_rank {
+        Some(victim) if victim as usize == rank => cfg.abort_after_updates,
+        _ => 0,
+    };
+    SetupPayload {
+        rank: rank as u32,
+        ranks: capacity as u32,
+        nrows: data.nrows() as u64,
+        ncols: data.ncols() as u64,
+        row_start: 0,
+        row_count: 0,
+        k: nomad.params.k as u32,
+        seed: nomad.seed,
+        lambda: nomad.params.lambda,
+        alpha: nomad.params.alpha,
+        beta: nomad.params.beta,
+        routing: routing_to_wire(nomad.routing),
+        budget,
+        message_batch: nomad.message_batch as u32,
+        progress_every: cfg.effective_progress_every(budget),
+        heartbeat_timeout_ms: cfg.heartbeat_timeout_ms,
+        abort_after_updates: abort_after,
+        epoch,
+        active_ranks: active_ranks.to_vec(),
+        w_rows: Vec::new(),
+        entries: Vec::new(),
+    }
+}
+
+/// Broadcasts `Drain` once the summed progress reaches the budget —
+/// deferred while a census runs (survivors are parked and could not
+/// quiesce anyway; evictions and drain must not interleave).
+fn maybe_drain<T: Transport>(
+    transport: &T,
+    st: &mut DriverState,
+    budget: u64,
+) -> Result<(), NetError> {
+    if st.drained || st.census.is_some() || st.progress_sum() < budget {
+        return Ok(());
+    }
+    st.drained = true;
+    for r in st.active_ranks() {
+        send_lenient(transport, r, &Message::Drain)?;
+    }
+    Ok(())
+}
+
+/// Sends to a rank, tolerating `PeerGone` — the failure detector owns
+/// dead peers, a broadcast must not die on one.
+fn send_lenient<T: Transport>(transport: &T, dest: usize, msg: &Message) -> Result<(), NetError> {
+    match transport.send(dest, msg) {
+        Err(NetError::PeerGone(_)) => Ok(()),
+        other => other,
+    }
+}
+
+/// Starts (or queues) the eviction of `dead`.
+fn start_eviction<T: Transport>(
+    transport: &T,
+    st: &mut DriverState,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    budget: u64,
+    dead: usize,
+) -> Result<(), NetError> {
+    if !st.is_active(dead) || st.shards[dead].is_some() {
+        return Ok(());
+    }
+    if st.census.is_some() {
+        if !st.pending_evictions.contains(&dead) {
+            st.pending_evictions.push_back(dead);
+        }
+        return Ok(());
+    }
+    st.epoch += 1;
+    st.active &= !bit(dead);
+    st.evicted |= bit(dead);
+    st.suspected &= !bit(dead);
+    st.evicted_list.push(dead as u32);
+    // The corpse's updates no longer count toward the budget: survivors
+    // must finish the work themselves.
+    st.latest[dead] = 0;
+    let epoch = st.epoch;
+    let notice = Message::Evict {
+        epoch,
+        rank: dead as u32,
+    };
+    // Best-effort notice to the evictee itself, so a slow-but-alive rank
+    // exits cleanly instead of haunting a mesh that stopped listening.
+    let _ = transport.send(dead, &notice);
+    transport.close_peer(dead);
+    let survivors = st.active_ranks();
+    if survivors.is_empty() {
+        return Err(NetError::Protocol(
+            "every rank is dead; nothing left to run the census".into(),
+        ));
+    }
+    for &r in &survivors {
+        send_lenient(transport, r, &notice)?;
+    }
+    let mut census = Census {
+        epoch,
+        dead,
+        need: 0,
+        started: Instant::now(),
+        tickets: 0,
+        passes: 0,
+        seen: vec![false; data.ncols()],
+    };
+    for &r in &survivors {
+        match &st.shards[r] {
+            // A quiesced survivor cannot answer — its gathered shard
+            // already says everything an inventory would.
+            Some(shard) => fold_shard_into_census(&mut census, shard)?,
+            None => census.need |= bit(r),
+        }
+    }
+    st.census = Some(census);
+    census_try_finish(transport, st, data, cfg, budget)
+}
+
+/// Folds a quiesced survivor's shard into the census: the shard *is* its
+/// inventory — tickets are final and its queue tokens are the shard's.
+fn fold_shard_into_census(census: &mut Census, shard: &ShardPayload) -> Result<(), NetError> {
+    census.tickets += shard.tickets;
+    for token in &shard.tokens {
+        let j = token.item as usize;
+        if j >= census.seen.len() {
+            return Err(NetError::Protocol(format!("shard item {j} out of range")));
+        }
+        assert!(
+            !census.seen[j],
+            "item {j} held by two survivors: token conservation violated"
+        );
+        census.seen[j] = true;
+        census.passes += token.pass;
+    }
+    Ok(())
+}
+
+/// Completes the census once every needed survivor has answered (by
+/// inventory or by shard), then runs whatever stacked up behind it.
+fn census_try_finish<T: Transport>(
+    transport: &T,
+    st: &mut DriverState,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    budget: u64,
+) -> Result<(), NetError> {
+    match &st.census {
+        Some(census) if census.need == 0 => {}
+        _ => return Ok(()),
+    }
+    finish_census(transport, st, data, cfg)?;
+    while let Some(dead) = st.pending_evictions.pop_front() {
+        start_eviction(transport, st, data, cfg, budget, dead)?;
+        if st.census.is_some() {
+            return Ok(());
+        }
+    }
+    while let Some(joiner) = st.pending_joins.pop_front() {
+        request_join(transport, st, data, cfg, budget, joiner)?;
+    }
+    maybe_drain(transport, st, budget)?;
+    Ok(())
+}
+
+/// Folds one survivor's inventory into the census; completes the census
+/// when the last one arrives.
+#[allow(clippy::too_many_arguments)]
+fn handle_inventory<T: Transport>(
+    transport: &T,
+    st: &mut DriverState,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    budget: u64,
+    src: usize,
+    epoch: u64,
+    rank: u32,
+    tickets: u64,
+    held: Vec<(u32, u64)>,
+) -> Result<(), NetError> {
+    let r = rank as usize;
+    let Some(census) = &mut st.census else {
+        return Err(NetError::Protocol(format!(
+            "inventory from rank {r} with no census running"
+        )));
+    };
+    if r != src || epoch != census.epoch || census.need & bit(r) == 0 {
+        return Err(NetError::Protocol(format!(
+            "inventory from endpoint {src} claiming rank {r} epoch {epoch} (census epoch {})",
+            census.epoch
+        )));
+    }
+    census.need &= !bit(r);
+    census.tickets += tickets;
+    for &(item, pass) in &held {
+        let j = item as usize;
+        if j >= census.seen.len() {
+            return Err(NetError::Protocol(format!(
+                "inventoried item {j} out of range"
+            )));
+        }
+        assert!(
+            !census.seen[j],
+            "item {j} inventoried by two survivors: token conservation violated"
+        );
+        census.seen[j] = true;
+        census.passes += pass;
+    }
+    census_try_finish(transport, st, data, cfg, budget)
+}
+
+/// All inventories are in: re-mint the lost tokens, record the pass
+/// debt, re-materialize the dead rank's user shard on a survivor, and
+/// release the mesh with `Reconfigure`.
+fn finish_census<T: Transport>(
+    transport: &T,
+    st: &mut DriverState,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+) -> Result<(), NetError> {
+    let census = st.census.take().expect("census in progress");
+    let nomad = &cfg.nomad;
+    let k = nomad.params.k;
+    let epoch = census.epoch;
+    let survivors = st.active_ranks();
+
+    // Conservation bookkeeping: the tickets the corpse drew and the
+    // passes riding on lost tokens both left the ledger; the census cut
+    // measures their net effect exactly (see the module docs).  The cut
+    // totals *replace* the previous debt — `Σ tickets − Σ passes` is
+    // constant in time between membership events, so the latest cut
+    // already reflects every earlier one.
+    st.debt = census.tickets as i128 - census.passes as i128;
+
+    if st.drained {
+        // Post-drain, survivors must not absorb new work: the driver
+        // itself keeps the lost items and the corpse's user rows and
+        // synthesizes them as fresh rows at gather.  Reconfigure still
+        // goes out so survivors parked in the census can quiesce.
+        for j in 0..data.ncols() {
+            if !census.seen[j] {
+                st.reminted += 1;
+                st.held_items.push(j as u32);
+            }
+        }
+        let segments = std::mem::take(&mut st.owned[census.dead]);
+        st.held_segments.extend(segments);
+        for &r in &survivors {
+            send_lenient(transport, r, &Message::Reconfigure { epoch })?;
+        }
+        return Ok(());
+    }
+
+    // Re-mint every item no survivor holds, homed by the same hash the
+    // scatter used, over the surviving ranks.
+    let mut pending: Vec<Vec<WireToken>> = survivors.iter().map(|_| Vec::new()).collect();
+    for j in 0..data.ncols() {
+        if census.seen[j] {
+            continue;
+        }
+        st.reminted += 1;
+        let slot = token_home(nomad.seed, j as u32, survivors.len());
+        let factor = fresh_item_rows(1, k, j, nomad.seed).row(0).to_vec();
+        pending[slot].push(WireToken {
+            item: j as u32,
+            pass: 0,
+            factor,
+        });
+        if pending[slot].len() >= nomad.message_batch {
+            let tokens = std::mem::take(&mut pending[slot]);
+            send_lenient(
+                transport,
+                survivors[slot],
+                &Message::TokenBatch { qlen: 0, tokens },
+            )?;
+        }
+    }
+    for (slot, tokens) in pending.into_iter().enumerate() {
+        if !tokens.is_empty() {
+            send_lenient(
+                transport,
+                survivors[slot],
+                &Message::TokenBatch { qlen: 0, tokens },
+            )?;
+        }
+    }
+
+    // Takeover: the dead rank's user rows go to the least-loaded
+    // survivor with fresh factors (the live ones died with the rank) and
+    // the ratings re-cut from the driver's copy of the data.
+    let segments = std::mem::take(&mut st.owned[census.dead]);
+    if !segments.is_empty() {
+        let taker = *survivors
+            .iter()
+            .min_by_key(|&&r| st.owned[r].iter().map(|&(_, c)| c).sum::<usize>())
+            .expect("at least one survivor");
+        for (start, count) in segments {
+            let fresh = fresh_user_rows(count, k, start, nomad.seed);
+            let mut rows = Vec::with_capacity(count * k);
+            for local in 0..count {
+                rows.extend_from_slice(fresh.row(local));
+            }
+            let mut entries = Vec::new();
+            for i in start..start + count {
+                for (j, v) in data.by_rows().row(i) {
+                    entries.push((i as u32, j, v));
+                }
+            }
+            send_lenient(
+                transport,
+                taker,
+                &Message::ShardTransfer(Box::new(ShardTransferPayload {
+                    row_start: start as u64,
+                    k: k as u32,
+                    rows,
+                    entries,
+                })),
+            )?;
+            st.owned[taker].push((start, count));
+        }
+    }
+
+    for &r in &survivors {
+        send_lenient(transport, r, &Message::Reconfigure { epoch })?;
+    }
+    Ok(())
+}
+
+/// Admits (or queues, or rejects) a mid-run join for mesh slot `joiner`.
+fn request_join<T: Transport>(
+    transport: &T,
+    st: &mut DriverState,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    budget: u64,
+    joiner: usize,
+) -> Result<(), NetError> {
+    if st.is_active(joiner) {
+        return Err(NetError::Protocol(format!(
+            "rank {joiner} is already active and asked to join"
+        )));
+    }
+    if st.drained || st.evicted & bit(joiner) != 0 {
+        // Too late (or a dead slot trying to return): reject so the
+        // newcomer's wait-for-setup exits cleanly.
+        let _ = transport.send(
+            joiner,
+            &Message::Evict {
+                epoch: st.epoch,
+                rank: joiner as u32,
+            },
+        );
+        return Ok(());
+    }
+    if st.census.is_some() {
+        if !st.pending_joins.contains(&joiner) {
+            st.pending_joins.push_back(joiner);
+        }
+        return Ok(());
+    }
+    st.epoch += 1;
+    st.active |= bit(joiner);
+    st.last_heard[joiner] = Instant::now();
+    st.joined_list.push(joiner as u32);
+    let epoch = st.epoch;
+    let actives: Vec<u32> = st.active_ranks().iter().map(|&r| r as u32).collect();
+
+    // The newcomer starts with an empty shard; rows arrive by rebalance.
+    let setup = make_setup(cfg, data, budget, joiner, st.capacity, &actives, epoch);
+    transport.send(joiner, &Message::Setup(Box::new(setup)))?;
+    for r in st.active_ranks() {
+        if r != joiner {
+            send_lenient(
+                transport,
+                r,
+                &Message::AddRank {
+                    epoch,
+                    rank: joiner as u32,
+                },
+            )?;
+        }
+    }
+
+    // Rebalance: the most-loaded rank donates the top half of its
+    // largest segment.  FIFO on the driver→donor edge puts `AddRank`
+    // before `Rebalance`, so the donor knows the destination exists.
+    let donor = st
+        .active_ranks()
+        .into_iter()
+        .filter(|&r| r != joiner)
+        .max_by_key(|&r| st.owned[r].iter().map(|&(_, c)| c).sum::<usize>());
+    if let Some(donor) = donor {
+        let largest = st.owned[donor]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &(_, c))| c)
+            .map(|(i, &(s, c))| (i, s, c));
+        if let Some((idx, seg_start, seg_count)) = largest {
+            if seg_count >= 2 {
+                let keep = seg_count / 2;
+                let give_start = seg_start + keep;
+                let give_count = seg_count - keep;
+                send_lenient(
+                    transport,
+                    donor,
+                    &Message::Rebalance {
+                        epoch,
+                        to: joiner as u32,
+                        row_start: give_start as u64,
+                        row_count: give_count as u64,
+                    },
+                )?;
+                st.owned[donor][idx] = (seg_start, keep);
+                st.owned[joiner].push((give_start, give_count));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Reassembles the factor model from the gathered shards, asserting token
 /// conservation — the distributed mirror of the threaded engine's
-/// `assemble_model` invariant.
-fn assemble_model(nrows: usize, ncols: usize, k: usize, shards: &[ShardPayload]) -> FactorModel {
+/// `assemble_model` invariant, extended with the eviction pass debt.
+fn assemble_model(
+    nrows: usize,
+    ncols: usize,
+    k: usize,
+    shards: &[ShardPayload],
+    debt: i128,
+) -> FactorModel {
     let mut model = FactorModel {
         w: FactorMatrix::zeros(nrows, k),
         h: FactorMatrix::zeros(ncols, k),
     };
+    let mut user_seen = vec![false; nrows];
     let mut seen = vec![false; ncols];
     let mut total_passes = 0u64;
     let mut total_tickets = 0u64;
     for shard in shards {
         assert_eq!(shard.k as usize, k, "shard k mismatch");
-        assert_eq!(shard.w_rows.len() % k, 0, "shard w_rows must be whole rows");
-        let rows = shard.w_rows.len() / k;
-        for local in 0..rows {
-            model.w.set_row(
-                shard.row_start as usize + local,
-                &shard.w_rows[local * k..(local + 1) * k],
-            );
+        for seg in &shard.segments {
+            assert_eq!(seg.rows.len() % k, 0, "segment rows must be whole rows");
+            let count = seg.rows.len() / k;
+            for local in 0..count {
+                let row = seg.row_start as usize + local;
+                assert!(
+                    row < nrows && !user_seen[row],
+                    "user row {row} owned by two ranks at quiesce"
+                );
+                user_seen[row] = true;
+                model.w.set_row(row, &seg.rows[local * k..(local + 1) * k]);
+            }
         }
         for token in &shard.tokens {
             let j = token.item as usize;
@@ -284,19 +1063,24 @@ fn assemble_model(nrows: usize, ncols: usize, k: usize, shards: &[ShardPayload])
         total_tickets += shard.tickets;
     }
     assert!(
+        user_seen.iter().all(|&s| s),
+        "every user row must be in exactly one rank's shard at quiesce"
+    );
+    assert!(
         seen.iter().all(|&s| s),
         "every item must be in exactly one rank's shard at quiesce"
     );
     assert_eq!(
-        total_passes, total_tickets,
-        "token pass counts must sum to the tickets drawn across ranks"
+        total_tickets as i128 - total_passes as i128,
+        debt,
+        "tickets minus passes must equal the eviction pass debt"
     );
     model
 }
 
-/// The distributed NOMAD engine: one driver plus `ranks` ranks, each with
-/// a worker thread and a communication thread, connected by a pluggable
-/// transport.
+/// The distributed NOMAD engine: one driver plus up to `capacity` ranks,
+/// each with a worker thread and a communication thread, connected by a
+/// pluggable transport.
 #[derive(Debug, Clone)]
 pub struct DistributedNomad {
     cfg: NetConfig,
@@ -304,7 +1088,7 @@ pub struct DistributedNomad {
 }
 
 impl DistributedNomad {
-    /// Creates the engine.
+    /// Creates the engine with every mesh slot active from the start.
     ///
     /// # Panics
     /// Panics if `ranks == 0`.
@@ -313,6 +1097,23 @@ impl DistributedNomad {
         Self {
             cfg: NetConfig::new(nomad),
             ranks,
+        }
+    }
+
+    /// Creates the engine from a full [`NetConfig`] with a mesh capacity
+    /// of `capacity` slots (`cfg.initial_ranks` of them start active).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `cfg.initial_ranks > capacity`.
+    pub fn with_config(cfg: NetConfig, capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one rank");
+        assert!(
+            cfg.initial_ranks <= capacity,
+            "initial_ranks exceeds capacity"
+        );
+        Self {
+            cfg,
+            ranks: capacity,
         }
     }
 
@@ -327,7 +1128,7 @@ impl DistributedNomad {
         &self.cfg
     }
 
-    /// Number of ranks.
+    /// Number of mesh slots.
     pub fn ranks(&self) -> usize {
         self.ranks
     }
@@ -338,7 +1139,40 @@ impl DistributedNomad {
     /// # Errors
     /// Propagates transport/protocol failures from any endpoint.
     pub fn run_loopback(&self, data: &RatingMatrix) -> Result<DistOutput, NetError> {
-        let (driver, endpoints) = Loopback::mesh(self.ranks);
+        self.run_loopback_elastic(data, &[])
+    }
+
+    /// Runs the engine on the loopback transport with scripted joiners:
+    /// each `(rank, delay)` pair spawns a thread that sleeps `delay`,
+    /// then joins the running mesh as `rank` via [`crate::rank::join_rank`].
+    /// The joined slots must lie in `initial_ranks..capacity`.
+    ///
+    /// # Errors
+    /// Propagates transport/protocol failures from any endpoint.
+    pub fn run_loopback_elastic(
+        &self,
+        data: &RatingMatrix,
+        joiners: &[(usize, Duration)],
+    ) -> Result<DistOutput, NetError> {
+        let initial = if self.cfg.initial_ranks == 0 {
+            self.ranks
+        } else {
+            self.cfg.initial_ranks
+        };
+        let (driver, mut endpoints) = Loopback::mesh(self.ranks);
+        // Claim the join endpoints before the initial ones consume the vec.
+        let mut join_eps: Vec<(Loopback, Duration)> = Vec::new();
+        for &(rank, delay) in joiners {
+            assert!(
+                rank >= initial && rank < self.ranks,
+                "joiner slot {rank} must be an initially-empty mesh slot"
+            );
+            join_eps.push((
+                std::mem::replace(&mut endpoints[rank], Loopback::mesh(1).0),
+                delay,
+            ));
+        }
+        endpoints.truncate(initial);
         std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
@@ -349,8 +1183,21 @@ impl DistributedNomad {
                     })
                 })
                 .collect();
+            let join_handles: Vec<_> = join_eps
+                .into_iter()
+                .map(|(ep, delay)| {
+                    scope.spawn(move || {
+                        let ep = ep;
+                        std::thread::sleep(delay);
+                        // A turned-away joiner (the run drained or even
+                        // finished first) is a clean outcome; the caller
+                        // reads `stats.joined` for who actually made it.
+                        crate::rank::join_rank(&ep).map(|_| ())
+                    })
+                })
+                .collect();
             let out = run_driver(&driver, data, &self.cfg);
-            for handle in handles {
+            for handle in handles.into_iter().chain(join_handles) {
                 handle.join().expect("rank thread panicked")?;
             }
             out
@@ -394,7 +1241,8 @@ impl DistributedNomad {
     ///
     /// # Errors
     /// Propagates spawn/socket/protocol failures; a child exiting
-    /// non-zero is reported as a protocol error.
+    /// non-zero is reported as a protocol error unless that child was
+    /// evicted mid-run (a killed child cannot exit cleanly).
     pub fn run_processes(&self, data: &RatingMatrix) -> Result<DistOutput, NetError> {
         crate::process::run_processes(&self.cfg, data, self.ranks)
     }

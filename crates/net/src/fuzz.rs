@@ -1,5 +1,5 @@
 //! Schedule-fuzz harness for the distributed engine over
-//! [`Loopback`](crate::transport::Loopback).
+//! [`Loopback`].
 //!
 //! The counterpart of `nomad_core::sched::fuzz_threaded` for real
 //! multi-rank runs: install the seeded [`FuzzController`] for a
@@ -28,11 +28,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nomad_cluster::ComputeModel;
-use nomad_core::sched::{install, FaultPlan, FuzzCase, FuzzController, FuzzFailure};
+use nomad_core::sched::{install, FaultPlan, FuzzCase, FuzzController, FuzzFailure, Strategy};
 use nomad_core::{NomadConfig, SerialNomad};
 use nomad_matrix::{RatingMatrix, TripletMatrix};
 
-use crate::driver::DistributedNomad;
+use crate::chaos::ChaosTransport;
+use crate::driver::{run_driver, DistributedNomad, NetConfig};
+use crate::transport::{Loopback, NetError};
 
 /// What a surviving distributed schedule looked like.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +100,126 @@ pub fn fuzz_loopback(
         hops: out.stats.tokens_processed,
         remote_sends: out.stats.remote_sends,
         escapes: controller.escapes(),
+        wall_seconds,
+    })
+}
+
+/// What a surviving chaos schedule looked like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaosStats {
+    /// Updates performed across the surviving ranks.
+    pub updates: u64,
+    /// Tokens processed across the surviving ranks.
+    pub hops: u64,
+    /// Ranks evicted during the run.
+    pub evicted: Vec<u32>,
+    /// Tokens re-minted after evictions.
+    pub reminted: u64,
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+}
+
+/// Runs a `ranks`-rank loopback mesh with a seeded transport fault —
+/// [`Strategy::Crash`] kills one rank's endpoint at a fixed operation
+/// index, [`Strategy::Partition`] holds its traffic for a fixed window —
+/// and re-checks the fault-tolerance oracles:
+///
+/// * the run **completes** despite the fault (no deadline, no wedge);
+/// * **token conservation** holds at gather (the driver's
+///   `assemble_model` panics otherwise; the panic is converted into a
+///   replayable failure);
+/// * the surviving ranks still reach the **update budget**;
+/// * a crashed victim is actually **evicted** (partitioned victims may
+///   be evicted or ride it out, depending on window vs. timeout — both
+///   outcomes must conserve).
+///
+/// The victim is derived from the seed (`seed % ranks`), so a sweep over
+/// seeds also sweeps the victim; `Err` carries the `(seed, strategy)`
+/// replay pair for `NOMAD_FUZZ_REPLAY`.
+pub fn fuzz_loopback_chaos(
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    ranks: usize,
+    case: FuzzCase,
+) -> Result<NetChaosStats, FuzzFailure> {
+    assert!(ranks >= 2, "chaos needs at least one survivor");
+    let victim = (case.seed % ranks as u64) as usize;
+    let controller =
+        Arc::new(FuzzController::new(case, FaultPlan::default()).with_chaos(victim, 0));
+    let installed = install(controller.clone());
+    let budget = cfg
+        .nomad
+        .stop
+        .updates()
+        .expect("chaos harness requires an update budget");
+    let start = Instant::now();
+    type RankResults = Vec<Result<(), NetError>>;
+    let run = catch_unwind(AssertUnwindSafe(
+        || -> Result<(crate::driver::DistOutput, RankResults), NetError> {
+            let (driver, endpoints) = Loopback::mesh(ranks);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .map(|ep| {
+                        scope.spawn(move || {
+                            let chaotic = ChaosTransport::hooked(ep);
+                            crate::rank::run_rank(&chaotic)
+                        })
+                    })
+                    .collect();
+                let out = run_driver(&driver, data, cfg)?;
+                let results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank thread panicked"))
+                    .collect();
+                Ok((out, results))
+            })
+        },
+    ));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    drop(installed);
+    let (out, rank_results) = match run {
+        Ok(Ok(pair)) => pair,
+        Ok(Err(e)) => return Err(FuzzFailure::new(case, format!("chaos run failed: {e}"))),
+        Err(payload) => return Err(FuzzFailure::from_panic(case, payload)),
+    };
+
+    // A killed victim's endpoint fails with Closed — expected.  Every
+    // other rank must exit cleanly.
+    for (r, result) in rank_results.iter().enumerate() {
+        if let Err(e) = result {
+            if r != victim {
+                return Err(FuzzFailure::new(
+                    case,
+                    format!("non-victim rank {r} failed: {e}"),
+                ));
+            }
+        }
+    }
+    if matches!(case.strategy, Strategy::Crash(_)) && !out.stats.evicted.contains(&(victim as u32))
+    {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "crashed rank {victim} was never evicted (evicted: {:?})",
+                out.stats.evicted
+            ),
+        ));
+    }
+    if out.stats.updates < budget {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "survivors stopped at {} updates, below the {budget} budget",
+                out.stats.updates
+            ),
+        ));
+    }
+    Ok(NetChaosStats {
+        updates: out.stats.updates,
+        hops: out.stats.tokens_processed,
+        evicted: out.stats.evicted,
+        reminted: out.stats.reminted,
         wall_seconds,
     })
 }

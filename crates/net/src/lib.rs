@@ -30,6 +30,11 @@
 //!   choice to a run.
 //! * [`process`] — re-exec'd rank children ([`child_entry`]) for true
 //!   address-space separation.
+//! * [`chaos`] — deterministic fault injection ([`ChaosTransport`]):
+//!   seeded crashes and partitions at the transport boundary, driving
+//!   the fault-tolerance protocol (heartbeat detection, census-based
+//!   eviction, token re-minting, shard takeover, mid-run joins) that
+//!   [`rank`] and [`driver`] implement.
 //!
 //! The correctness anchor is the same one the threaded and simulated
 //! engines carry: at one rank with a fixed seed, the engine reassembles a
@@ -40,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod driver;
 pub mod fuzz;
 pub mod process;
@@ -48,9 +54,13 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use driver::{DistOutput, DistributedNomad, NetConfig, NetStats};
-pub use fuzz::{fuzz_loopback, NetFuzzStats};
+pub use chaos::{ChaosPlan, ChaosTransport};
+pub use driver::{DistOutput, DistributedNomad, NetConfig, NetStats, DEFAULT_HEARTBEAT_TIMEOUT_MS};
+pub use fuzz::{fuzz_loopback, fuzz_loopback_chaos, NetChaosStats, NetFuzzStats};
 pub use process::{child_entry, CHILD_FAILURE_EXIT, DRIVER_ENV, RANK_ENV};
+pub use rank::{join_rank, run_rank};
 pub use tcp::TcpTransport;
 pub use transport::{DelayedTransport, Loopback, NetError, Transport};
-pub use wire::{Message, SetupPayload, ShardPayload, WireError, WireToken};
+pub use wire::{
+    Message, SetupPayload, ShardPayload, ShardTransferPayload, WireError, WireSegment, WireToken,
+};

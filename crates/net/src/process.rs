@@ -85,13 +85,19 @@ pub(crate) fn run_processes(
     })();
     // Reap the children whatever happened; on driver failure the dropped
     // transport shuts the sockets, so children cannot outlive this loop.
+    // A child the driver evicted mid-run is *expected* to exit abnormally
+    // (a killed process cannot exit cleanly), so its status is ignored.
+    let evicted: Vec<usize> = run
+        .as_ref()
+        .map(|out| out.stats.evicted.iter().map(|&r| r as usize).collect())
+        .unwrap_or_default();
     let mut child_errors = Vec::new();
     for (r, mut child) in children.into_iter().enumerate() {
-        if run.is_err() {
+        if run.is_err() || evicted.contains(&r) {
             let _ = child.kill();
         }
         match child.wait() {
-            Ok(status) if status.success() => {}
+            Ok(status) if status.success() || evicted.contains(&r) => {}
             Ok(status) => child_errors.push(format!("rank {r} exited with {status}")),
             Err(e) => child_errors.push(format!("rank {r} unreapable: {e}")),
         }

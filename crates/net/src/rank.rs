@@ -1,37 +1,62 @@
 //! The per-rank engine: one worker thread on the PR-3 hot path, one
 //! dedicated communication thread on the transport.
 //!
-//! Each rank owns a contiguous shard of user rows (they never move), a
-//! [`FactorSlab`] with a slot for *every* item factor (only the rows whose
-//! tokens the rank currently holds are live), and one lock-free
-//! [`SegQueue`] of `(item, pass)` tokens.  The worker loop is the same
-//! allocation-free loop as `ThreadedNomad`'s: pop a token, update against
-//! the local rating slice through [`FactorSlab::owner_row_mut`], route it
-//! onward.  The only new branch is the destination check — a token routed
-//! to *this* rank is pushed straight back onto the local queue (an
-//! intra-rank hop costs nothing and allocates nothing), while a token
-//! routed to another rank is handed to the communication thread together
-//! with a copy of its factor row (Section 2.3 of the paper: the factor
-//! travels with the token across address spaces).
+//! Each rank owns a set of user-row segments (contiguous at setup, a
+//! *list* once evictions and joins move rows around), a [`FactorSlab`]
+//! with a slot for *every* item factor (only the rows whose tokens the
+//! rank currently holds are live), and one lock-free [`SegQueue`] of
+//! `(item, pass)` tokens.  The worker loop is the same allocation-free
+//! loop as `ThreadedNomad`'s: pop a token, update against the local
+//! rating slice through [`FactorSlab::owner_row_mut`], route it onward.
+//! A token routed to *this* rank is pushed straight back onto the local
+//! queue; a token routed to another rank is handed to the communication
+//! thread together with a copy of its factor row (Section 2.3 of the
+//! paper: the factor travels with the token across address spaces).
 //!
 //! The communication thread batches outbound tokens into
 //! [`Message::TokenBatch`] frames of `message_batch` tokens (Section 3.5),
 //! injects inbound tokens by writing the carried factor into the slab row
 //! *before* pushing the token onto the worker queue (the push is the
 //! ownership hand-off, exactly as in the threaded engine), reports
-//! progress to the driver, and executes the quiesce protocol:
+//! progress to the driver, and executes the quiesce protocol (`Drain` →
+//! flush → `Fin` per edge → gather the queue into a [`ShardPayload`]).
 //!
-//! 1. on `Drain`, stop the worker and join it;
-//! 2. flush every staged outbound token, then send `Fin` to every peer —
-//!    per-edge FIFO guarantees no token can arrive after its sender's
-//!    `Fin`;
-//! 3. keep injecting inbound tokens until every peer's `Fin` arrived, at
-//!    which point every token this rank will ever hold sits in its queue;
-//! 4. drain the queue into a [`ShardPayload`] (tokens + factors + pass
-//!    counts + local tickets) and send it to the driver.
+//! ## Elastic membership
+//!
+//! On top of the PR-5 protocol this file implements the failure-model
+//! half of the paper's "machines join and leave" claim:
+//!
+//! * **Heartbeats** — every received frame refreshes the sender's
+//!   silence timer; an edge idle for a quarter of the heartbeat timeout
+//!   gets an explicit [`Message::Ping`].  A peer silent for the full
+//!   timeout (or whose stream the transport reports down) is reported to
+//!   the driver via [`Message::Suspect`]; the *driver* decides evictions.
+//! * **Eviction census** — on [`Message::Evict`] the comm thread parks
+//!   the worker at a hop boundary, re-injects every token staged for the
+//!   dead rank back into the local queue (staged tokens are recoverable;
+//!   only tokens already on the wire to the corpse are lost), flushes
+//!   outbound traffic to the survivors and sends each a
+//!   [`Message::CensusMark`].  Once every survivor's mark has arrived,
+//!   per-edge FIFO guarantees every pre-eviction token has been
+//!   delivered, so the local queue is a consistent cut: its `(item,
+//!   pass)` contents go to the driver as a [`Message::Inventory`].  The
+//!   worker stays parked until the driver's [`Message::Reconfigure`]
+//!   confirms the global census is complete — resuming earlier could
+//!   double-count a token still in flight between two other survivors.
+//! * **Joins** — [`Message::AddRank`] just widens the routing membership
+//!   (adding a destination needs no barrier); [`Message::Rebalance`]
+//!   makes this rank a donor: at its next hop boundary the worker carves
+//!   the requested rows out of its shard (live factors + ratings) and
+//!   ships them to the newcomer as a [`Message::ShardTransfer`].
+//!   Inbound transfers (takeover or rebalance) are queued as worker
+//!   commands and merged at a hop boundary, rebuilding the local rating
+//!   view while transplanting `item_passes` so the step-size schedule
+//!   is unperturbed.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crossbeam::queue::SegQueue;
 
@@ -39,14 +64,18 @@ use nomad_core::slab::FactorSlab;
 use nomad_core::worker::WorkerData;
 use nomad_core::RoutingPolicy;
 use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
-use nomad_sgd::schedule::StepSchedule;
-use nomad_sgd::{FactorMatrix, HyperParams};
+use nomad_sgd::{FactorMatrix, HyperParams, StepSchedule};
 
 use crate::transport::{NetError, Transport};
-use crate::wire::{Message, SetupPayload, ShardPayload, WireToken};
+use crate::wire::{
+    Message, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment, WireToken,
+};
 
 /// How long the communication loop blocks on the transport per iteration.
 const COMM_POLL: Duration = Duration::from_micros(200);
+
+/// Largest mesh capacity the membership bitmaps can track.
+const MAX_CAPACITY: usize = 64;
 
 /// A nomadic token inside a rank: the item index plus its cumulative
 /// processing-pass count (same shape as the threaded engine's token).
@@ -63,6 +92,23 @@ struct Outbound {
     item: Idx,
     pass: u64,
     factor: Vec<f64>,
+}
+
+/// Membership changes applied by the worker at a hop boundary, where no
+/// token is mid-update.
+enum WorkerCmd {
+    /// Merge a transferred segment (takeover or rebalance receipt).
+    AddRows {
+        row_start: usize,
+        rows: Vec<f64>,
+        entries: Vec<(u32, u32, f64)>,
+    },
+    /// Carve out a segment and ship it to `to` (rebalance donation).
+    ShipRows {
+        to: usize,
+        row_start: usize,
+        row_count: usize,
+    },
 }
 
 /// Decodes the routing byte of a [`SetupPayload`].
@@ -84,33 +130,76 @@ pub(crate) fn routing_to_wire(policy: RoutingPolicy) -> u8 {
     }
 }
 
-/// Runs one rank to completion: handshake-for-setup, train, quiesce,
-/// ship the shard.  Returns once the shard has been sent.
-///
-/// # Errors
-/// Fails on transport errors or protocol violations (e.g. a second
-/// `Setup`, or a run that never receives one).
-pub fn run_rank<T: Transport>(transport: &T) -> Result<(), NetError> {
-    // Phase 1: wait for Setup.  Per-edge FIFO means the driver's initial
-    // token batches cannot overtake it, but tokens from *other ranks* can
-    // already arrive (their ranks may start faster) — stash those.
+fn bit(r: usize) -> u64 {
+    1u64 << r
+}
+
+/// The driver's `Setup` plus any messages that raced ahead of it, or
+/// `None` if the driver turned this rank away before setup arrived.
+type SetupOutcome = Option<(SetupPayload, Vec<(usize, Message)>)>;
+
+/// Waits for the driver's `Setup`, stashing any messages (tokens from
+/// faster ranks) that race ahead of it.
+fn wait_for_setup<T: Transport>(transport: &T) -> Result<SetupOutcome, NetError> {
     // `recv_timeout` may return early (condvar wakeups can be spurious),
     // so the 30s budget is enforced against a real deadline, not per call.
-    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let deadline = Instant::now() + Duration::from_secs(30);
     let mut stashed: Vec<(usize, Message)> = Vec::new();
-    let setup = loop {
+    loop {
         match transport.recv_timeout(Duration::from_millis(100))? {
-            Some((_, Message::Setup(setup))) => break *setup,
+            Some((_, Message::Setup(setup))) => return Ok(Some((*setup, stashed))),
+            // The driver turned us away (e.g. a join after drain).
+            Some((_, Message::Evict { .. })) => return Ok(None),
             Some(other) => stashed.push(other),
-            None if std::time::Instant::now() >= deadline => {
+            None if Instant::now() >= deadline => {
                 return Err(NetError::Protocol(
                     "no Setup within 30s of joining the mesh".into(),
                 ))
             }
             None => {}
         }
+    }
+}
+
+/// Runs one rank to completion: handshake-for-setup, train, quiesce,
+/// ship the shard.  Returns once the shard has been sent, or `Ok(())`
+/// without a shard if the driver evicted this rank (a slow-but-alive
+/// rank exits cleanly instead of haunting the mesh).
+///
+/// # Errors
+/// Fails on transport errors or protocol violations (e.g. a second
+/// `Setup`, or a run that never receives one).
+pub fn run_rank<T: Transport>(transport: &T) -> Result<(), NetError> {
+    let Some((setup, stashed)) = wait_for_setup(transport)? else {
+        // Evicted before ever receiving a Setup: nothing to tear down.
+        return Err(NetError::Closed);
     };
     run_rank_inner(transport, setup, stashed)
+}
+
+/// Joins a running mesh as rank `transport.id()`: announces itself with
+/// [`Message::Join`], waits for the driver's `Setup` (an empty shard —
+/// rows arrive later via rebalance), then runs the normal rank loop.
+///
+/// Returns `Ok(true)` if the rank was admitted and ran to completion,
+/// `Ok(false)` if the driver turned the join away (run already draining
+/// or finished) — being told "too late" is a normal outcome of elastic
+/// membership, not a failure.
+///
+/// # Errors
+/// Fails on transport errors or protocol violations.
+pub fn join_rank<T: Transport>(transport: &T) -> Result<bool, NetError> {
+    transport.send(
+        transport.ranks(),
+        &Message::Join {
+            rank: transport.id() as u32,
+        },
+    )?;
+    let Some((setup, stashed)) = wait_for_setup(transport)? else {
+        return Ok(false);
+    };
+    run_rank_inner(transport, setup, stashed)?;
+    Ok(true)
 }
 
 /// Per-rank state shared between the worker and communication threads.
@@ -121,9 +210,216 @@ struct Shared {
     drain: AtomicBool,
     worker_exited: AtomicBool,
     local_updates: AtomicU64,
+    tickets: AtomicU64,
     /// Piggybacked queue-length estimates for every rank (own entry is
     /// unused; the worker reads its own queue directly).
     qlen_estimates: Vec<AtomicU64>,
+    /// Census parking: the comm thread raises `park`, the worker
+    /// acknowledges with `parked` at its next hop boundary and spins
+    /// until `park` clears.
+    park: AtomicBool,
+    parked: AtomicBool,
+    /// Membership epoch + active-rank bitmap, written by the comm thread
+    /// and polled (one relaxed load per hop) by the worker.
+    epoch: AtomicU64,
+    members: AtomicU64,
+    /// Pending membership commands for the worker, applied at hop
+    /// boundaries; `cmd_pending` is the cheap flag in front of the lock.
+    cmds: Mutex<VecDeque<WorkerCmd>>,
+    cmd_pending: AtomicBool,
+    /// Control messages the worker asks the comm thread to send (it has
+    /// no transport access of its own): donated `ShardTransfer`s.
+    ctrl_out: Mutex<Vec<(usize, Message)>>,
+    ctrl_pending: AtomicBool,
+}
+
+/// The worker's mutable model state, lockable so the comm thread can
+/// finish pending segment transfers after the worker has exited.
+/// During the run the worker holds the lock for the whole loop — the
+/// comm thread only touches it at quiesce, when the worker is gone.
+struct WorkerState {
+    wd: WorkerData,
+    /// Full-height user factors (`nrows x k`); only rows inside `owned`
+    /// segments are live.  Full height keeps row indexing global, which
+    /// is what lets ownership become non-contiguous without an offset
+    /// table on the hot path.
+    own: FactorMatrix,
+    /// Owned user rows as sorted, disjoint `(start, count)` segments.
+    owned: Vec<(usize, usize)>,
+    /// Local rating triplets (global coordinates) backing `wd`.
+    entries: Vec<(u32, u32, f64)>,
+    nrows: usize,
+    ncols: usize,
+    k: usize,
+}
+
+impl WorkerState {
+    fn new(setup: &SetupPayload) -> Self {
+        let nrows = setup.nrows as usize;
+        let ncols = setup.ncols as usize;
+        let k = setup.k as usize;
+        let row_start = setup.row_start as usize;
+        let row_count = setup.row_count as usize;
+        assert_eq!(
+            setup.w_rows.len(),
+            row_count * k,
+            "w_rows must be row_count x k"
+        );
+        let mut own = FactorMatrix::zeros(nrows, k);
+        for r in 0..row_count {
+            own.set_row(row_start + r, &setup.w_rows[r * k..(r + 1) * k]);
+        }
+        let owned = if row_count > 0 {
+            vec![(row_start, row_count)]
+        } else {
+            Vec::new()
+        };
+        let mut state = Self {
+            wd: WorkerData::build_all(
+                &RatingMatrix::from_triplets(&TripletMatrix::new(nrows, ncols)),
+                &RowPartition::contiguous(nrows, 1),
+            )
+            .swap_remove(0),
+            own,
+            owned,
+            entries: setup.entries.clone(),
+            nrows,
+            ncols,
+            k,
+        };
+        state.rebuild(vec![0; ncols]);
+        state
+    }
+
+    /// Rebuilds the CSC rating view from `entries`, transplanting the
+    /// given per-item pass counts so the step-size schedule (Eq. 11)
+    /// keeps its position across membership changes.
+    fn rebuild(&mut self, item_passes: Vec<u64>) {
+        debug_assert_eq!(item_passes.len(), self.ncols);
+        let mut t = TripletMatrix::new(self.nrows, self.ncols);
+        for &(i, j, v) in &self.entries {
+            t.push(i, j, v);
+        }
+        let local = RatingMatrix::from_triplets(&t);
+        let mut wd =
+            WorkerData::build_all(&local, &RowPartition::contiguous(self.nrows, 1)).swap_remove(0);
+        wd.item_passes = item_passes;
+        self.wd = wd;
+    }
+
+    /// Merges a transferred segment into the shard.
+    fn add_rows(&mut self, row_start: usize, rows: &[f64], entries: Vec<(u32, u32, f64)>) {
+        assert_eq!(rows.len() % self.k, 0, "segment rows must be n x k");
+        let count = rows.len() / self.k;
+        for r in 0..count {
+            self.own
+                .set_row(row_start + r, &rows[r * self.k..(r + 1) * self.k]);
+        }
+        self.owned.push((row_start, count));
+        self.owned.sort_unstable();
+        // Merge adjacent/overlapping segments so `owned` stays canonical.
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.owned.len());
+        for &(s, c) in &self.owned {
+            match merged.last_mut() {
+                Some((ps, pc)) if *ps + *pc >= s => *pc = (*pc).max(s + c - *ps),
+                _ => merged.push((s, c)),
+            }
+        }
+        self.owned = merged;
+        self.entries.extend(entries);
+        let passes = std::mem::take(&mut self.wd.item_passes);
+        self.rebuild(passes);
+    }
+
+    /// Carves `[row_start, row_start + row_count)` out of the shard,
+    /// returning the live factor rows and the rating triplets that go
+    /// with them.
+    fn extract_rows(
+        &mut self,
+        row_start: usize,
+        row_count: usize,
+    ) -> (Vec<f64>, Vec<(u32, u32, f64)>) {
+        let end = row_start + row_count;
+        let mut rows = Vec::with_capacity(row_count * self.k);
+        for r in row_start..end {
+            rows.extend_from_slice(self.own.row(r));
+        }
+        let mut moved = Vec::new();
+        self.entries.retain(|&(i, j, v)| {
+            let inside = (i as usize) >= row_start && (i as usize) < end;
+            if inside {
+                moved.push((i, j, v));
+            }
+            !inside
+        });
+        let mut owned = Vec::with_capacity(self.owned.len() + 1);
+        for &(s, c) in &self.owned {
+            let seg_end = s + c;
+            if seg_end <= row_start || s >= end {
+                owned.push((s, c));
+                continue;
+            }
+            if s < row_start {
+                owned.push((s, row_start - s));
+            }
+            if seg_end > end {
+                owned.push((end, seg_end - end));
+            }
+        }
+        self.owned = owned;
+        let passes = std::mem::take(&mut self.wd.item_passes);
+        self.rebuild(passes);
+        (rows, moved)
+    }
+
+    /// Applies every queued membership command; donations become control
+    /// messages for the comm thread to send.
+    fn apply_cmds(&mut self, shared: &Shared) {
+        shared.cmd_pending.store(false, Ordering::Release);
+        loop {
+            let cmd = shared
+                .cmds
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            let Some(cmd) = cmd else { break };
+            match cmd {
+                WorkerCmd::AddRows {
+                    row_start,
+                    rows,
+                    entries,
+                } => self.add_rows(row_start, &rows, entries),
+                WorkerCmd::ShipRows {
+                    to,
+                    row_start,
+                    row_count,
+                } => {
+                    let (rows, entries) = self.extract_rows(row_start, row_count);
+                    let transfer = Message::ShardTransfer(Box::new(ShardTransferPayload {
+                        row_start: row_start as u64,
+                        k: self.k as u32,
+                        rows,
+                        entries,
+                    }));
+                    shared
+                        .ctrl_out
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((to, transfer));
+                    shared.ctrl_pending.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+/// Why the comm loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommOutcome {
+    /// Normal quiesce: every member's `Fin` arrived, ship the shard.
+    Quiesced,
+    /// The driver evicted *this* rank; exit without a shard.
+    Evicted,
 }
 
 fn run_rank_inner<T: Transport>(
@@ -132,10 +428,14 @@ fn run_rank_inner<T: Transport>(
     stashed: Vec<(usize, Message)>,
 ) -> Result<(), NetError> {
     let rank = setup.rank as usize;
-    let ranks = setup.ranks as usize;
+    let capacity = setup.ranks as usize;
     let driver = transport.ranks();
     assert_eq!(rank, transport.id(), "setup addressed to the wrong rank");
-    assert_eq!(ranks, transport.ranks(), "mesh size mismatch");
+    assert_eq!(capacity, transport.ranks(), "mesh capacity mismatch");
+    assert!(
+        capacity <= MAX_CAPACITY,
+        "membership bitmaps support up to {MAX_CAPACITY} ranks"
+    );
     let k = setup.k as usize;
     let params = HyperParams {
         k,
@@ -145,28 +445,17 @@ fn run_rank_inner<T: Transport>(
     }; // field-by-field so new hyper-parameters force a wire change
     let routing = routing_from_wire(setup.routing);
 
-    // Rebuild the local view: a rating matrix over the *global* coordinate
-    // space holding only this shard's rows, restricted to this rank's
-    // partition slice.
-    let mut triplets = TripletMatrix::new(setup.nrows as usize, setup.ncols as usize);
-    for &(i, j, v) in &setup.entries {
-        triplets.push(i, j, v);
-    }
-    let local = RatingMatrix::from_triplets(&triplets);
-    let partition = RowPartition::contiguous(setup.nrows as usize, ranks);
-    let mut wd = WorkerData::build_all(&local, &partition).swap_remove(rank);
-    let row_count = setup.row_count as usize;
-    assert_eq!(
-        setup.w_rows.len(),
-        row_count * k,
-        "w_rows must be row_count x k"
-    );
-    let mut own = FactorMatrix::zeros(row_count, k);
-    for local_row in 0..row_count {
-        own.set_row(local_row, &setup.w_rows[local_row * k..(local_row + 1) * k]);
-    }
-    let own_offset = setup.row_start as usize;
+    let members = if setup.active_ranks.is_empty() {
+        // Pre-elastic setups: everyone is active.
+        (0..capacity).map(bit).fold(0, |a, b| a | b)
+    } else {
+        setup
+            .active_ranks
+            .iter()
+            .fold(0, |a, &r| a | bit(r as usize))
+    };
 
+    let state = Mutex::new(WorkerState::new(&setup));
     let shared = Shared {
         queue: SegQueue::new(),
         outbound: SegQueue::new(),
@@ -174,62 +463,62 @@ fn run_rank_inner<T: Transport>(
         drain: AtomicBool::new(false),
         worker_exited: AtomicBool::new(false),
         local_updates: AtomicU64::new(0),
-        qlen_estimates: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+        tickets: AtomicU64::new(0),
+        qlen_estimates: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+        park: AtomicBool::new(false),
+        parked: AtomicBool::new(false),
+        epoch: AtomicU64::new(setup.epoch),
+        members: AtomicU64::new(members),
+        cmds: Mutex::new(VecDeque::new()),
+        cmd_pending: AtomicBool::new(false),
+        ctrl_out: Mutex::new(Vec::new()),
+        ctrl_pending: AtomicBool::new(false),
     };
 
-    let mut comm = CommState::new(rank, ranks, driver, &setup);
+    let mut comm = CommState::new(rank, capacity, driver, members, &setup);
     // Tokens that raced ahead of Setup are injected first.
     for (src, msg) in stashed {
         comm.handle(transport, &shared, src, msg)?;
     }
 
     let mut tickets = 0u64;
-    std::thread::scope(|scope| -> Result<(), NetError> {
+    let abort_after = setup.abort_after_updates;
+    let outcome = std::thread::scope(|scope| -> Result<CommOutcome, NetError> {
         let worker = scope.spawn(|| {
             worker_loop(
                 rank,
-                ranks,
                 &shared,
-                &mut wd,
-                &mut own,
-                own_offset,
+                &state,
                 params,
                 routing,
                 setup.seed,
                 setup.budget,
+                abort_after,
             )
         });
         let mut worker = Some(worker);
-        loop {
-            comm.flush_ready(transport, &shared)?;
-            comm.report_progress(transport, &shared)?;
-
-            if shared.drain.load(Ordering::Acquire) {
-                if let Some(handle) = worker.take() {
-                    // The worker re-checks the drain flag every iteration
-                    // and never blocks, so this join is prompt.
-                    tickets = handle.join().expect("worker thread panicked");
-                    // Final flush: the worker pushed its last outbound
-                    // token before exiting.
-                    comm.flush_all(transport, &shared)?;
-                    comm.send_fins(transport)?;
-                    comm.report_progress(transport, &shared)?;
-                }
-                if comm.fins_received == ranks - 1 {
-                    break;
-                }
-            }
-
-            // A schedule controller may oversleep the poll here to model
-            // a lagging communication thread (reordered comm wakeups).
-            #[cfg(feature = "sched-fuzz")]
-            nomad_core::sched::hooks::comm_poll(rank);
-            if let Some((src, msg)) = transport.recv_timeout(COMM_POLL)? {
-                comm.handle(transport, &shared, src, msg)?;
-            }
+        let run = comm_run(
+            transport,
+            &mut comm,
+            &shared,
+            &state,
+            &mut worker,
+            &mut tickets,
+        );
+        // Kill switch: whatever ended the comm loop (quiesce, eviction,
+        // transport error), the worker must exit or the scope join would
+        // hang forever.
+        shared.drain.store(true, Ordering::Release);
+        shared.park.store(false, Ordering::Release);
+        if let Some(handle) = worker.take() {
+            tickets = handle.join().expect("worker thread panicked");
         }
-        Ok(())
+        run
     })?;
+
+    if outcome == CommOutcome::Evicted {
+        return Ok(());
+    }
 
     // Quiesced: every token this rank will ever hold is in the queue, and
     // the worker is gone — reading slab rows races nothing.
@@ -241,11 +530,25 @@ fn run_rank_inner<T: Transport>(
             factor: shared.slab.row(token.item as usize).to_vec(),
         });
     }
+    let state = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    let segments = state
+        .owned
+        .iter()
+        .map(|&(start, count)| {
+            let mut rows = Vec::with_capacity(count * state.k);
+            for r in start..start + count {
+                rows.extend_from_slice(state.own.row(r));
+            }
+            WireSegment {
+                row_start: start as u64,
+                rows,
+            }
+        })
+        .collect();
     let shard = ShardPayload {
         rank: rank as u32,
-        row_start: setup.row_start,
         k: setup.k,
-        w_rows: own.as_slice().to_vec(),
+        segments,
         tokens,
         tickets,
         updates: shared.local_updates.load(Ordering::Acquire),
@@ -254,35 +557,289 @@ fn run_rank_inner<T: Transport>(
     transport.send(driver, &Message::Shard(Box::new(shard)))
 }
 
+/// The communication loop, extracted so the caller can guarantee the
+/// worker thread is stopped on *every* exit path.
+fn comm_run<'scope, T: Transport>(
+    transport: &T,
+    comm: &mut CommState,
+    shared: &Shared,
+    state: &Mutex<WorkerState>,
+    worker: &mut Option<std::thread::ScopedJoinHandle<'scope, u64>>,
+    tickets: &mut u64,
+) -> Result<CommOutcome, NetError> {
+    loop {
+        comm.flush_ctrl(transport, shared)?;
+        comm.flush_ready(transport, shared)?;
+        comm.report_progress(transport, shared)?;
+        comm.heartbeat_tick(transport)?;
+
+        if comm.evicted_self {
+            return Ok(CommOutcome::Evicted);
+        }
+
+        if shared.drain.load(Ordering::Acquire)
+            && comm.census.is_none()
+            && !comm.awaiting_reconfigure
+        {
+            if let Some(handle) = worker.take() {
+                // The worker re-checks the drain flag every iteration
+                // and never blocks, so this join is prompt.
+                *tickets = handle.join().expect("worker thread panicked");
+                // The worker may have exited with membership commands
+                // still queued (e.g. a rebalance donation that arrived
+                // just before drain); finish them before Fin so the
+                // transfer cannot chase a Fin down the same edge.
+                comm.drain_cmds(shared, state);
+                comm.flush_ctrl(transport, shared)?;
+                comm.flush_all(transport, shared)?;
+                comm.send_fins(transport)?;
+                comm.report_progress(transport, shared)?;
+            }
+            if comm.fins_complete() {
+                // Late transfers that arrived during the fin wait merge
+                // into the shard before it is built.
+                comm.drain_cmds(shared, state);
+                return Ok(CommOutcome::Quiesced);
+            }
+        }
+
+        // A schedule controller may oversleep the poll here to model
+        // a lagging communication thread (reordered comm wakeups).
+        #[cfg(feature = "sched-fuzz")]
+        nomad_core::sched::hooks::comm_poll(comm.rank);
+        if let Some((src, msg)) = transport.recv_timeout(COMM_POLL)? {
+            comm.note_heard(src);
+            comm.handle(transport, shared, src, msg)?;
+        }
+    }
+}
+
+/// An in-progress eviction census (see the module docs).
+struct CensusWait {
+    epoch: u64,
+    /// Bitmap of member peers whose [`Message::CensusMark`] is still
+    /// outstanding.
+    need: u64,
+}
+
 /// The communication thread's bookkeeping.
 struct CommState {
     rank: usize,
-    ranks: usize,
+    capacity: usize,
     driver: usize,
     message_batch: usize,
     progress_every: u64,
     /// Per-destination staging buffers for outbound tokens.
     buffers: Vec<Vec<WireToken>>,
-    fins_received: usize,
+    /// Bitmap of member peers whose `Fin` has arrived.
+    fins_from: u64,
     fins_sent: bool,
     last_reported: u64,
     remote_sends: u64,
+    /// Active-membership bitmap (authoritative copy; mirrored into
+    /// `Shared` for the worker).
+    members: u64,
+    /// Ranks evicted at any point — anything they send after the census
+    /// cut is dropped, which is what makes re-minting duplication-free.
+    evicted: u64,
+    epoch: u64,
+    census: Option<CensusWait>,
+    /// Census marks that arrived before this rank's own `Evict` (marks
+    /// travel rank→rank, the eviction driver→rank — different edges, no
+    /// ordering).
+    early_marks: Vec<(u64, usize)>,
+    /// Inventory sent, `Reconfigure` outstanding: quiescing now would
+    /// race the driver's post-census re-mints and shard transfers, so
+    /// the drain path stays closed until the mesh is released.
+    awaiting_reconfigure: bool,
+    evicted_self: bool,
+    /// Failure-detection state; `None` when heartbeats are disabled.
+    hb: Option<Heartbeat>,
+}
+
+struct Heartbeat {
+    timeout: Duration,
+    /// Last frame seen from each endpoint (driver at index `capacity`).
+    last_heard: Vec<Instant>,
+    /// Last frame sent to each endpoint.
+    last_sent: Vec<Instant>,
+    /// Peers already reported to the driver this epoch.
+    suspected: u64,
 }
 
 impl CommState {
-    fn new(rank: usize, ranks: usize, driver: usize, setup: &SetupPayload) -> Self {
+    fn new(
+        rank: usize,
+        capacity: usize,
+        driver: usize,
+        members: u64,
+        setup: &SetupPayload,
+    ) -> Self {
+        let hb = (setup.heartbeat_timeout_ms > 0).then(|| Heartbeat {
+            timeout: Duration::from_millis(setup.heartbeat_timeout_ms as u64),
+            last_heard: vec![Instant::now(); capacity + 1],
+            last_sent: vec![Instant::now(); capacity + 1],
+            suspected: 0,
+        });
         Self {
             rank,
-            ranks,
+            capacity,
             driver,
             message_batch: (setup.message_batch as usize).max(1),
             progress_every: setup.progress_every.max(1),
-            buffers: (0..ranks).map(|_| Vec::new()).collect(),
-            fins_received: 0,
+            buffers: (0..capacity).map(|_| Vec::new()).collect(),
+            fins_from: 0,
             fins_sent: false,
             last_reported: 0,
             remote_sends: 0,
+            members,
+            evicted: 0,
+            epoch: setup.epoch,
+            census: None,
+            early_marks: Vec::new(),
+            awaiting_reconfigure: false,
+            evicted_self: false,
+            hb,
         }
+    }
+
+    fn is_member(&self, r: usize) -> bool {
+        r < self.capacity && self.members & bit(r) != 0
+    }
+
+    fn member_peers(&self) -> u64 {
+        self.members & !bit(self.rank)
+    }
+
+    fn fins_complete(&self) -> bool {
+        self.fins_from & self.member_peers() == self.member_peers()
+    }
+
+    fn note_heard(&mut self, src: usize) {
+        if let Some(hb) = &mut self.hb {
+            if src < hb.last_heard.len() {
+                hb.last_heard[src] = Instant::now();
+            }
+        }
+    }
+
+    fn note_sent(&mut self, dest: usize) {
+        if let Some(hb) = &mut self.hb {
+            if dest < hb.last_sent.len() {
+                hb.last_sent[dest] = Instant::now();
+            }
+        }
+    }
+
+    /// Sends a control message, tolerating an unreachable *peer* (a dead
+    /// peer is the failure detector's problem, not ours); driver
+    /// unreachability is fatal.
+    fn post_ctrl<T: Transport>(
+        &mut self,
+        t: &T,
+        dest: usize,
+        msg: &Message,
+    ) -> Result<(), NetError> {
+        self.note_sent(dest);
+        match t.send(dest, msg) {
+            Err(NetError::PeerGone(_)) if dest != self.driver => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Periodic failure-detection work: suspect silent/downed peers to
+    /// the driver, ping idle edges so silence stays meaningful.
+    fn heartbeat_tick<T: Transport>(&mut self, t: &T) -> Result<(), NetError> {
+        let Some(hb) = &self.hb else { return Ok(()) };
+        let timeout = hb.timeout;
+        let now = Instant::now();
+        // Collect first (the borrow of `hb` conflicts with post_ctrl).
+        let mut to_suspect: Vec<usize> = Vec::new();
+        let mut to_ping: Vec<usize> = Vec::new();
+        for peer in 0..self.capacity {
+            if peer == self.rank || !self.is_member(peer) {
+                continue;
+            }
+            let silent = now.duration_since(hb.last_heard[peer]) > timeout;
+            if (silent || t.peer_down(peer)) && hb.suspected & bit(peer) == 0 {
+                to_suspect.push(peer);
+            }
+            if now.duration_since(hb.last_sent[peer]) > timeout / 4 {
+                to_ping.push(peer);
+            }
+        }
+        if now.duration_since(hb.last_sent[self.driver]) > timeout / 4 {
+            to_ping.push(self.driver);
+        }
+        for peer in to_suspect {
+            if let Some(hb) = &mut self.hb {
+                hb.suspected |= bit(peer);
+            }
+            let msg = Message::Suspect {
+                rank: self.rank as u32,
+                peer: peer as u32,
+            };
+            self.post_ctrl(t, self.driver, &msg)?;
+        }
+        for dest in to_ping {
+            let msg = Message::Ping {
+                rank: self.rank as u32,
+            };
+            self.post_ctrl(t, dest, &msg)?;
+        }
+        Ok(())
+    }
+
+    /// Injects one inbound (or recovered) token: write the carried
+    /// factor into the slab row, then push — the push is the ownership
+    /// hand-off.
+    fn inject(&mut self, shared: &Shared, token: WireToken) -> Result<(), NetError> {
+        let item = token.item as usize;
+        if item >= shared.slab.rows() || token.factor.len() != shared.slab.k() {
+            return Err(NetError::Protocol(format!(
+                "token for item {item} with factor length {}",
+                token.factor.len()
+            )));
+        }
+        // SAFETY: this rank does not hold the token for `item` (the
+        // sender did until it sealed this batch, or the token was staged
+        // outbound and never handed off), so no other thread can touch
+        // the row; the queue push below is the release edge that hands
+        // the row to the worker.
+        #[cfg(not(feature = "sched-fuzz"))]
+        unsafe { shared.slab.owner_row_mut(token.item) }.copy_from_slice(&token.factor);
+        #[cfg(feature = "sched-fuzz")]
+        {
+            // Comm-thread claims are tagged so a ledger violation names
+            // the claimant unambiguously.
+            let who = 0x8000_0000 | self.rank as u32;
+            shared.slab.claim_row(token.item, who);
+            // Mutation point for the fuzz self-test: skipping this write
+            // is the seeded ownership bug (the token circulates, its
+            // factors were never handed off) that the oracles must catch.
+            if !nomad_core::sched::hooks::skip_inject_write(self.rank) {
+                // SAFETY: as above — the claim is ours.
+                unsafe { shared.slab.owner_row_mut(token.item) }.copy_from_slice(&token.factor);
+            }
+            shared.slab.release_row(token.item, who);
+        }
+        shared.queue.push(Token {
+            item: token.item,
+            pass: token.pass,
+        });
+        Ok(())
+    }
+
+    /// Sends worker-originated control messages (donated transfers).
+    fn flush_ctrl<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
+        if !shared.ctrl_pending.swap(false, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let msgs = std::mem::take(&mut *shared.ctrl_out.lock().unwrap_or_else(|e| e.into_inner()));
+        for (dest, msg) in msgs {
+            self.post_ctrl(t, dest, &msg)?;
+        }
+        Ok(())
     }
 
     /// Moves staged worker output into per-destination buffers and sends
@@ -290,21 +847,36 @@ impl CommState {
     fn flush_ready<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
         let mut moved = false;
         while let Some(out) = shared.outbound.pop() {
-            self.buffers[out.dest].push(WireToken {
+            let dest = out.dest;
+            if !self.is_member(dest) {
+                // Raced a membership change: the worker staged this for
+                // a rank that is gone.  Re-inject locally — a staged
+                // token is never lost, only re-routed.
+                self.inject(
+                    shared,
+                    WireToken {
+                        item: out.item,
+                        pass: out.pass,
+                        factor: out.factor,
+                    },
+                )?;
+                continue;
+            }
+            self.buffers[dest].push(WireToken {
                 item: out.item,
                 pass: out.pass,
                 factor: out.factor,
             });
             moved = true;
-            if self.buffers[out.dest].len() >= self.message_batch {
-                self.send_buffer(t, shared, out.dest)?;
+            if self.buffers[dest].len() >= self.message_batch {
+                self.send_buffer(t, shared, dest)?;
             }
         }
         // When the staging queue ran dry, ship the stragglers too: a token
         // parked in a half-full buffer would otherwise wait for future
         // traffic, and latency matters more than batching once idle.
         if !moved || shared.worker_exited.load(Ordering::Acquire) {
-            for dest in 0..self.ranks {
+            for dest in 0..self.capacity {
                 if !self.buffers[dest].is_empty() {
                     self.send_buffer(t, shared, dest)?;
                 }
@@ -313,16 +885,28 @@ impl CommState {
         Ok(())
     }
 
-    /// Unconditionally flushes every staged token (quiesce path).
+    /// Unconditionally flushes every staged token (quiesce/census path).
     fn flush_all<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
         while let Some(out) = shared.outbound.pop() {
-            self.buffers[out.dest].push(WireToken {
+            if !self.is_member(out.dest) {
+                self.inject(
+                    shared,
+                    WireToken {
+                        item: out.item,
+                        pass: out.pass,
+                        factor: out.factor,
+                    },
+                )?;
+                continue;
+            }
+            let dest = out.dest;
+            self.buffers[dest].push(WireToken {
                 item: out.item,
                 pass: out.pass,
                 factor: out.factor,
             });
         }
-        for dest in 0..self.ranks {
+        for dest in 0..self.capacity {
             if !self.buffers[dest].is_empty() {
                 self.send_buffer(t, shared, dest)?;
             }
@@ -337,14 +921,35 @@ impl CommState {
         dest: usize,
     ) -> Result<(), NetError> {
         let tokens = std::mem::take(&mut self.buffers[dest]);
-        self.remote_sends += tokens.len() as u64;
-        t.send(
-            dest,
-            &Message::TokenBatch {
-                qlen: shared.queue.len() as u64,
-                tokens,
-            },
-        )
+        if !self.is_member(dest) {
+            for tok in tokens {
+                self.inject(shared, tok)?;
+            }
+            return Ok(());
+        }
+        let count = tokens.len() as u64;
+        self.note_sent(dest);
+        let msg = Message::TokenBatch {
+            qlen: shared.queue.len() as u64,
+            tokens,
+        };
+        match t.send(dest, &msg) {
+            Ok(()) => {
+                self.remote_sends += count;
+                Ok(())
+            }
+            Err(NetError::PeerGone(_)) if dest != self.driver => {
+                // The stream died under us: recover the whole batch
+                // locally.  The failure detector will evict the peer.
+                if let Message::TokenBatch { tokens, .. } = msg {
+                    for tok in tokens {
+                        self.inject(shared, tok)?;
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn report_progress<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
@@ -353,6 +958,7 @@ impl CommState {
             || (shared.worker_exited.load(Ordering::Acquire) && updates != self.last_reported);
         if due {
             self.last_reported = updates;
+            self.note_sent(self.driver);
             t.send(
                 self.driver,
                 &Message::Progress {
@@ -369,71 +975,255 @@ impl CommState {
             return Ok(());
         }
         self.fins_sent = true;
-        for dest in 0..self.ranks {
-            if dest != self.rank {
-                t.send(
-                    dest,
-                    &Message::Fin {
-                        rank: self.rank as u32,
-                    },
-                )?;
+        for dest in 0..self.capacity {
+            if dest != self.rank && self.is_member(dest) {
+                let msg = Message::Fin {
+                    rank: self.rank as u32,
+                };
+                self.post_ctrl(t, dest, &msg)?;
             }
         }
         Ok(())
     }
 
+    /// Applies queued worker commands on the worker's behalf after it
+    /// has exited (quiesce path) — the state lock is free then.
+    fn drain_cmds(&mut self, shared: &Shared, state: &Mutex<WorkerState>) {
+        if !shared.cmd_pending.load(Ordering::Acquire) {
+            return;
+        }
+        state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .apply_cmds(shared);
+    }
+
+    /// Waits (bounded spin) for the worker to acknowledge a park request;
+    /// an exited worker counts as parked.
+    fn park_worker(&self, shared: &Shared) {
+        shared.park.store(true, Ordering::Release);
+        while !(shared.parked.load(Ordering::Acquire)
+            || shared.worker_exited.load(Ordering::Acquire))
+        {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Runs the local half of the eviction census for `dead`; see the
+    /// module docs for the protocol.
+    fn start_census<T: Transport>(
+        &mut self,
+        t: &T,
+        shared: &Shared,
+        epoch: u64,
+        dead: usize,
+    ) -> Result<(), NetError> {
+        self.epoch = epoch;
+        self.members &= !bit(dead);
+        self.evicted |= bit(dead);
+        // An evicted peer's Fin (if any) no longer counts toward quiesce.
+        self.fins_from &= !bit(dead);
+        if let Some(hb) = &mut self.hb {
+            hb.suspected &= !bit(dead);
+        }
+        shared.members.store(self.members, Ordering::Release);
+        shared.epoch.store(self.epoch, Ordering::Release);
+        t.close_peer(dead);
+
+        // Park the worker so no token is mid-hop while we take stock.
+        self.park_worker(shared);
+
+        // Recover everything staged for (or buffered toward) the corpse:
+        // those tokens never left this address space, so re-injecting
+        // them locally keeps them alive.  Tokens already written to the
+        // dead rank's stream are genuinely lost — the driver re-mints
+        // them from the inventories.
+        while let Some(out) = shared.outbound.pop() {
+            let token = WireToken {
+                item: out.item,
+                pass: out.pass,
+                factor: out.factor,
+            };
+            if self.is_member(out.dest) {
+                self.buffers[out.dest].push(token);
+            } else {
+                self.inject(shared, token)?;
+            }
+        }
+        let orphaned = std::mem::take(&mut self.buffers[dead]);
+        for tok in orphaned {
+            self.inject(shared, tok)?;
+        }
+        // Flush survivors, then mark every surviving edge: FIFO means a
+        // mark bounds all pre-census traffic from this rank.
+        for dest in 0..self.capacity {
+            if !self.buffers[dest].is_empty() {
+                self.send_buffer(t, shared, dest)?;
+            }
+        }
+        let peers = self.member_peers();
+        for peer in 0..self.capacity {
+            if peers & bit(peer) != 0 {
+                let msg = Message::CensusMark {
+                    epoch,
+                    rank: self.rank as u32,
+                };
+                self.post_ctrl(t, peer, &msg)?;
+            }
+        }
+        // A peer whose `Fin` already arrived has quiesced: it will never
+        // answer the mark, and the Fin (sent after its final flush) is
+        // edge-final — a strictly stronger bound on its traffic than any
+        // mark could be.
+        let mut wait = CensusWait {
+            epoch,
+            need: peers & !self.fins_from,
+        };
+        // Marks that raced ahead of the eviction notice.
+        self.early_marks.retain(|&(e, r)| {
+            if e == epoch {
+                wait.need &= !bit(r);
+                false
+            } else {
+                true
+            }
+        });
+        self.census = Some(wait);
+        self.awaiting_reconfigure = true;
+        self.maybe_finish_census(t, shared)
+    }
+
+    /// If every survivor's mark has arrived, sends the inventory.  The
+    /// worker stays parked until the driver's `Reconfigure`.
+    fn maybe_finish_census<T: Transport>(
+        &mut self,
+        t: &T,
+        shared: &Shared,
+    ) -> Result<(), NetError> {
+        let Some(wait) = &self.census else {
+            return Ok(());
+        };
+        if wait.need != 0 {
+            return Ok(());
+        }
+        let epoch = wait.epoch;
+        self.census = None;
+        // Consistent cut: inventory the queue (pop + re-push preserves
+        // FIFO order).
+        let mut held = Vec::with_capacity(shared.queue.len());
+        let mut tokens = Vec::with_capacity(shared.queue.len());
+        while let Some(tok) = shared.queue.pop() {
+            held.push((tok.item, tok.pass));
+            tokens.push(tok);
+        }
+        for tok in tokens {
+            shared.queue.push(tok);
+        }
+        let msg = Message::Inventory {
+            epoch,
+            rank: self.rank as u32,
+            tickets: shared.tickets.load(Ordering::Acquire),
+            held,
+        };
+        self.note_sent(self.driver);
+        t.send(self.driver, &msg)
+    }
+
     fn handle<T: Transport>(
         &mut self,
-        _t: &T,
+        t: &T,
         shared: &Shared,
         src: usize,
         msg: Message,
     ) -> Result<(), NetError> {
+        // Nothing an evicted rank says after the census cut may count —
+        // a single delivery path for its stale tokens would double-mint.
+        if src < self.capacity && self.evicted & bit(src) != 0 {
+            return Ok(());
+        }
         match msg {
             Message::TokenBatch { qlen, tokens } => {
-                if src < self.ranks {
+                if src < self.capacity {
                     shared.qlen_estimates[src].store(qlen, Ordering::Relaxed);
                 }
                 for token in tokens {
-                    let item = token.item as usize;
-                    if item >= shared.slab.rows() || token.factor.len() != shared.slab.k() {
-                        return Err(NetError::Protocol(format!(
-                            "token for item {item} with factor length {}",
-                            token.factor.len()
-                        )));
-                    }
-                    // SAFETY: this rank does not hold the token for `item`
-                    // (the sender did until it sealed this batch), so no
-                    // other thread can touch the row; the queue push below
-                    // is the release edge that hands the row to the
-                    // worker.
-                    #[cfg(not(feature = "sched-fuzz"))]
-                    unsafe { shared.slab.owner_row_mut(token.item) }.copy_from_slice(&token.factor);
-                    #[cfg(feature = "sched-fuzz")]
-                    {
-                        // Comm-thread claims are tagged so a ledger
-                        // violation names the claimant unambiguously.
-                        let who = 0x8000_0000 | self.rank as u32;
-                        shared.slab.claim_row(token.item, who);
-                        // Mutation point for the fuzz self-test: skipping
-                        // this write is the seeded ownership bug (the
-                        // token circulates, its factors were never handed
-                        // off) that the oracles must catch.
-                        if !nomad_core::sched::hooks::skip_inject_write(self.rank) {
-                            // SAFETY: as above — the claim is ours.
-                            unsafe { shared.slab.owner_row_mut(token.item) }
-                                .copy_from_slice(&token.factor);
-                        }
-                        shared.slab.release_row(token.item, who);
-                    }
-                    shared.queue.push(Token {
-                        item: token.item,
-                        pass: token.pass,
-                    });
+                    self.inject(shared, token)?;
                 }
             }
             Message::Drain => shared.drain.store(true, Ordering::Release),
-            Message::Fin { .. } => self.fins_received += 1,
+            Message::Fin { rank } => {
+                let r = rank as usize;
+                self.fins_from |= bit(r);
+                // Mid-census, a Fin doubles as the peer's census mark: it
+                // has quiesced, all its traffic to us is already in, and
+                // no mark will ever come.
+                if let Some(wait) = &mut self.census {
+                    wait.need &= !bit(r);
+                    self.maybe_finish_census(t, shared)?;
+                }
+            }
+            Message::Ping { .. } => {}
+            Message::Evict { epoch, rank } => {
+                let dead = rank as usize;
+                if dead == self.rank {
+                    self.evicted_self = true;
+                } else if self.members & bit(dead) != 0 {
+                    self.start_census(t, shared, epoch, dead)?;
+                }
+            }
+            Message::CensusMark { epoch, rank } => {
+                let r = rank as usize;
+                match &mut self.census {
+                    Some(wait) if wait.epoch == epoch => {
+                        wait.need &= !bit(r);
+                        self.maybe_finish_census(t, shared)?;
+                    }
+                    _ => self.early_marks.push((epoch, r)),
+                }
+            }
+            Message::Reconfigure { epoch } => {
+                self.epoch = self.epoch.max(epoch);
+                shared.epoch.store(self.epoch, Ordering::Release);
+                shared.park.store(false, Ordering::Release);
+                self.awaiting_reconfigure = false;
+            }
+            Message::AddRank { epoch, rank } => {
+                let r = rank as usize;
+                self.epoch = self.epoch.max(epoch);
+                self.members |= bit(r);
+                shared.members.store(self.members, Ordering::Release);
+                shared.epoch.store(self.epoch, Ordering::Release);
+                self.note_heard(r);
+            }
+            Message::Rebalance {
+                to,
+                row_start,
+                row_count,
+                ..
+            } => {
+                shared
+                    .cmds
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(WorkerCmd::ShipRows {
+                        to: to as usize,
+                        row_start: row_start as usize,
+                        row_count: row_count as usize,
+                    });
+                shared.cmd_pending.store(true, Ordering::Release);
+            }
+            Message::ShardTransfer(transfer) => {
+                shared
+                    .cmds
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(WorkerCmd::AddRows {
+                        row_start: transfer.row_start as usize,
+                        rows: transfer.rows,
+                        entries: transfer.entries,
+                    });
+                shared.cmd_pending.store(true, Ordering::Release);
+            }
             other => {
                 return Err(NetError::Protocol(format!(
                     "rank {} got unexpected {other:?} from {src}",
@@ -449,24 +1239,30 @@ impl CommState {
 /// `worker_loop` (stop-check before pop, ticket before update, push after
 /// update), with remote destinations staged for the communication thread.
 /// Returns the local ticket count.
+///
+/// The worker takes the state lock once and holds it for the whole run —
+/// zero per-hop locking cost; the comm thread only needs the lock after
+/// the worker has exited.  Membership is one relaxed epoch load per hop.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rank: usize,
-    ranks: usize,
     shared: &Shared,
-    wd: &mut WorkerData,
-    own: &mut FactorMatrix,
-    own_offset: usize,
+    state: &Mutex<WorkerState>,
     params: HyperParams,
     routing: RoutingPolicy,
     seed: u64,
     budget: u64,
+    abort_after: u64,
 ) -> u64 {
+    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+    let st = &mut *st;
     let mut rng = nomad_linalg::SmallRng64::new(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
     let mut rr_cursor = rank;
     let schedule = params.nomad_schedule();
     let mut tickets = 0u64;
     let mut local_updates = 0u64;
+    let mut cached_epoch = shared.epoch.load(Ordering::Acquire);
+    let mut active: Vec<usize> = members_vec(shared.members.load(Ordering::Acquire));
     loop {
         if shared.drain.load(Ordering::Acquire) {
             break;
@@ -477,6 +1273,25 @@ fn worker_loop(
         // engine's stop point exactly.
         if local_updates >= budget {
             break;
+        }
+        // Census park: acknowledge and spin at the hop boundary (no
+        // token is held here) until the driver reconfigures the mesh.
+        if shared.park.load(Ordering::Acquire) {
+            shared.parked.store(true, Ordering::Release);
+            while shared.park.load(Ordering::Acquire) && !shared.drain.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            shared.parked.store(false, Ordering::Release);
+        }
+        // Membership commands (segment transfers in or out) apply here,
+        // where no token is mid-update.
+        if shared.cmd_pending.load(Ordering::Acquire) {
+            st.apply_cmds(shared);
+        }
+        let epoch = shared.epoch.load(Ordering::Relaxed);
+        if epoch != cached_epoch {
+            cached_epoch = epoch;
+            active = members_vec(shared.members.load(Ordering::Acquire));
         }
         // Hop boundary: a schedule controller may pause this rank's
         // worker here, exactly like the threaded engine's hook.
@@ -494,35 +1309,49 @@ fn worker_loop(
             shared.slab.claim_row(token.item, rank as u32);
         }
         tickets += 1;
-        let t = wd.record_pass(token.item);
+        shared.tickets.store(tickets, Ordering::Release);
+        let t = st.wd.record_pass(token.item);
         let step = schedule.step(t);
         // SAFETY: we hold the token for `token.item`; the row is ours
         // until the token is pushed onward (locally or via the
         // communication thread).
         let h = unsafe { shared.slab.owner_row_mut(token.item) };
         let mut count = 0u64;
-        for (user, rating) in wd.local_cols.col(token.item as usize) {
-            let wi = own.row_mut(user as usize - own_offset);
+        for (user, rating) in st.wd.local_cols.col(token.item as usize) {
+            let wi = st.own.row_mut(user as usize);
             nomad_linalg::vec_ops::sgd_pair_update(wi, h, rating, step, params.lambda);
             count += 1;
         }
         local_updates += count;
         shared.local_updates.store(local_updates, Ordering::Release);
 
-        let dest = match routing {
-            RoutingPolicy::UniformRandom => rng.next_below(ranks),
+        // Chaos knob: a real spawned child can be told to die abruptly
+        // after N updates — the kill-a-rank regression's deterministic
+        // SIGKILL stand-in.  Guarded by the child env var so an
+        // in-process test can never take the whole suite down.
+        if abort_after > 0
+            && local_updates >= abort_after
+            && std::env::var_os(crate::process::RANK_ENV).is_some()
+        {
+            eprintln!("[nomad-net rank {rank}] chaos abort after {local_updates} updates");
+            std::process::abort();
+        }
+
+        let n = active.len();
+        let proposed = match routing {
+            RoutingPolicy::UniformRandom => rng.next_below(n),
             RoutingPolicy::RoundRobin => {
                 rr_cursor = rr_cursor.wrapping_add(1);
-                rr_cursor % ranks
+                rr_cursor % n
             }
             RoutingPolicy::LeastLoaded => {
-                let a = rng.next_below(ranks);
-                let b = rng.next_below(ranks);
-                let load = |r: usize| {
-                    if r == rank {
+                let a = rng.next_below(n);
+                let b = rng.next_below(n);
+                let load = |i: usize| {
+                    if active[i] == rank {
                         shared.queue.len() as u64
                     } else {
-                        shared.qlen_estimates[r].load(Ordering::Relaxed)
+                        shared.qlen_estimates[active[i]].load(Ordering::Relaxed)
                     }
                 };
                 if load(b) < load(a) {
@@ -537,7 +1366,8 @@ fn worker_loop(
         // local push and the outbound staging: either is the hand-off
         // edge after which the row belongs to the next owner.
         #[cfg(feature = "sched-fuzz")]
-        let dest = nomad_core::sched::hooks::route(rank, token.item, dest, ranks);
+        let proposed = nomad_core::sched::hooks::route(rank, token.item, proposed, n);
+        let dest = active[proposed];
         #[cfg(feature = "sched-fuzz")]
         {
             shared.slab.release_row(token.item, rank as u32);
@@ -561,4 +1391,12 @@ fn worker_loop(
     nomad_core::sched::hooks::done(rank);
     shared.worker_exited.store(true, Ordering::Release);
     tickets
+}
+
+/// Expands a membership bitmap into the sorted rank list the routing
+/// policies index into.
+fn members_vec(members: u64) -> Vec<usize> {
+    (0..MAX_CAPACITY)
+        .filter(|&r| members & bit(r) != 0)
+        .collect()
 }

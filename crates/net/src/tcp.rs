@@ -5,17 +5,40 @@
 //!
 //! 1. every rank binds its own peer listener on `127.0.0.1:0`, connects to
 //!    the driver and sends `Hello { rank, port }`;
-//! 2. the driver, having accepted all `p` connections, replies to each
-//!    with `Peers { ports }` (every rank's listener port, indexed by
-//!    rank);
-//! 3. rank `r` connects to every rank `s < r` (identifying itself with
-//!    `PeerHello { r }`) and accepts a connection from every rank `s > r`.
+//! 2. the driver, having accepted the initial connections, replies to each
+//!    with `Peers { ports }` (every rank's listener port, indexed by mesh
+//!    slot; `0` marks a slot nobody occupies yet);
+//! 3. rank `r` connects to every occupied slot `s < r` (identifying
+//!    itself with `PeerHello { r }`) and accepts a connection from every
+//!    occupied slot `s > r`.
 //!
 //! After the handshake every stream carries length-prefixed
 //! [`crate::wire`] frames.  One detached reader thread per stream decodes
 //! frames into a shared inbox (preserving per-stream order, which is the
 //! per-edge FIFO guarantee the quiesce protocol needs); writers lock a
-//! per-destination mutex, so any thread of the endpoint may send.
+//! per-destination slot, so any thread of the endpoint may send.
+//!
+//! ## Failure evidence and elastic membership
+//!
+//! A reader hitting EOF or an I/O error marks its source *down*
+//! ([`Transport::peer_down`]) — the hard evidence the failure detector
+//! uses to evict without waiting out a heartbeat timeout.  A send to a
+//! dead or absent stream fails with [`NetError::PeerGone`], which the
+//! comm layer answers by re-injecting the undeliverable tokens locally.
+//!
+//! Both the driver and every rank keep their listeners open for the whole
+//! run on a detached acceptor thread:
+//!
+//! * the **driver acceptor** re-runs the `Hello` handshake for a rank
+//!   joining mid-run — registers the newcomer's stream, replies with the
+//!   current `Peers` table, and surfaces a synthetic [`Message::Join`] in
+//!   the driver's inbox so `run_driver` admits it like a loopback join;
+//! * each **rank acceptor** accepts a `PeerHello` from any later joiner
+//!   and wires the new edge into the mesh.
+//!
+//! A joiner uses [`TcpTransport::connect_joiner`] and then runs the
+//! normal rank loop ([`crate::rank::run_rank`]) — its `Hello` *is* the
+//! join request, so it must not send another `Join`.
 //!
 //! The same handshake serves both deployment shapes: process mode
 //! (children re-exec'd by [`crate::process`]) and thread mode (rank
@@ -25,6 +48,7 @@
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -44,43 +68,82 @@ impl Inbox {
             ready: Condvar::new(),
         }
     }
+
+    fn push(&self, src: usize, msg: Message) {
+        let mut queue = self.queue.lock().expect("inbox poisoned");
+        queue.push_back((src, msg));
+        drop(queue);
+        self.ready.notify_one();
+    }
+}
+
+/// Endpoint state shared with the detached reader/acceptor threads.
+struct Shared {
+    /// Write halves, indexed by endpoint id (`None` for self and for
+    /// slots not yet connected).  Slots fill in dynamically as joiners
+    /// arrive, and empty out when a peer is closed after eviction.
+    writers: Vec<Mutex<Option<TcpStream>>>,
+    /// Hard down-evidence per endpoint, set by readers on EOF/error and
+    /// by failed writes.
+    down: Vec<AtomicBool>,
+    /// Known peer-listener ports by mesh slot (driver only; `0` = empty).
+    ports: Mutex<Vec<u16>>,
+    inbox: Inbox,
+    /// Tells the acceptor thread to exit (set on drop).
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn new(capacity: usize) -> Self {
+        Self {
+            writers: (0..=capacity).map(|_| Mutex::new(None)).collect(),
+            down: (0..=capacity).map(|_| AtomicBool::new(false)).collect(),
+            ports: Mutex::new(vec![0; capacity]),
+            inbox: Inbox::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn install(&self, src: usize, stream: &TcpStream) -> Result<(), NetError> {
+        *self.writers[src].lock().expect("writer poisoned") = Some(stream.try_clone()?);
+        self.down[src].store(false, Ordering::Release);
+        Ok(())
+    }
 }
 
 /// A TCP mesh endpoint (either a rank or the driver).
 pub struct TcpTransport {
     id: usize,
     ranks: usize,
-    /// Write halves, indexed by endpoint id (`None` for self).
-    writers: Vec<Option<Mutex<TcpStream>>>,
-    inbox: Arc<Inbox>,
+    shared: Arc<Shared>,
 }
 
-fn spawn_reader(src: usize, stream: TcpStream, inbox: Arc<Inbox>) {
+fn spawn_reader(src: usize, stream: TcpStream, shared: Arc<Shared>) {
     std::thread::Builder::new()
         .name(format!("nomad-net-reader-{src}"))
         .spawn(move || {
             let mut stream = stream;
             // Stops on clean EOF or I/O error (the peer is gone) and on a
-            // decode failure (the peer is broken; the engine notices the
-            // silence — a missing Fin or Shard — and surfaces a timeout).
+            // decode failure (the peer is broken); either way the source
+            // is marked down so the failure detector has hard evidence.
             while let Ok(Some(payload)) = read_frame(&mut stream) {
                 let Ok(msg) = Message::decode(&payload) else {
                     break;
                 };
-                let mut queue = inbox.queue.lock().expect("inbox poisoned");
-                queue.push_back((src, msg));
-                drop(queue);
-                inbox.ready.notify_one();
+                shared.inbox.push(src, msg);
             }
+            shared.down[src].store(true, Ordering::Release);
+            // Wake any receiver blocked on an empty inbox so it re-polls
+            // promptly and notices the down flag.
+            shared.inbox.ready.notify_all();
         })
         .expect("spawn reader thread");
 }
 
-fn send_on(stream: &Mutex<TcpStream>, msg: &Message) -> Result<(), NetError> {
+fn send_on(stream: &mut TcpStream, msg: &Message) -> Result<(), NetError> {
     let payload = msg.encode()?;
-    let mut guard = stream.lock().expect("writer poisoned");
-    write_frame(&mut *guard, &payload)?;
-    guard.flush()?;
+    write_frame(stream, &payload)?;
+    stream.flush()?;
     Ok(())
 }
 
@@ -136,30 +199,72 @@ fn accept_with_deadline(
     }
 }
 
+/// Runs a persistent acceptor: polls `listener` until the endpoint is
+/// dropped, handing each accepted stream to `admit`.
+fn spawn_acceptor<F>(name: String, listener: TcpListener, shared: Arc<Shared>, admit: F)
+where
+    F: Fn(TcpStream, &Shared) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            if listener.set_nonblocking(true).is_err() {
+                return;
+            }
+            while !shared.stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let ok = stream.set_nonblocking(false).is_ok()
+                            && stream.set_read_timeout(Some(HANDSHAKE_DEADLINE)).is_ok()
+                            && configure(&stream).is_ok();
+                        if ok {
+                            admit(stream, &shared);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn acceptor thread");
+}
+
 impl TcpTransport {
-    /// Driver side of the handshake: accept `ranks` connections on
-    /// `listener`, collect each rank's `Hello`, broadcast `Peers`.
+    /// Driver side of the handshake: accept `initial` connections on
+    /// `listener` for a mesh of `capacity` slots, collect each rank's
+    /// `Hello`, broadcast `Peers`, then keep accepting joiners for the
+    /// rest of the run.
     ///
     /// # Errors
     /// Fails on socket errors, on the handshake deadline (a rank that
     /// never connects — e.g. a crashed child process), or if a connecting
     /// party violates the handshake (wrong first message, duplicate or
     /// out-of-range rank).
-    pub fn accept_ranks(listener: TcpListener, ranks: usize) -> Result<TcpTransport, NetError> {
-        assert!(ranks > 0, "need at least one rank");
+    pub fn accept_ranks_elastic(
+        listener: TcpListener,
+        capacity: usize,
+        initial: usize,
+    ) -> Result<TcpTransport, NetError> {
+        assert!(capacity > 0, "need at least one rank");
+        assert!(
+            initial >= 1 && initial <= capacity,
+            "bad initial rank count"
+        );
         let deadline = std::time::Instant::now() + HANDSHAKE_DEADLINE;
-        let mut streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
-        let mut ports = vec![0u16; ranks];
-        for already in 0..ranks {
+        let mut streams: Vec<Option<TcpStream>> = (0..capacity).map(|_| None).collect();
+        let mut ports = vec![0u16; capacity];
+        for already in 0..initial {
             let mut stream = accept_with_deadline(
                 &listener,
                 deadline,
-                &format!("rank hello {already}/{ranks}"),
+                &format!("rank hello {already}/{initial}"),
             )?;
             match read_msg(&mut stream)? {
                 Message::Hello { rank, port } => {
                     let r = rank as usize;
-                    if r >= ranks {
+                    if r >= initial {
                         return Err(NetError::Protocol(format!("rank {r} out of range")));
                     }
                     if streams[r].is_some() {
@@ -178,33 +283,105 @@ impl TcpTransport {
             let payload = peers.encode()?;
             write_frame(stream, &payload)?;
         }
-        let inbox = Arc::new(Inbox::new());
-        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(ranks + 1);
+        let shared = Arc::new(Shared::new(capacity));
+        *shared.ports.lock().expect("ports poisoned") = ports;
         for (r, stream) in streams.into_iter().enumerate() {
-            let stream = stream.expect("all ranks connected");
+            let Some(stream) = stream else { continue };
             // Steady-state reads block indefinitely (EOF signals a dead
             // peer); only the handshake was deadline-bounded.
             stream.set_read_timeout(None)?;
-            spawn_reader(r, stream.try_clone()?, Arc::clone(&inbox));
-            writers.push(Some(Mutex::new(stream)));
+            shared.install(r, &stream)?;
+            spawn_reader(r, stream, Arc::clone(&shared));
         }
-        writers.push(None); // self
+        // Keep the door open: later Hellos are mid-run joins.
+        {
+            let shared = Arc::clone(&shared);
+            spawn_acceptor(
+                "nomad-net-driver-acceptor".into(),
+                listener,
+                Arc::clone(&shared),
+                move |mut stream, sh| {
+                    let Ok(Message::Hello { rank, port }) = read_msg(&mut stream) else {
+                        return;
+                    };
+                    let r = rank as usize;
+                    if r >= sh.writers.len() - 1 {
+                        return;
+                    }
+                    {
+                        let mut slot = sh.writers[r].lock().expect("writer poisoned");
+                        if slot.is_some() {
+                            return; // occupied slot; drop the impostor
+                        }
+                        let ports = {
+                            let mut ports = sh.ports.lock().expect("ports poisoned");
+                            ports[r] = port;
+                            ports.clone()
+                        };
+                        if send_on(&mut stream, &Message::Peers { ports }).is_err()
+                            || stream.set_read_timeout(None).is_err()
+                        {
+                            return;
+                        }
+                        let Ok(clone) = stream.try_clone() else {
+                            return;
+                        };
+                        *slot = Some(clone);
+                        sh.down[r].store(false, Ordering::Release);
+                    }
+                    spawn_reader(r, stream, Arc::clone(&shared));
+                    // Writer registered: the driver's Setup reply to this
+                    // synthetic Join will find the stream.
+                    sh.inbox.push(r, Message::Join { rank });
+                },
+            );
+        }
         Ok(TcpTransport {
-            id: ranks,
-            ranks,
-            writers,
-            inbox,
+            id: capacity,
+            ranks: capacity,
+            shared,
         })
+    }
+
+    /// Driver side of the handshake with every mesh slot active from the
+    /// start (the pre-elastic shape).
+    ///
+    /// # Errors
+    /// See [`TcpTransport::accept_ranks_elastic`].
+    pub fn accept_ranks(listener: TcpListener, ranks: usize) -> Result<TcpTransport, NetError> {
+        Self::accept_ranks_elastic(listener, ranks, ranks)
     }
 
     /// Rank side of the handshake: connect to the driver at
     /// `driver_addr`, announce our peer listener, then wire up the mesh
-    /// from the driver's `Peers` reply.
+    /// from the driver's `Peers` reply.  Used both by initial ranks and
+    /// by mid-run joiners ([`TcpTransport::connect_joiner`] is this plus
+    /// the join semantics documented there).
     ///
     /// # Errors
     /// Fails on socket errors, on the handshake deadline, or on a
     /// handshake protocol violation.
     pub fn connect_rank(driver_addr: &SocketAddr, rank: usize) -> Result<TcpTransport, NetError> {
+        Self::connect_inner(driver_addr, rank, false)
+    }
+
+    /// Joins a *running* mesh as `rank`: the driver's acceptor registers
+    /// this connection, replies with the current `Peers` table, and
+    /// surfaces the `Hello` to `run_driver` as a [`Message::Join`] — so
+    /// the caller must follow with [`crate::rank::run_rank`] (NOT
+    /// `join_rank`; the join request has already been made).
+    ///
+    /// # Errors
+    /// Fails on socket errors or a handshake protocol violation.
+    pub fn connect_joiner(driver_addr: &SocketAddr, rank: usize) -> Result<TcpTransport, NetError> {
+        Self::connect_inner(driver_addr, rank, true)
+    }
+
+    fn connect_inner(
+        driver_addr: &SocketAddr,
+        rank: usize,
+        joining: bool,
+    ) -> Result<TcpTransport, NetError> {
         let deadline = std::time::Instant::now() + HANDSHAKE_DEADLINE;
         let own_listener = TcpListener::bind(("127.0.0.1", 0))?;
         let own_port = own_listener.local_addr()?.port();
@@ -223,74 +400,111 @@ impl TcpTransport {
             Message::Peers { ports } => ports,
             other => return Err(NetError::Protocol(format!("expected Peers, got {other:?}"))),
         };
-        let ranks = ports.len();
-        if rank >= ranks {
+        let capacity = ports.len();
+        if rank >= capacity {
             return Err(NetError::Protocol(format!(
-                "rank {rank} not in a {ranks}-rank mesh"
+                "rank {rank} not in a {capacity}-slot mesh"
             )));
         }
 
-        let mut peer_streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
-        // Connect downward: rank r dials every s < r.
-        for (s, &port) in ports.iter().enumerate().take(rank) {
+        let mut peer_streams: Vec<Option<TcpStream>> = (0..capacity).map(|_| None).collect();
+        // Dial every occupied slot below us (a joiner dials everyone it
+        // knows about — all occupied slots but itself).
+        for (s, &port) in ports.iter().enumerate() {
+            let dial = port != 0 && s != rank && (joining || s < rank);
+            if !dial {
+                continue;
+            }
             let mut stream = TcpStream::connect(("127.0.0.1", port))?;
             configure(&stream)?;
             let payload = Message::PeerHello { rank: rank as u32 }.encode()?;
             write_frame(&mut stream, &payload)?;
             peer_streams[s] = Some(stream);
         }
-        // Accept upward: every s > r dials us.
-        for upward in rank + 1..ranks {
-            let mut stream = accept_with_deadline(
-                &own_listener,
-                deadline,
-                &format!("peer hello (expecting rank > {rank}, {upward}/{ranks})"),
-            )?;
-            match read_msg(&mut stream)? {
-                Message::PeerHello { rank: s } => {
-                    let s = s as usize;
-                    if s <= rank || s >= ranks {
+        // Accept from every occupied slot above us (initial handshake
+        // only: a joiner's later peers arrive via the acceptor thread).
+        if !joining {
+            let expected = ports
+                .iter()
+                .enumerate()
+                .filter(|&(s, &p)| s > rank && p != 0)
+                .count();
+            for upward in 0..expected {
+                let mut stream = accept_with_deadline(
+                    &own_listener,
+                    deadline,
+                    &format!("peer hello (expecting rank > {rank}, {upward}/{expected})"),
+                )?;
+                match read_msg(&mut stream)? {
+                    Message::PeerHello { rank: s } => {
+                        let s = s as usize;
+                        if s <= rank || s >= capacity {
+                            return Err(NetError::Protocol(format!(
+                                "unexpected peer hello from rank {s}"
+                            )));
+                        }
+                        if peer_streams[s].is_some() {
+                            return Err(NetError::Protocol(format!("duplicate peer {s}")));
+                        }
+                        peer_streams[s] = Some(stream);
+                    }
+                    other => {
                         return Err(NetError::Protocol(format!(
-                            "unexpected peer hello from rank {s}"
-                        )));
+                            "expected PeerHello, got {other:?}"
+                        )))
                     }
-                    if peer_streams[s].is_some() {
-                        return Err(NetError::Protocol(format!("duplicate peer {s}")));
-                    }
-                    peer_streams[s] = Some(stream);
-                }
-                other => {
-                    return Err(NetError::Protocol(format!(
-                        "expected PeerHello, got {other:?}"
-                    )))
                 }
             }
         }
 
-        let inbox = Arc::new(Inbox::new());
-        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(ranks + 1);
+        let shared = Arc::new(Shared::new(capacity));
         for (s, stream) in peer_streams.into_iter().enumerate() {
-            match stream {
-                Some(stream) => {
-                    // Handshake over: steady-state reads block until EOF.
-                    stream.set_read_timeout(None)?;
-                    spawn_reader(s, stream.try_clone()?, Arc::clone(&inbox));
-                    writers.push(Some(Mutex::new(stream)));
-                }
-                None => {
-                    assert_eq!(s, rank, "only the self-edge may be missing");
-                    writers.push(None);
-                }
-            }
+            let Some(stream) = stream else { continue };
+            // Handshake over: steady-state reads block until EOF.
+            stream.set_read_timeout(None)?;
+            shared.install(s, &stream)?;
+            spawn_reader(s, stream, Arc::clone(&shared));
         }
         driver.set_read_timeout(None)?;
-        spawn_reader(ranks, driver.try_clone()?, Arc::clone(&inbox));
-        writers.push(Some(Mutex::new(driver)));
+        shared.install(capacity, &driver)?;
+        spawn_reader(capacity, driver, Arc::clone(&shared));
+        // Keep our own door open for ranks that join after us.
+        {
+            let shared_for_admit = Arc::clone(&shared);
+            spawn_acceptor(
+                format!("nomad-net-rank-{rank}-acceptor"),
+                own_listener,
+                Arc::clone(&shared),
+                move |mut stream, sh| {
+                    let Ok(Message::PeerHello { rank: s }) = read_msg(&mut stream) else {
+                        return;
+                    };
+                    let s = s as usize;
+                    if s >= sh.writers.len() - 1 || s == rank {
+                        return;
+                    }
+                    {
+                        let mut slot = sh.writers[s].lock().expect("writer poisoned");
+                        if slot.is_some() {
+                            return;
+                        }
+                        if stream.set_read_timeout(None).is_err() {
+                            return;
+                        }
+                        let Ok(clone) = stream.try_clone() else {
+                            return;
+                        };
+                        *slot = Some(clone);
+                        sh.down[s].store(false, Ordering::Release);
+                    }
+                    spawn_reader(s, stream, Arc::clone(&shared_for_admit));
+                },
+            );
+        }
         Ok(TcpTransport {
             id: rank,
-            ranks,
-            writers,
-            inbox,
+            ranks: capacity,
+            shared,
         })
     }
 }
@@ -306,16 +520,32 @@ impl Transport for TcpTransport {
 
     fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
         assert!(dest <= self.ranks, "destination {dest} out of mesh");
-        let writer = self.writers[dest]
-            .as_ref()
-            .unwrap_or_else(|| panic!("no stream from {} to {dest}", self.id));
-        send_on(writer, msg)
+        assert_ne!(dest, self.id, "no self-edges in the mesh");
+        let mut slot = self.shared.writers[dest].lock().expect("writer poisoned");
+        let Some(stream) = slot.as_mut() else {
+            return Err(NetError::PeerGone(dest));
+        };
+        match send_on(stream, msg) {
+            Ok(()) => Ok(()),
+            Err(NetError::Io(_)) => {
+                // The stream died under us: hard evidence for the failure
+                // detector, and the slot empties so later sends fail fast.
+                let dead = slot.take();
+                if let Some(stream) = dead {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                self.shared.down[dest].store(true, Ordering::Release);
+                Err(NetError::PeerGone(dest))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, NetError> {
-        let mut queue = self.inbox.queue.lock().expect("inbox poisoned");
+        let mut queue = self.shared.inbox.queue.lock().expect("inbox poisoned");
         if queue.is_empty() {
             let (guard, _) = self
+                .shared
                 .inbox
                 .ready
                 .wait_timeout(queue, timeout)
@@ -324,15 +554,36 @@ impl Transport for TcpTransport {
         }
         Ok(queue.pop_front())
     }
+
+    fn peer_down(&self, peer: usize) -> bool {
+        peer < self.shared.down.len() && self.shared.down[peer].load(Ordering::Acquire)
+    }
+
+    fn close_peer(&self, peer: usize) {
+        if peer >= self.shared.writers.len() {
+            return;
+        }
+        let stream = self.shared.writers[peer]
+            .lock()
+            .expect("writer poisoned")
+            .take();
+        if let Some(stream) = stream {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Shut the sockets down so the detached reader threads see EOF and
-        // exit instead of blocking forever on a half-open stream.
-        for writer in self.writers.iter().flatten() {
-            if let Ok(stream) = writer.lock() {
-                let _ = stream.shutdown(Shutdown::Both);
+        // Stop the acceptor and shut the sockets down so the detached
+        // reader threads see EOF and exit instead of blocking forever on
+        // a half-open stream.
+        self.shared.stop.store(true, Ordering::Release);
+        for writer in &self.shared.writers {
+            if let Ok(mut slot) = writer.lock() {
+                if let Some(stream) = slot.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
             }
         }
     }
@@ -437,5 +688,87 @@ mod tests {
                 }
             );
         }
+    }
+
+    #[test]
+    fn a_dropped_peer_surfaces_as_down_and_peer_gone() {
+        let (driver, mut ranks) = tcp_mesh(2);
+        let dead = ranks.remove(1);
+        drop(dead); // rank 1's sockets close → EOF everywhere
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !driver.peer_down(1) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "driver never saw rank 1's EOF"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // A send to the corpse fails with PeerGone (possibly after one
+        // buffered success while the kernel drains).
+        let mut gone = false;
+        for _ in 0..200 {
+            match driver.send(1, &Message::Drain) {
+                Err(NetError::PeerGone(1)) => {
+                    gone = true;
+                    break;
+                }
+                Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(gone, "sends to a dead peer must fail with PeerGone");
+        // The surviving rank also noticed.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !ranks[0].peer_down(1) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rank 0 never saw rank 1's EOF"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn a_joiner_is_wired_into_a_running_mesh() {
+        // Capacity-2 mesh that starts with only rank 0.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rank0 = std::thread::spawn(move || TcpTransport::connect_rank(&addr, 0).unwrap());
+        let driver = TcpTransport::accept_ranks_elastic(listener, 2, 1).unwrap();
+        let rank0 = rank0.join().unwrap();
+        assert_eq!(driver.ranks(), 2);
+        assert!(
+            matches!(driver.send(1, &Message::Drain), Err(NetError::PeerGone(1))),
+            "empty slot must report PeerGone"
+        );
+
+        // Rank 1 joins mid-run: its Hello surfaces as a synthetic Join.
+        let joiner = TcpTransport::connect_joiner(&addr, 1).unwrap();
+        let (src, msg) = driver
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("join pending");
+        assert_eq!((src, msg), (1, Message::Join { rank: 1 }));
+
+        // Driver → joiner (the Setup path), joiner ↔ rank 0 (token paths).
+        driver.send(1, &Message::Drain).unwrap();
+        let (src, msg) = joiner
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("driver reaches the joiner");
+        assert_eq!((src, msg), (2, Message::Drain));
+        joiner.send(0, &Message::Fin { rank: 1 }).unwrap();
+        let (src, msg) = rank0
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("joiner reaches rank 0");
+        assert_eq!((src, msg), (1, Message::Fin { rank: 1 }));
+        // Rank 0 → joiner uses the edge the joiner dialed.
+        rank0.send(1, &Message::Fin { rank: 0 }).unwrap();
+        let (src, msg) = joiner
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("rank 0 reaches the joiner");
+        assert_eq!((src, msg), (0, Message::Fin { rank: 0 }));
     }
 }

@@ -29,6 +29,11 @@ pub enum NetError {
     Io(std::io::Error),
     /// The peer (or the whole mesh) is gone.
     Closed,
+    /// A specific peer is unreachable (dead stream, never-connected
+    /// slot).  Unlike [`NetError::Closed`] the rest of the mesh is
+    /// fine; the comm layer reacts by re-injecting undeliverable tokens
+    /// locally so they cannot be lost.
+    PeerGone(usize),
     /// The protocol state machine received something impossible.
     Protocol(String),
 }
@@ -39,6 +44,7 @@ impl std::fmt::Display for NetError {
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Closed => write!(f, "endpoint closed"),
+            NetError::PeerGone(p) => write!(f, "peer {p} unreachable"),
             NetError::Protocol(s) => write!(f, "protocol error: {s}"),
         }
     }
@@ -83,6 +89,21 @@ pub trait Transport: Send {
     /// # Errors
     /// Fails if the mesh is closed or a received frame fails to decode.
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, NetError>;
+
+    /// Whether the transport has *hard* evidence that `peer` is gone
+    /// (e.g. its TCP stream hit EOF).  Loopback meshes have no such
+    /// evidence channel, so the default is `false` — failure detection
+    /// then rests on heartbeat timeouts alone.
+    fn peer_down(&self, peer: usize) -> bool {
+        let _ = peer;
+        false
+    }
+
+    /// Tears down this endpoint's link to `peer` (after an eviction) so
+    /// a dead stream cannot poison later sends.  Default: no-op.
+    fn close_peer(&self, peer: usize) {
+        let _ = peer;
+    }
 }
 
 /// A mailbox shared by every endpoint of a loopback mesh: encoded frames
@@ -219,6 +240,14 @@ impl<T: Transport> Transport for DelayedTransport<T> {
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, NetError> {
         self.inner.recv_timeout(timeout)
+    }
+
+    fn peer_down(&self, peer: usize) -> bool {
+        self.inner.peer_down(peer)
+    }
+
+    fn close_peer(&self, peer: usize) {
+        self.inner.close_peer(peer);
     }
 }
 

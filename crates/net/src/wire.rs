@@ -115,11 +115,36 @@ pub struct SetupPayload {
     pub message_batch: u32,
     /// Updates between progress reports to the driver.
     pub progress_every: u64,
+    /// Peer-silence threshold before a rank is suspected dead, in
+    /// milliseconds; `0` disables failure detection.
+    pub heartbeat_timeout_ms: u32,
+    /// Chaos knob: after this many local SGD updates the rank aborts the
+    /// whole process (`0` = never).  Only honored inside a real spawned
+    /// child — the kill-a-rank regression uses it as a deterministic
+    /// `SIGKILL` stand-in.
+    pub abort_after_updates: u64,
+    /// Membership epoch this setup belongs to (bumped by every eviction
+    /// and join).
+    pub epoch: u64,
+    /// Ranks alive at `epoch`.  `ranks` above is the *mesh capacity*;
+    /// this is the subset currently participating.
+    pub active_ranks: Vec<u32>,
     /// Initial user-factor rows for the shard, row-major
     /// (`row_count * k` values).
     pub w_rows: Vec<f64>,
     /// Local ratings as `(global user, item, rating)` triplets.
     pub entries: Vec<(u32, u32, f64)>,
+}
+
+/// One contiguous run of user rows and their factors — shards become a
+/// *list* of these once eviction takeover and join rebalancing make
+/// ownership non-contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegment {
+    /// First global user row of the segment.
+    pub row_start: u64,
+    /// Row-major factor values (`count * k`).
+    pub rows: Vec<f64>,
 }
 
 /// A rank's final state, gathered by the driver at quiesce: owned user
@@ -129,12 +154,10 @@ pub struct SetupPayload {
 pub struct ShardPayload {
     /// The reporting rank.
     pub rank: u32,
-    /// First global user row of `w_rows`.
-    pub row_start: u64,
-    /// Latent dimension (for framing `w_rows`).
+    /// Latent dimension (for framing segment rows).
     pub k: u32,
-    /// Owned user-factor rows, row-major.
-    pub w_rows: Vec<f64>,
+    /// Owned user rows, as disjoint contiguous segments.
+    pub segments: Vec<WireSegment>,
     /// Every token held by this rank when it quiesced.
     pub tokens: Vec<WireToken>,
     /// Token-processing events performed locally (local tickets).
@@ -143,6 +166,22 @@ pub struct ShardPayload {
     pub updates: u64,
     /// Tokens this rank sent to other ranks over the transport.
     pub remote_sends: u64,
+}
+
+/// User rows in flight between address spaces: eviction takeover (driver
+/// re-materializes the dead rank's shard on a survivor) and join
+/// rebalancing (a donor ships live rows to the newcomer) both move a
+/// segment plus its rating triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTransferPayload {
+    /// First global user row being transferred.
+    pub row_start: u64,
+    /// Latent dimension (for framing `rows`).
+    pub k: u32,
+    /// Row-major factor values for the transferred rows.
+    pub rows: Vec<f64>,
+    /// Rating triplets `(global user, item, rating)` for those rows.
+    pub entries: Vec<(u32, u32, f64)>,
 }
 
 /// Every message of the nomad-net protocol.
@@ -193,6 +232,89 @@ pub enum Message {
     },
     /// Rank → driver: final gathered state.
     Shard(Box<ShardPayload>),
+    /// Any → any: liveness beacon, sent only when an edge has been idle
+    /// for a fraction of the heartbeat timeout.  Carries no state; its
+    /// arrival (like any frame's) refreshes the peer's silence timer.
+    Ping {
+        /// The sending endpoint's rank.
+        rank: u32,
+    },
+    /// Rank → driver: "I have heard nothing from `peer` for a full
+    /// heartbeat timeout".  The driver corroborates with its own timer
+    /// before evicting.
+    Suspect {
+        /// The reporting rank.
+        rank: u32,
+        /// The silent peer.
+        peer: u32,
+    },
+    /// Driver → ranks: `rank` is dead as of `epoch`; stop listening to
+    /// it, park, flush, and run the token census.  Sent to the evicted
+    /// rank itself too (best-effort) so a merely-slow rank exits instead
+    /// of haunting the mesh.
+    Evict {
+        /// New membership epoch.
+        epoch: u64,
+        /// The evicted rank.
+        rank: u32,
+    },
+    /// Rank → rank: census barrier marker.  On a FIFO edge it proves
+    /// every pre-eviction token from the sender has been delivered, so
+    /// inventories taken after all marks are a consistent cut.
+    CensusMark {
+        /// The census epoch.
+        epoch: u64,
+        /// The sending rank.
+        rank: u32,
+    },
+    /// Rank → driver: the tokens this rank holds at the census cut, plus
+    /// its ticket count — the driver re-mints whatever item is in
+    /// nobody's inventory.
+    Inventory {
+        /// The census epoch.
+        epoch: u64,
+        /// The reporting rank.
+        rank: u32,
+        /// Local tickets drawn so far.
+        tickets: u64,
+        /// Held tokens as `(item, pass)` pairs (factors stay local).
+        held: Vec<(u32, u64)>,
+    },
+    /// Driver → ranks: the census for `epoch` is complete (lost tokens
+    /// re-minted, orphaned shard reassigned); unpark and resume.
+    Reconfigure {
+        /// The completed epoch.
+        epoch: u64,
+    },
+    /// Newcomer → driver: request to join the mesh as `rank` (loopback
+    /// meshes; the TCP path re-runs the `Hello` handshake instead).
+    Join {
+        /// The joining rank's pre-provisioned slot.
+        rank: u32,
+    },
+    /// Driver → ranks: `rank` joined as of `epoch`; start routing tokens
+    /// to it.  No barrier — adding a destination is always safe.
+    AddRank {
+        /// New membership epoch.
+        epoch: u64,
+        /// The joined rank.
+        rank: u32,
+    },
+    /// Driver → donor rank: ship `row_count` user rows starting at
+    /// `row_start` (live factors + ratings) to rank `to`.
+    Rebalance {
+        /// Membership epoch of the join.
+        epoch: u64,
+        /// The receiving rank.
+        to: u32,
+        /// First user row to give away.
+        row_start: u64,
+        /// Number of rows to give away.
+        row_count: u64,
+    },
+    /// Driver → survivor (takeover) or donor → newcomer (rebalance):
+    /// a segment of user rows changes owner.
+    ShardTransfer(Box<ShardTransferPayload>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -204,6 +326,16 @@ const TAG_PROGRESS: u8 = 6;
 const TAG_DRAIN: u8 = 7;
 const TAG_FIN: u8 = 8;
 const TAG_SHARD: u8 = 9;
+const TAG_PING: u8 = 10;
+const TAG_SUSPECT: u8 = 11;
+const TAG_EVICT: u8 = 12;
+const TAG_CENSUS_MARK: u8 = 13;
+const TAG_INVENTORY: u8 = 14;
+const TAG_RECONFIGURE: u8 = 15;
+const TAG_JOIN: u8 = 16;
+const TAG_ADD_RANK: u8 = 17;
+const TAG_REBALANCE: u8 = 18;
+const TAG_SHARD_TRANSFER: u8 = 19;
 
 // ---------------------------------------------------------------------------
 // Primitive writers/readers.
@@ -352,6 +484,25 @@ fn get_tokens(r: &mut Reader<'_>) -> Result<Vec<WireToken>, WireError> {
     Ok(out)
 }
 
+fn put_entries(buf: &mut Vec<u8>, entries: &[(u32, u32, f64)]) -> Result<(), WireError> {
+    put_u32(buf, seq_len(entries.len())?);
+    for &(i, j, v) in entries {
+        put_u32(buf, i);
+        put_u32(buf, j);
+        put_f64(buf, v);
+    }
+    Ok(())
+}
+
+fn get_entries(r: &mut Reader<'_>) -> Result<Vec<(u32, u32, f64)>, WireError> {
+    let n = r.seq(16)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push((r.u32()?, r.u32()?, r.f64()?));
+    }
+    Ok(entries)
+}
+
 impl Message {
     /// Encodes the message payload (tag byte + fields, no length prefix).
     ///
@@ -394,13 +545,15 @@ impl Message {
                 put_u64(&mut buf, s.budget);
                 put_u32(&mut buf, s.message_batch);
                 put_u64(&mut buf, s.progress_every);
-                put_f64s(&mut buf, &s.w_rows)?;
-                put_u32(&mut buf, seq_len(s.entries.len())?);
-                for &(i, j, v) in &s.entries {
-                    put_u32(&mut buf, i);
-                    put_u32(&mut buf, j);
-                    put_f64(&mut buf, v);
+                put_u32(&mut buf, s.heartbeat_timeout_ms);
+                put_u64(&mut buf, s.abort_after_updates);
+                put_u64(&mut buf, s.epoch);
+                put_u32(&mut buf, seq_len(s.active_ranks.len())?);
+                for &r in &s.active_ranks {
+                    put_u32(&mut buf, r);
                 }
+                put_f64s(&mut buf, &s.w_rows)?;
+                put_entries(&mut buf, &s.entries)?;
             }
             Message::TokenBatch { qlen, tokens } => {
                 buf.push(TAG_TOKEN_BATCH);
@@ -420,13 +573,83 @@ impl Message {
             Message::Shard(s) => {
                 buf.push(TAG_SHARD);
                 put_u32(&mut buf, s.rank);
-                put_u64(&mut buf, s.row_start);
                 put_u32(&mut buf, s.k);
-                put_f64s(&mut buf, &s.w_rows)?;
+                put_u32(&mut buf, seq_len(s.segments.len())?);
+                for seg in &s.segments {
+                    put_u64(&mut buf, seg.row_start);
+                    put_f64s(&mut buf, &seg.rows)?;
+                }
                 put_tokens(&mut buf, &s.tokens)?;
                 put_u64(&mut buf, s.tickets);
                 put_u64(&mut buf, s.updates);
                 put_u64(&mut buf, s.remote_sends);
+            }
+            Message::Ping { rank } => {
+                buf.push(TAG_PING);
+                put_u32(&mut buf, *rank);
+            }
+            Message::Suspect { rank, peer } => {
+                buf.push(TAG_SUSPECT);
+                put_u32(&mut buf, *rank);
+                put_u32(&mut buf, *peer);
+            }
+            Message::Evict { epoch, rank } => {
+                buf.push(TAG_EVICT);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, *rank);
+            }
+            Message::CensusMark { epoch, rank } => {
+                buf.push(TAG_CENSUS_MARK);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, *rank);
+            }
+            Message::Inventory {
+                epoch,
+                rank,
+                tickets,
+                held,
+            } => {
+                buf.push(TAG_INVENTORY);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, *rank);
+                put_u64(&mut buf, *tickets);
+                put_u32(&mut buf, seq_len(held.len())?);
+                for &(item, pass) in held {
+                    put_u32(&mut buf, item);
+                    put_u64(&mut buf, pass);
+                }
+            }
+            Message::Reconfigure { epoch } => {
+                buf.push(TAG_RECONFIGURE);
+                put_u64(&mut buf, *epoch);
+            }
+            Message::Join { rank } => {
+                buf.push(TAG_JOIN);
+                put_u32(&mut buf, *rank);
+            }
+            Message::AddRank { epoch, rank } => {
+                buf.push(TAG_ADD_RANK);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, *rank);
+            }
+            Message::Rebalance {
+                epoch,
+                to,
+                row_start,
+                row_count,
+            } => {
+                buf.push(TAG_REBALANCE);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, *to);
+                put_u64(&mut buf, *row_start);
+                put_u64(&mut buf, *row_count);
+            }
+            Message::ShardTransfer(t) => {
+                buf.push(TAG_SHARD_TRANSFER);
+                put_u64(&mut buf, t.row_start);
+                put_u32(&mut buf, t.k);
+                put_f64s(&mut buf, &t.rows)?;
+                put_entries(&mut buf, &t.entries)?;
             }
         }
         Ok(buf)
@@ -473,12 +696,16 @@ impl Message {
                 let budget = r.u64()?;
                 let message_batch = r.u32()?;
                 let progress_every = r.u64()?;
-                let w_rows = r.f64s()?;
-                let n = r.seq(16)?;
-                let mut entries = Vec::with_capacity(n);
+                let heartbeat_timeout_ms = r.u32()?;
+                let abort_after_updates = r.u64()?;
+                let epoch = r.u64()?;
+                let n = r.seq(4)?;
+                let mut active_ranks = Vec::with_capacity(n);
                 for _ in 0..n {
-                    entries.push((r.u32()?, r.u32()?, r.f64()?));
+                    active_ranks.push(r.u32()?);
                 }
+                let w_rows = r.f64s()?;
+                let entries = get_entries(&mut r)?;
                 Message::Setup(Box::new(SetupPayload {
                     rank,
                     ranks,
@@ -495,6 +722,10 @@ impl Message {
                     budget,
                     message_batch,
                     progress_every,
+                    heartbeat_timeout_ms,
+                    abort_after_updates,
+                    epoch,
+                    active_ranks,
                     w_rows,
                     entries,
                 }))
@@ -509,15 +740,74 @@ impl Message {
             },
             TAG_DRAIN => Message::Drain,
             TAG_FIN => Message::Fin { rank: r.u32()? },
-            TAG_SHARD => Message::Shard(Box::new(ShardPayload {
+            TAG_SHARD => {
+                let rank = r.u32()?;
+                let k = r.u32()?;
+                // Minimum 12 bytes per segment (row_start + empty rows).
+                let n = r.seq(12)?;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    segments.push(WireSegment {
+                        row_start: r.u64()?,
+                        rows: r.f64s()?,
+                    });
+                }
+                Message::Shard(Box::new(ShardPayload {
+                    rank,
+                    k,
+                    segments,
+                    tokens: get_tokens(&mut r)?,
+                    tickets: r.u64()?,
+                    updates: r.u64()?,
+                    remote_sends: r.u64()?,
+                }))
+            }
+            TAG_PING => Message::Ping { rank: r.u32()? },
+            TAG_SUSPECT => Message::Suspect {
                 rank: r.u32()?,
+                peer: r.u32()?,
+            },
+            TAG_EVICT => Message::Evict {
+                epoch: r.u64()?,
+                rank: r.u32()?,
+            },
+            TAG_CENSUS_MARK => Message::CensusMark {
+                epoch: r.u64()?,
+                rank: r.u32()?,
+            },
+            TAG_INVENTORY => {
+                let epoch = r.u64()?;
+                let rank = r.u32()?;
+                let tickets = r.u64()?;
+                let n = r.seq(12)?;
+                let mut held = Vec::with_capacity(n);
+                for _ in 0..n {
+                    held.push((r.u32()?, r.u64()?));
+                }
+                Message::Inventory {
+                    epoch,
+                    rank,
+                    tickets,
+                    held,
+                }
+            }
+            TAG_RECONFIGURE => Message::Reconfigure { epoch: r.u64()? },
+            TAG_JOIN => Message::Join { rank: r.u32()? },
+            TAG_ADD_RANK => Message::AddRank {
+                epoch: r.u64()?,
+                rank: r.u32()?,
+            },
+            TAG_REBALANCE => Message::Rebalance {
+                epoch: r.u64()?,
+                to: r.u32()?,
+                row_start: r.u64()?,
+                row_count: r.u64()?,
+            },
+            TAG_SHARD_TRANSFER => Message::ShardTransfer(Box::new(ShardTransferPayload {
                 row_start: r.u64()?,
                 k: r.u32()?,
-                w_rows: r.f64s()?,
-                tokens: get_tokens(&mut r)?,
-                tickets: r.u64()?,
-                updates: r.u64()?,
-                remote_sends: r.u64()?,
+                rows: r.f64s()?,
+                entries: get_entries(&mut r)?,
             })),
             other => return Err(WireError::BadTag(other)),
         };
@@ -644,14 +934,26 @@ mod tests {
             budget: 400_000,
             message_batch: 100,
             progress_every: 4096,
+            heartbeat_timeout_ms: 10_000,
+            abort_after_updates: 0,
+            epoch: 3,
+            active_ranks: vec![0, 1, 3],
             w_rows: vec![0.125; 16],
             entries: vec![(500, 3, 4.5), (749, 499, 1.0)],
         })));
         roundtrip(&Message::Shard(Box::new(ShardPayload {
             rank: 0,
-            row_start: 0,
             k: 2,
-            w_rows: vec![1.0, 2.0, 3.0, 4.0],
+            segments: vec![
+                WireSegment {
+                    row_start: 0,
+                    rows: vec![1.0, 2.0, 3.0, 4.0],
+                },
+                WireSegment {
+                    row_start: 700,
+                    rows: vec![5.0, 6.0],
+                },
+            ],
             tokens: vec![WireToken {
                 item: 9,
                 pass: 3,
@@ -660,6 +962,41 @@ mod tests {
             tickets: 12,
             updates: 300,
             remote_sends: 5,
+        })));
+    }
+
+    #[test]
+    fn membership_messages_round_trip() {
+        roundtrip(&Message::Ping { rank: 3 });
+        roundtrip(&Message::Suspect { rank: 0, peer: 2 });
+        roundtrip(&Message::Evict { epoch: 1, rank: 2 });
+        roundtrip(&Message::CensusMark { epoch: 1, rank: 0 });
+        roundtrip(&Message::Inventory {
+            epoch: 1,
+            rank: 0,
+            tickets: 99,
+            held: vec![(7, 12), (u32::MAX, u64::MAX)],
+        });
+        roundtrip(&Message::Inventory {
+            epoch: 2,
+            rank: 1,
+            tickets: 0,
+            held: vec![],
+        });
+        roundtrip(&Message::Reconfigure { epoch: 1 });
+        roundtrip(&Message::Join { rank: 5 });
+        roundtrip(&Message::AddRank { epoch: 4, rank: 5 });
+        roundtrip(&Message::Rebalance {
+            epoch: 4,
+            to: 5,
+            row_start: 250,
+            row_count: 125,
+        });
+        roundtrip(&Message::ShardTransfer(Box::new(ShardTransferPayload {
+            row_start: 250,
+            k: 2,
+            rows: vec![0.5, 0.25, -1.0, 2.0],
+            entries: vec![(250, 0, 3.0), (251, 9, 5.0)],
         })));
     }
 
@@ -723,6 +1060,10 @@ mod tests {
             budget: 1,
             message_batch: 1,
             progress_every: 1,
+            heartbeat_timeout_ms: 0,
+            abort_after_updates: 0,
+            epoch: 0,
+            active_ranks: vec![0],
             w_rows: vec![0.0],
             entries: vec![],
         }))

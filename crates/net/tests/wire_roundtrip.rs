@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use nomad_net::{Message, SetupPayload, ShardPayload, WireError, WireToken};
+use nomad_net::{Message, SetupPayload, ShardPayload, WireError, WireSegment, WireToken};
 
 /// Strategy: an arbitrary factor row, including non-finite and
 /// signed-zero bit patterns (decoded factors must be *bit*-faithful).
@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn shards_round_trip(
         rank in 0u32..64,
-        row_start in any::<u64>(),
+        seg_starts in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..4),
         k in 0u32..16,
         w_bits in proptest::collection::vec(any::<u64>(), 0..64),
         tokens in arb_tokens(),
@@ -63,11 +63,17 @@ proptest! {
         updates in any::<u64>(),
         remote_sends in any::<u64>(),
     ) {
+        let segments = seg_starts
+            .into_iter()
+            .map(|(row_start, n)| WireSegment {
+                row_start,
+                rows: (0..(n % 8)).map(|i| f64::from_bits(row_start ^ i)).collect(),
+            })
+            .collect();
         let msg = Message::Shard(Box::new(ShardPayload {
             rank,
-            row_start,
             k,
-            w_rows: w_bits.into_iter().map(f64::from_bits).collect(),
+            segments,
             tokens,
             tickets,
             updates,
@@ -106,6 +112,10 @@ proptest! {
             budget,
             message_batch: 100,
             progress_every: 4096,
+            heartbeat_timeout_ms: 10_000,
+            abort_after_updates: 0,
+            epoch: 3,
+            active_ranks: (0..ranks).collect(),
             w_rows: w,
             entries,
         }));
