@@ -62,16 +62,22 @@ fn main() {
     let join = distperf::measure_join(&scale, reps);
     distperf::print_join_markdown(&join);
 
+    // Whole-system serving: top-k qps from a mesh that is training at the
+    // same time, answered through the deadline router.
+    let serving = distperf::measure_serving(&scale, 2);
+    distperf::print_serving_markdown(&serving);
+
     let out_path =
         std::env::var("NOMAD_DIST_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
-    let json = distperf::render_json(&scale, mode, &results, Some(&join));
+    let json = distperf::render_json(&scale, mode, &results, Some(&join), Some(&serving));
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
     if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {
         let ok = distperf::scaling_gate(&results);
         let join_ok = distperf::join_gate(&join);
-        if !(ok && join_ok) {
+        let serving_ok = distperf::serving_gate(&serving);
+        if !(ok && join_ok && serving_ok) {
             std::process::exit(1);
         }
     }

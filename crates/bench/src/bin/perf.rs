@@ -142,7 +142,7 @@ fn run_distributed_suite(reps: u32) -> bool {
     distperf::print_markdown(&scale, mode, &results);
     let out_path =
         std::env::var("NOMAD_DIST_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
-    let json = distperf::render_json(&scale, mode, &results, None);
+    let json = distperf::render_json(&scale, mode, &results, None, None);
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
     if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {

@@ -131,7 +131,9 @@ fn query_loop(
         let start = Instant::now();
         let top = engine
             .top_k(user, top_k, &seen[user as usize])
-            .expect("snapshot exists once training published");
+            // The ServeError Display message says which precondition broke
+            // (no snapshot vs. unknown user) and what to do about it.
+            .unwrap_or_else(|e| panic!("query for user {user} failed: {e}"));
         latencies.push(start.elapsed().as_nanos() as u64);
         completed += 1;
         // Keep the answer alive so the scoring work cannot be elided.

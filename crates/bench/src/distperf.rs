@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 use nomad_cluster::{ClusterTopology, ComputeModel, NetworkModel};
 use nomad_core::{NomadConfig, SerialNomad, SimNomad, StopCondition};
 use nomad_data::{named_dataset, GeneratedDataset, SizeTier};
-use nomad_net::{DistributedNomad, NetConfig};
+use nomad_net::{
+    Answer, DistributedNomad, NetConfig, RouterConfig, RouterStats, ServeError, ServeRouter,
+};
 use nomad_sgd::HyperParams;
 
 /// How rank endpoints are deployed.
@@ -362,6 +364,167 @@ pub fn join_gate(m: &JoinMeasurement) -> bool {
     true
 }
 
+/// The whole-system serving scenario: top-k query throughput measured
+/// *while* the same mesh trains — the qps a front-end actually gets from
+/// a live-training fleet, not from an idle snapshot server.
+pub struct ServingMeasurement {
+    /// Latent dimension.
+    pub k: usize,
+    /// Rank count.
+    pub ranks: usize,
+    /// SGD-update budget the concurrent training run completed.
+    pub budget: u64,
+    /// Concurrent query threads.
+    pub query_threads: usize,
+    /// Router outcome counters for the whole run.
+    pub queries: RouterStats,
+    /// Answered queries per wall-clock second of the training run.
+    pub qps: f64,
+    /// Median query latency in microseconds (`None` below the router's
+    /// sample floor).
+    pub p50_micros: Option<u64>,
+    /// 99th-percentile query latency in microseconds.
+    pub p99_micros: Option<u64>,
+    /// Worst per-rank snapshot staleness at gather (fleet updates behind),
+    /// from the freshness fields piggybacked on `Progress` frames.
+    pub max_staleness: u64,
+    /// Worst per-rank gap between consecutive publishes, same source.
+    pub max_publish_gap: u64,
+    /// Training throughput sustained *under* the query load.
+    pub train_updates_per_sec: f64,
+}
+
+/// Measures the serving scenario on the loopback transport: 2 ranks
+/// train the scale's budget with per-rank snapshot publishers while
+/// `query_threads` callers hammer a [`ServeRouter`] until the run-over
+/// notice.  Loopback keeps the number about the router and the
+/// publishers rather than socket jitter (the wire path is identical).
+pub fn measure_serving(scale: &DistScale, query_threads: usize) -> ServingMeasurement {
+    let ds = scale.dataset();
+    let k = scale.ks.first().copied().unwrap_or(8);
+    let ranks = 2;
+    let mut cfg = NetConfig::new(dist_config(k, scale.budget));
+    cfg.serve_publish_every = 2_000;
+    let router = ServeRouter::new(RouterConfig::default());
+    let nrows = ds.matrix.nrows() as u32;
+
+    let start = Instant::now();
+    let out = std::thread::scope(|scope| {
+        for t in 0..query_threads {
+            let router = &router;
+            scope.spawn(move || {
+                let mut user = (t as u32 * 7919) % nrows;
+                loop {
+                    match router.query(user, 10, vec![]) {
+                        Ok(Answer::RunOver) => return,
+                        Ok(_) => {}
+                        Err(ServeError::Shed { .. }) => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        // Keep measuring through errors; the gate reads
+                        // the counters afterwards.
+                        Err(_) => {}
+                    }
+                    user = (user + 1) % nrows;
+                }
+            });
+        }
+        DistributedNomad::with_config(cfg, ranks)
+            .run_loopback_serving(&ds.matrix, &[], &router)
+            .unwrap_or_else(|e| panic!("serving bench run ({ranks} ranks): {e}"))
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    let queries = router.stats();
+    let (p50, p99) = match router.latency_percentiles() {
+        Some((p50, p99)) => (Some(p50), Some(p99)),
+        None => (None, None),
+    };
+    ServingMeasurement {
+        k,
+        ranks,
+        budget: scale.budget,
+        query_threads,
+        qps: queries.successes() as f64 / seconds.max(1e-12),
+        p50_micros: p50,
+        p99_micros: p99,
+        max_staleness: out.stats.max_staleness,
+        max_publish_gap: out.stats.max_publish_gap,
+        train_updates_per_sec: out.stats.updates as f64 / seconds.max(1e-12),
+        queries,
+    }
+}
+
+/// The `NOMAD_PERF_ASSERT` gate for the serving tier: every query must
+/// resolve (zero hung), at least one must succeed, and the answered-qps
+/// must be positive.  Deliberately *not* a latency or freshness SLO —
+/// those vary with the machine; a hung or all-error run does not.
+/// Skipped (loudly) on machines with fewer than two cores, where query
+/// threads and rank threads fight for one core.
+///
+/// Returns `false` if the gate fails (caller exits non-zero).
+#[must_use]
+pub fn serving_gate(m: &ServingMeasurement) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("serving assert skipped: only {cores} core(s), need >= 2");
+        return true;
+    }
+    let s = &m.queries;
+    if s.resolved() != s.submitted {
+        eprintln!(
+            "SERVING ASSERT FAILED: {} of {} queries never resolved (stats: {s:?})",
+            s.submitted - s.resolved(),
+            s.submitted
+        );
+        return false;
+    }
+    if s.successes() == 0 || m.qps <= 0.0 {
+        eprintln!(
+            "SERVING ASSERT FAILED: no query ever got an answer under concurrent \
+             training (stats: {s:?})"
+        );
+        return false;
+    }
+    eprintln!(
+        "serving assert passed: {} answers at {:.0} qps under training, zero hung",
+        s.successes(),
+        m.qps
+    );
+    true
+}
+
+/// Markdown summary of the serving scenario (stderr).
+pub fn print_serving_markdown(m: &ServingMeasurement) {
+    eprintln!(
+        "## serving under training (loopback, k = {}, {} ranks, {} query threads)",
+        m.k, m.ranks, m.query_threads
+    );
+    eprintln!("| metric | value |");
+    eprintln!("|---|---|");
+    eprintln!("| answered qps | {:.0} |", m.qps);
+    let s = &m.queries;
+    eprintln!(
+        "| outcomes | {} fresh / {} stale / {} run-over / {} shed / {} timeout / {} failover |",
+        s.fresh, s.stale, s.run_over, s.shed, s.timeout, s.failover
+    );
+    match (m.p50_micros, m.p99_micros) {
+        (Some(p50), Some(p99)) => eprintln!("| latency p50 / p99 | {p50} us / {p99} us |"),
+        _ => eprintln!("| latency p50 / p99 | (below sample floor) |"),
+    }
+    if m.max_staleness < u64::MAX {
+        eprintln!(
+            "| worst snapshot staleness | {} updates behind the fleet |",
+            m.max_staleness
+        );
+    }
+    eprintln!("| worst publish gap | {} updates |", m.max_publish_gap);
+    eprintln!(
+        "| training upd/s under load | {:.0} |",
+        m.train_updates_per_sec
+    );
+}
+
 /// Verifies the engine's correctness anchor in the given deployment mode:
 /// one rank, fixed seed, model bit-identical to `SerialNomad`.
 ///
@@ -485,12 +648,14 @@ pub fn print_join_markdown(m: &JoinMeasurement) {
 
 /// Machine-readable JSON, schema `nomad-perf-v1` (hand-rolled like the
 /// `perf` binary's: the vendored serde stub has no serializer).  The
-/// optional `join` section records the elastic-membership scenario.
+/// optional `join` section records the elastic-membership scenario; the
+/// optional `serving` section records qps-under-concurrent-training.
 pub fn render_json(
     scale: &DistScale,
     mode: DeployMode,
     results: &[DistMeasurement],
     join: Option<&JoinMeasurement>,
+    serving: Option<&ServingMeasurement>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -512,6 +677,41 @@ pub fn render_json(
             m.solo_updates_per_sec,
             m.joined_updates_per_sec,
             m.speedup()
+        );
+    }
+    if let Some(m) = serving {
+        let s50 = m.p50_micros.map_or("null".to_string(), |v| v.to_string());
+        let s99 = m.p99_micros.map_or("null".to_string(), |v| v.to_string());
+        let staleness = if m.max_staleness == u64::MAX {
+            "null".to_string()
+        } else {
+            m.max_staleness.to_string()
+        };
+        let q = &m.queries;
+        let _ = writeln!(
+            s,
+            "  \"serving\": {{\"k\": {}, \"ranks\": {}, \"budget\": {}, \
+             \"query_threads\": {}, \"qps\": {:.1}, \"p50_micros\": {s50}, \
+             \"p99_micros\": {s99}, \"submitted\": {}, \"fresh\": {}, \"stale\": {}, \
+             \"run_over\": {}, \"shed\": {}, \"timeout\": {}, \"failover\": {}, \
+             \"retries\": {}, \"hedges\": {}, \"max_staleness\": {staleness}, \
+             \"max_publish_gap\": {}, \"train_updates_per_sec\": {:.1}}},",
+            m.k,
+            m.ranks,
+            m.budget,
+            m.query_threads,
+            m.qps,
+            q.submitted,
+            q.fresh,
+            q.stale,
+            q.run_over,
+            q.shed,
+            q.timeout,
+            q.failover,
+            q.retries,
+            q.hedges,
+            m.max_publish_gap,
+            m.train_updates_per_sec
         );
     }
     s.push_str("  \"results\": [\n");

@@ -281,6 +281,8 @@ mod tests {
                 &Message::Progress {
                     rank: 0,
                     updates: 1,
+                    staleness: u64::MAX,
+                    publish_gap: 0,
                 },
             )
             .unwrap();
@@ -290,6 +292,8 @@ mod tests {
                 &Message::Progress {
                     rank: 0,
                     updates: 2,
+                    staleness: u64::MAX,
+                    publish_gap: 0,
                 },
             )
             .unwrap();
@@ -304,6 +308,8 @@ mod tests {
                 &Message::Progress {
                     rank: 0,
                     updates: 3,
+                    staleness: u64::MAX,
+                    publish_gap: 0,
                 },
             )
             .unwrap();
@@ -353,6 +359,8 @@ mod tests {
                     &Message::Progress {
                         rank: 0,
                         updates: u,
+                        staleness: u64::MAX,
+                        publish_gap: 0,
                     },
                 )
                 .unwrap();

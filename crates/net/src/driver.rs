@@ -75,10 +75,14 @@ use nomad_core::NomadConfig;
 use nomad_matrix::{RatingMatrix, RowPartition};
 use nomad_sgd::{fresh_item_rows, fresh_user_rows, FactorMatrix, FactorModel};
 
+use nomad_serve::ModelSnapshot;
+
 use crate::rank::routing_to_wire;
+use crate::serve_router::{Route, RouterBackend, ServeRouter};
 use crate::transport::{Loopback, NetError, Transport};
 use crate::wire::{
-    Message, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment, WireToken,
+    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment,
+    WireToken,
 };
 
 /// Hard deadline for a distributed run; a mesh that cannot finish a test
@@ -121,6 +125,11 @@ pub struct NetConfig {
     pub abort_rank: Option<u32>,
     /// Chaos knob: local update count at which `abort_rank` dies.
     pub abort_after_updates: u64,
+    /// Serving: each rank publishes a [`nomad_serve`] snapshot of its
+    /// shard roughly every this many local updates and mirrors it to the
+    /// driver as a stale replica; `0` disables serving entirely (no
+    /// publisher, no replica traffic).
+    pub serve_publish_every: u64,
 }
 
 impl NetConfig {
@@ -133,6 +142,7 @@ impl NetConfig {
             initial_ranks: 0,
             abort_rank: None,
             abort_after_updates: 0,
+            serve_publish_every: 0,
         }
     }
 
@@ -167,6 +177,14 @@ pub struct NetStats {
     pub joined: Vec<u32>,
     /// Tokens re-minted after evictions (lost with dead ranks).
     pub reminted: u64,
+    /// Worst per-rank serving staleness (updates applied beyond the
+    /// latest published snapshot) over the ranks alive at gather, from
+    /// their final progress reports; `u64::MAX` when serving was off or
+    /// a rank never published.
+    pub max_staleness: u64,
+    /// Worst per-rank gap between consecutive snapshot publishes, in
+    /// updates, over the ranks alive at gather; `0` when serving was off.
+    pub max_publish_gap: u64,
 }
 
 /// Output of a distributed run.
@@ -274,6 +292,158 @@ impl DriverState {
     }
 }
 
+/// Driver-held serving state: the stale replica queries fail over to
+/// during evictions, plus the fleet freshness piggybacked on progress
+/// reports.
+struct ServeState {
+    /// Stale replica of the whole model.  Starts as the scatter-time
+    /// initialization (so it can answer from update zero) and is
+    /// refreshed shard-by-shard from [`Message::Replica`] frames.
+    replica: FactorModel,
+    /// Per-user-row update clock of the replica: the publishing rank's
+    /// update count when the row's snapshot was initiated (0 = still the
+    /// initialization).  Exact staleness bookkeeping for stale answers.
+    row_updates_at: Vec<u64>,
+    /// Ranks whose first replica has arrived.  This is the serving
+    /// routing-table gate: a mid-run joiner (or a slow starter) is
+    /// answered from the replica until its first publish lands.
+    ready: u64,
+    /// Lazily rebuilt snapshot over `replica`; invalidated by merges.
+    snap: Option<ModelSnapshot>,
+    /// Per-rank serving staleness from the latest progress report.
+    staleness: Vec<u64>,
+    /// Per-rank worst publish gap from the latest progress report.
+    publish_gap: Vec<u64>,
+}
+
+impl ServeState {
+    fn new(init: &FactorModel, nrows: usize, capacity: usize) -> Self {
+        Self {
+            replica: init.clone(),
+            row_updates_at: vec![0; nrows],
+            ready: 0,
+            snap: None,
+            staleness: vec![u64::MAX; capacity],
+            publish_gap: vec![0; capacity],
+        }
+    }
+
+    /// Merges one rank's published snapshot into the replica.
+    fn merge(&mut self, p: &ReplicaPayload, k: usize) -> Result<(), NetError> {
+        let (nrows, ncols) = (self.row_updates_at.len(), self.replica.h.rows());
+        if p.k as usize != k {
+            return Err(NetError::Protocol(format!(
+                "replica k {} from rank {} does not match run k {k}",
+                p.k, p.rank
+            )));
+        }
+        if p.items.len() != ncols * k {
+            return Err(NetError::Protocol(format!(
+                "replica item matrix has {} values, expected {}",
+                p.items.len(),
+                ncols * k
+            )));
+        }
+        for seg in &p.segments {
+            if seg.rows.len() % k != 0 {
+                return Err(NetError::Protocol(
+                    "replica segment rows must be whole rows".into(),
+                ));
+            }
+            let start = seg.row_start as usize;
+            if start + seg.rows.len() / k > nrows {
+                return Err(NetError::Protocol(format!(
+                    "replica segment at row {start} overruns {nrows} users"
+                )));
+            }
+        }
+        for seg in &p.segments {
+            let start = seg.row_start as usize;
+            let count = seg.rows.len() / k;
+            for local in 0..count {
+                self.replica
+                    .w
+                    .set_row(start + local, &seg.rows[local * k..(local + 1) * k]);
+                self.row_updates_at[start + local] = p.updates_at;
+            }
+        }
+        // A published snapshot's item matrix is complete (a build only
+        // finishes once every item has visited the rank), so the whole
+        // replica H advances to this publish.
+        for j in 0..ncols {
+            self.replica.h.set_row(j, &p.items[j * k..(j + 1) * k]);
+        }
+        self.ready |= bit(p.rank as usize);
+        self.snap = None;
+        Ok(())
+    }
+
+    /// Answers a query from the replica: `(updates_at, staleness, recs)`
+    /// with staleness bounded against the live fleet update clock.
+    fn stale_answer(
+        &mut self,
+        fleet_updates: u64,
+        user: u32,
+        k: u32,
+        seen: &[u32],
+    ) -> (u64, u64, Vec<(u32, f64)>) {
+        let snap = self
+            .snap
+            .get_or_insert_with(|| ModelSnapshot::from_model(&self.replica, 0, 0));
+        let top = snap.top_k(user, k as usize, seen);
+        let updates_at = self.row_updates_at[user as usize];
+        let recs = top.recs.iter().map(|r| (r.item, r.score)).collect();
+        (updates_at, fleet_updates.saturating_sub(updates_at), recs)
+    }
+}
+
+/// The driver's view handed to [`ServeRouter::pump`]: shard ownership and
+/// liveness for routing, the replica for stale answers.
+struct DriverBackend<'a> {
+    st: &'a DriverState,
+    serve: &'a mut ServeState,
+}
+
+impl RouterBackend for DriverBackend<'_> {
+    fn route(&mut self, user: u32) -> Route {
+        let u = user as usize;
+        if u >= self.serve.row_updates_at.len() {
+            return Route::Unknown;
+        }
+        for r in 0..self.st.capacity {
+            if !self.st.is_active(r) || !self.st.owned[r].iter().any(|&(s, c)| u >= s && u < s + c)
+            {
+                continue;
+            }
+            if self.st.shards[r].is_some() {
+                // The owner quiesced and its shard is gathered: live
+                // serving of this user is over for good.
+                return Route::RunOver;
+            }
+            return if self.serve.ready & bit(r) != 0 {
+                Route::Owner(r)
+            } else {
+                Route::Stale
+            };
+        }
+        // No live owner: the rank died (census in progress, takeover not
+        // yet effective) or the driver holds the segment post-drain.
+        Route::Stale
+    }
+
+    fn serve_stale(
+        &mut self,
+        user: u32,
+        k: u32,
+        seen: &mut Vec<u32>,
+    ) -> (u64, u64, Vec<(u32, f64)>) {
+        seen.sort_unstable();
+        seen.dedup();
+        self.serve
+            .stale_answer(self.st.progress_sum(), user, k, seen)
+    }
+}
+
 /// Runs the driver over an already-connected mesh: scatter, clock,
 /// arbitrate membership, gather, verify.  `transport` must be the driver
 /// endpoint; the mesh capacity is `transport.ranks()` and
@@ -291,6 +461,42 @@ pub fn run_driver<T: Transport>(
     transport: &T,
     data: &RatingMatrix,
     cfg: &NetConfig,
+) -> Result<DistOutput, NetError> {
+    run_driver_serving(transport, data, cfg, None)
+}
+
+/// [`run_driver`] plus a serving front-end: the driver pumps `router`
+/// once per loop iteration, answers [`Message::QueryReply`] traffic, and
+/// maintains the stale failover replica from [`Message::Replica`] frames.
+/// With `router = None` (or `cfg.serve_publish_every == 0`) this is
+/// exactly [`run_driver`].
+///
+/// # Errors
+/// Same failure modes as [`run_driver`].
+///
+/// # Panics
+/// Same panics as [`run_driver`].
+pub fn run_driver_serving<T: Transport>(
+    transport: &T,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    router: Option<&ServeRouter>,
+) -> Result<DistOutput, NetError> {
+    let out = run_driver_impl(transport, data, cfg, router);
+    // The run is over — cleanly or not, nothing will answer queries
+    // anymore: resolve everything in flight (and everything submitted
+    // later) as `RunOver` so no caller is left waiting on a dead mesh.
+    if let Some(router) = router {
+        router.finish();
+    }
+    out
+}
+
+fn run_driver_impl<T: Transport>(
+    transport: &T,
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    router: Option<&ServeRouter>,
 ) -> Result<DistOutput, NetError> {
     let capacity = transport.ranks();
     assert_eq!(
@@ -319,6 +525,9 @@ pub fn run_driver<T: Transport>(
 
     // Scatter: shards first (per-edge FIFO keeps Setup ahead of tokens).
     let init = FactorModel::init(data.nrows(), data.ncols(), k, nomad.seed);
+    // The serving failover replica starts as that same initialization:
+    // degraded-but-valid answers exist from update zero.
+    let mut serve = ServeState::new(&init, data.nrows(), capacity);
     let partition = RowPartition::contiguous(data.nrows(), initial);
     let active_ranks: Vec<u32> = (0..initial as u32).collect();
     for r in 0..initial {
@@ -420,6 +629,18 @@ pub fn run_driver<T: Transport>(
             }
         }
 
+        // Serving pump: route fresh submissions, resolve overdue ones,
+        // re-send retries/hedges, fail evicted owners over to the
+        // replica.  Once per loop iteration bounds query latency by the
+        // 10ms receive timeout below.
+        if let Some(router) = router {
+            let mut backend = DriverBackend {
+                st: &st,
+                serve: &mut serve,
+            };
+            router.pump(transport, &mut backend)?;
+        }
+
         let Some((src, msg)) = transport.recv_timeout(Duration::from_millis(10))? else {
             continue;
         };
@@ -433,7 +654,12 @@ pub fn run_driver<T: Transport>(
             st.last_heard[src] = Instant::now();
         }
         match msg {
-            Message::Progress { rank, updates } => {
+            Message::Progress {
+                rank,
+                updates,
+                staleness,
+                publish_gap,
+            } => {
                 let r = rank as usize;
                 if r >= capacity || r != src {
                     return Err(NetError::Protocol(format!(
@@ -441,9 +667,34 @@ pub fn run_driver<T: Transport>(
                     )));
                 }
                 st.latest[r] = st.latest[r].max(updates);
+                serve.staleness[r] = staleness;
+                serve.publish_gap[r] = publish_gap;
                 maybe_drain(transport, &mut st, budget)?;
             }
             Message::Ping { .. } => {}
+            Message::Replica(payload) => {
+                let r = payload.rank as usize;
+                if r >= capacity || r != src {
+                    return Err(NetError::Protocol(format!(
+                        "replica for rank {r} from endpoint {src}"
+                    )));
+                }
+                serve.merge(&payload, k)?;
+            }
+            Message::QueryReply {
+                id,
+                status,
+                epoch,
+                updates_at,
+                staleness,
+                recs,
+            } => {
+                // A reply with no router (or for an id the router already
+                // resolved) is a hedged duplicate or a straggler: drop it.
+                if let Some(router) = router {
+                    router.on_reply(id, status, epoch, updates_at, staleness, recs);
+                }
+            }
             Message::Suspect { rank, peer } => {
                 let (r, p) = (rank as usize, peer as usize);
                 if r != src || p >= capacity {
@@ -502,6 +753,12 @@ pub fn run_driver<T: Transport>(
         }
     }
     let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Quiesce serving before gather bookkeeping: queries submitted from
+    // here on resolve immediately as `RunOver`.
+    if let Some(router) = router {
+        router.finish();
+    }
 
     // Farewell to slots that never joined: a joiner waking up after the
     // run is over finds a rejection waiting instead of 30s of silence.
@@ -569,6 +826,18 @@ pub fn run_driver<T: Transport>(
         });
     }
     let model = assemble_model(data.nrows(), data.ncols(), k, &gathered, st.debt);
+    let max_staleness = st
+        .active_ranks()
+        .iter()
+        .map(|&r| serve.staleness[r])
+        .max()
+        .unwrap_or(u64::MAX);
+    let max_publish_gap = st
+        .active_ranks()
+        .iter()
+        .map(|&r| serve.publish_gap[r])
+        .max()
+        .unwrap_or(0);
     let stats = NetStats {
         updates: gathered.iter().map(|s| s.updates).sum(),
         tokens_processed: gathered.iter().map(|s| s.tickets).sum(),
@@ -579,6 +848,8 @@ pub fn run_driver<T: Transport>(
         evicted: st.evicted_list,
         joined: st.joined_list,
         reminted: st.reminted,
+        max_staleness,
+        max_publish_gap,
     };
     Ok(DistOutput { model, stats })
 }
@@ -617,6 +888,7 @@ fn make_setup(
         progress_every: cfg.effective_progress_every(budget),
         heartbeat_timeout_ms: cfg.heartbeat_timeout_ms,
         abort_after_updates: abort_after,
+        serve_publish_every: cfg.serve_publish_every,
         epoch,
         active_ranks: active_ranks.to_vec(),
         w_rows: Vec::new(),
@@ -1154,6 +1426,33 @@ impl DistributedNomad {
         data: &RatingMatrix,
         joiners: &[(usize, Duration)],
     ) -> Result<DistOutput, NetError> {
+        self.run_loopback_inner(data, joiners, None)
+    }
+
+    /// Runs the loopback engine while serving top-k queries through
+    /// `router`: query threads block in [`ServeRouter::query`] and the
+    /// driver answers them concurrently with training.  Joiners behave
+    /// as in [`Self::run_loopback_elastic`].  The configuration should
+    /// set [`NetConfig::serve_publish_every`], or every query will be a
+    /// stale-replica answer.
+    ///
+    /// # Errors
+    /// Propagates transport/protocol failures from any endpoint.
+    pub fn run_loopback_serving(
+        &self,
+        data: &RatingMatrix,
+        joiners: &[(usize, Duration)],
+        router: &ServeRouter,
+    ) -> Result<DistOutput, NetError> {
+        self.run_loopback_inner(data, joiners, Some(router))
+    }
+
+    fn run_loopback_inner(
+        &self,
+        data: &RatingMatrix,
+        joiners: &[(usize, Duration)],
+        router: Option<&ServeRouter>,
+    ) -> Result<DistOutput, NetError> {
         let initial = if self.cfg.initial_ranks == 0 {
             self.ranks
         } else {
@@ -1196,7 +1495,7 @@ impl DistributedNomad {
                     })
                 })
                 .collect();
-            let out = run_driver(&driver, data, &self.cfg);
+            let out = run_driver_serving(&driver, data, &self.cfg, router);
             for handle in handles.into_iter().chain(join_handles) {
                 handle.join().expect("rank thread panicked")?;
             }
@@ -1244,6 +1543,21 @@ impl DistributedNomad {
     /// non-zero is reported as a protocol error unless that child was
     /// evicted mid-run (a killed child cannot exit cleanly).
     pub fn run_processes(&self, data: &RatingMatrix) -> Result<DistOutput, NetError> {
-        crate::process::run_processes(&self.cfg, data, self.ranks)
+        crate::process::run_processes(&self.cfg, data, self.ranks, None)
+    }
+
+    /// [`Self::run_processes`] with a serving front-end: the parent
+    /// process drives `router` while the re-exec'd rank children answer
+    /// queries — the full kill-a-serving-rank path with real address
+    /// spaces.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Self::run_processes`].
+    pub fn run_processes_serving(
+        &self,
+        data: &RatingMatrix,
+        router: &ServeRouter,
+    ) -> Result<DistOutput, NetError> {
+        crate::process::run_processes(&self.cfg, data, self.ranks, Some(router))
     }
 }

@@ -25,7 +25,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nomad_cluster::ComputeModel;
 use nomad_core::sched::{install, FaultPlan, FuzzCase, FuzzController, FuzzFailure, Strategy};
@@ -33,7 +33,8 @@ use nomad_core::{NomadConfig, SerialNomad};
 use nomad_matrix::{RatingMatrix, TripletMatrix};
 
 use crate::chaos::ChaosTransport;
-use crate::driver::{run_driver, DistributedNomad, NetConfig};
+use crate::driver::{run_driver, run_driver_serving, DistributedNomad, NetConfig};
+use crate::serve_router::{Answer, RouterConfig, RouterStats, ServeError, ServeRouter};
 use crate::transport::{Loopback, NetError};
 
 /// What a surviving distributed schedule looked like.
@@ -220,6 +221,247 @@ pub fn fuzz_loopback_chaos(
         hops: out.stats.tokens_processed,
         evicted: out.stats.evicted,
         reminted: out.stats.reminted,
+        wall_seconds,
+    })
+}
+
+/// What a surviving serving-chaos schedule looked like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeChaosStats {
+    /// Updates performed across the surviving ranks.
+    pub updates: u64,
+    /// Ranks evicted during the run.
+    pub evicted: Vec<u32>,
+    /// Router outcome counters for the query load.
+    pub queries: RouterStats,
+    /// Slowest observed query resolution, in seconds.
+    pub slowest_query_seconds: f64,
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+}
+
+/// Per-query deadline the serving-chaos oracle runs under.  Far above
+/// the eviction latency (heartbeat timeout + census) of the chaos
+/// configurations, so a query outliving it means serving *lost* a query
+/// to the fault rather than failing it over.
+const SERVE_FUZZ_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Resolution slack the oracle grants past the deadline: the router's
+/// own client-side grace plus scheduler noise.
+const SERVE_FUZZ_SLACK: Duration = Duration::from_secs(2);
+
+/// [`fuzz_loopback_chaos`] with a concurrent query load: `threads`
+/// query threads hammer a [`ServeRouter`] (round-robin over the users,
+/// taking turns excluding a seen item) while the seeded transport fault
+/// kills or partitions the victim rank mid-run.  On top of the chaos
+/// oracles (completion, conservation, crash ⇒ eviction, budget), the
+/// serving oracles:
+///
+/// * every query **resolves** within deadline + slack — never a hang;
+/// * every outcome is a success (fresh, stale with its staleness bound,
+///   run-over) or an explicit [`ServeError::Shed`] — a
+///   [`ServeError::Timeout`] means the fault swallowed a query the
+///   failover path should have caught, and a [`ServeError::Failover`]
+///   is impossible for in-range users;
+/// * fresh and stale answers actually carry recommendations.
+///
+/// `cfg.serve_publish_every` must be non-zero or every answer degrades
+/// to the stale replica (legal, but not what the family is testing).
+pub fn fuzz_loopback_serving(
+    data: &RatingMatrix,
+    cfg: &NetConfig,
+    ranks: usize,
+    threads: usize,
+    case: FuzzCase,
+) -> Result<ServeChaosStats, FuzzFailure> {
+    assert!(ranks >= 2, "serving chaos needs at least one survivor");
+    assert!(threads >= 1, "need at least one query thread");
+    assert!(
+        cfg.serve_publish_every > 0,
+        "serving chaos requires serve_publish_every > 0"
+    );
+    let victim = (case.seed % ranks as u64) as usize;
+    let controller =
+        Arc::new(FuzzController::new(case, FaultPlan::default()).with_chaos(victim, 0));
+    let installed = install(controller.clone());
+    let budget = cfg
+        .nomad
+        .stop
+        .updates()
+        .expect("serving chaos requires an update budget");
+    let router = ServeRouter::new(RouterConfig {
+        deadline: SERVE_FUZZ_DEADLINE,
+        capacity: 64,
+        ..RouterConfig::default()
+    });
+    let nrows = data.nrows() as u32;
+    let ncols = data.ncols() as u32;
+    let start = Instant::now();
+
+    /// One query thread's verdict: queries issued, slowest resolution,
+    /// first oracle violation (if any).
+    struct QueryLog {
+        issued: u64,
+        slowest: Duration,
+        violation: Option<String>,
+    }
+
+    type RankResults = Vec<Result<(), NetError>>;
+    let run = catch_unwind(AssertUnwindSafe(
+        || -> Result<(crate::driver::DistOutput, RankResults, Vec<QueryLog>), NetError> {
+            let (driver, endpoints) = Loopback::mesh(ranks);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .map(|ep| {
+                        scope.spawn(move || {
+                            let chaotic = ChaosTransport::hooked(ep);
+                            crate::rank::run_rank(&chaotic)
+                        })
+                    })
+                    .collect();
+                let query_handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let router = &router;
+                        scope.spawn(move || {
+                            let mut log = QueryLog {
+                                issued: 0,
+                                slowest: Duration::ZERO,
+                                violation: None,
+                            };
+                            // Stagger the threads across the user space.
+                            let mut user = (t as u32 * 7919) % nrows;
+                            loop {
+                                let seen = if log.issued.is_multiple_of(3) {
+                                    vec![user % ncols, user % ncols] // dup ok
+                                } else {
+                                    Vec::new()
+                                };
+                                let asked = Instant::now();
+                                let res = router.query(user, 5, seen);
+                                let took = asked.elapsed();
+                                log.issued += 1;
+                                log.slowest = log.slowest.max(took);
+                                if took > SERVE_FUZZ_DEADLINE + SERVE_FUZZ_SLACK
+                                    && log.violation.is_none()
+                                {
+                                    log.violation = Some(format!(
+                                        "query for user {user} took {took:?}, past \
+                                         deadline {SERVE_FUZZ_DEADLINE:?} + slack"
+                                    ));
+                                }
+                                match res {
+                                    Ok(Answer::RunOver) => return log,
+                                    Ok(Answer::Fresh { recs, .. })
+                                    | Ok(Answer::Stale { recs, .. }) => {
+                                        if recs.is_empty() && log.violation.is_none() {
+                                            log.violation = Some(format!(
+                                                "answer for user {user} carried no \
+                                                 recommendations"
+                                            ));
+                                        }
+                                    }
+                                    Err(ServeError::Shed { .. }) => {
+                                        // Explicit overload refusal: legal.
+                                        // Back off harder than the usual gap.
+                                        std::thread::sleep(Duration::from_millis(5));
+                                    }
+                                    Err(e) => {
+                                        if log.violation.is_none() {
+                                            log.violation =
+                                                Some(format!("query for user {user} failed: {e}"));
+                                        }
+                                    }
+                                }
+                                user = (user + 1) % nrows;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        })
+                    })
+                    .collect();
+                let out = run_driver_serving(&driver, data, cfg, Some(&router));
+                // Even on a driver error the router has been finished, so
+                // the query threads are guaranteed to wind down.
+                let logs = query_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query thread panicked"))
+                    .collect();
+                let results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank thread panicked"))
+                    .collect();
+                Ok((out?, results, logs))
+            })
+        },
+    ));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    drop(installed);
+    let (out, rank_results, logs) = match run {
+        Ok(Ok(triple)) => triple,
+        Ok(Err(e)) => {
+            return Err(FuzzFailure::new(
+                case,
+                format!("serving chaos run failed: {e}"),
+            ))
+        }
+        Err(payload) => return Err(FuzzFailure::from_panic(case, payload)),
+    };
+
+    for (r, result) in rank_results.iter().enumerate() {
+        if let Err(e) = result {
+            if r != victim {
+                return Err(FuzzFailure::new(
+                    case,
+                    format!("non-victim rank {r} failed: {e}"),
+                ));
+            }
+        }
+    }
+    if matches!(case.strategy, Strategy::Crash(_)) && !out.stats.evicted.contains(&(victim as u32))
+    {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "crashed rank {victim} was never evicted (evicted: {:?})",
+                out.stats.evicted
+            ),
+        ));
+    }
+    if out.stats.updates < budget {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "survivors stopped at {} updates, below the {budget} budget",
+                out.stats.updates
+            ),
+        ));
+    }
+    let mut slowest = Duration::ZERO;
+    for log in &logs {
+        slowest = slowest.max(log.slowest);
+        if let Some(violation) = &log.violation {
+            return Err(FuzzFailure::new(case, violation.clone()));
+        }
+        if log.issued == 0 {
+            return Err(FuzzFailure::new(case, "a query thread never resolved"));
+        }
+    }
+    let queries = router.stats();
+    if queries.resolved() < queries.submitted {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "{} of {} queries never resolved",
+                queries.submitted - queries.resolved(),
+                queries.submitted
+            ),
+        ));
+    }
+    Ok(ServeChaosStats {
+        updates: out.stats.updates,
+        evicted: out.stats.evicted,
+        queries,
+        slowest_query_seconds: slowest.as_secs_f64(),
         wall_seconds,
     })
 }

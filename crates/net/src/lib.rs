@@ -35,6 +35,11 @@
 //!   the fault-tolerance protocol (heartbeat detection, census-based
 //!   eviction, token re-minting, shard takeover, mid-run joins) that
 //!   [`rank`] and [`driver`] implement.
+//! * [`serve_router`] — the resilient serving front-end: deadline-routed
+//!   top-k queries over the training mesh with retry/backoff, hedging,
+//!   admission control, and stale-replica failover during evictions
+//!   (each rank runs a [`nomad_serve::SnapshotPublisher`] over its
+//!   shard; the driver keeps a stale replica per rank for failover).
 //!
 //! The correctness anchor is the same one the threaded and simulated
 //! engines carry: at one rank with a fixed seed, the engine reassembles a
@@ -50,17 +55,23 @@ pub mod driver;
 pub mod fuzz;
 pub mod process;
 pub mod rank;
+pub mod serve_router;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use chaos::{ChaosPlan, ChaosTransport};
 pub use driver::{DistOutput, DistributedNomad, NetConfig, NetStats, DEFAULT_HEARTBEAT_TIMEOUT_MS};
-pub use fuzz::{fuzz_loopback, fuzz_loopback_chaos, NetChaosStats, NetFuzzStats};
+pub use fuzz::{
+    fuzz_loopback, fuzz_loopback_chaos, fuzz_loopback_serving, NetChaosStats, NetFuzzStats,
+    ServeChaosStats,
+};
 pub use process::{child_entry, CHILD_FAILURE_EXIT, DRIVER_ENV, RANK_ENV};
 pub use rank::{join_rank, run_rank};
+pub use serve_router::{Answer, RouterConfig, RouterStats, ServeError, ServeRouter};
 pub use tcp::TcpTransport;
 pub use transport::{DelayedTransport, Loopback, NetError, Transport};
 pub use wire::{
-    Message, SetupPayload, ShardPayload, ShardTransferPayload, WireError, WireSegment, WireToken,
+    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, WireError,
+    WireSegment, WireToken, QUERY_NOT_READY, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
 };

@@ -15,7 +15,8 @@ use std::process::{Command, Stdio};
 
 use nomad_matrix::RatingMatrix;
 
-use crate::driver::{run_driver, DistOutput, NetConfig};
+use crate::driver::{run_driver_serving, DistOutput, NetConfig};
+use crate::serve_router::ServeRouter;
 use crate::tcp::TcpTransport;
 use crate::transport::NetError;
 
@@ -59,11 +60,13 @@ pub fn child_entry() {
     }
 }
 
-/// Spawns `ranks` re-exec'd children, drives the run, reaps the children.
+/// Spawns `ranks` re-exec'd children, drives the run (serving queries
+/// through `router` when one is given), reaps the children.
 pub(crate) fn run_processes(
     cfg: &NetConfig,
     data: &RatingMatrix,
     ranks: usize,
+    router: Option<&ServeRouter>,
 ) -> Result<DistOutput, NetError> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;
@@ -81,7 +84,7 @@ pub(crate) fn run_processes(
     }
     let run = (|| {
         let transport = TcpTransport::accept_ranks(listener, ranks)?;
-        run_driver(&transport, data, cfg)
+        run_driver_serving(&transport, data, cfg, router)
     })();
     // Reap the children whatever happened; on driver failure the dropped
     // transport shuts the sockets, so children cannot outlive this loop.

@@ -64,11 +64,13 @@ use nomad_core::slab::FactorSlab;
 use nomad_core::worker::WorkerData;
 use nomad_core::RoutingPolicy;
 use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
+use nomad_serve::SnapshotPublisher;
 use nomad_sgd::{FactorMatrix, HyperParams, StepSchedule};
 
 use crate::transport::{NetError, Transport};
 use crate::wire::{
-    Message, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment, WireToken,
+    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment,
+    WireToken, QUERY_NOT_READY, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
 };
 
 /// How long the communication loop blocks on the transport per iteration.
@@ -231,6 +233,13 @@ struct Shared {
     /// no transport access of its own): donated `ShardTransfer`s.
     ctrl_out: Mutex<Vec<(usize, Message)>>,
     ctrl_pending: AtomicBool,
+    /// The serving snapshot publisher; `None` when the run was
+    /// configured without serving (`serve_publish_every == 0`).
+    publisher: Option<SnapshotPublisher>,
+    /// Mirror of the worker's owned segments so the comm thread can
+    /// slice replica frames out of published snapshots without taking
+    /// the (worker-held) state lock.
+    serve_owned: Mutex<Vec<(usize, usize)>>,
 }
 
 /// The worker's mutable model state, lockable so the comm thread can
@@ -410,6 +419,7 @@ impl WorkerState {
                 }
             }
         }
+        *shared.serve_owned.lock().unwrap_or_else(|e| e.into_inner()) = self.owned.clone();
     }
 }
 
@@ -455,6 +465,20 @@ fn run_rank_inner<T: Transport>(
             .fold(0, |a, &r| a | bit(r as usize))
     };
 
+    // Serving is opt-in per run: a publisher only exists when the setup
+    // carries a publish cadence, and its single worker slot is this
+    // rank's one worker thread.
+    let publisher = (setup.serve_publish_every > 0).then(|| {
+        let p = SnapshotPublisher::new(setup.serve_publish_every);
+        p.begin_run(setup.nrows as usize, setup.ncols as usize, k, 1);
+        p
+    });
+    let serve_owned = if setup.row_count > 0 {
+        vec![(setup.row_start as usize, setup.row_count as usize)]
+    } else {
+        Vec::new()
+    };
+
     let state = Mutex::new(WorkerState::new(&setup));
     let shared = Shared {
         queue: SegQueue::new(),
@@ -473,6 +497,8 @@ fn run_rank_inner<T: Transport>(
         cmd_pending: AtomicBool::new(false),
         ctrl_out: Mutex::new(Vec::new()),
         ctrl_pending: AtomicBool::new(false),
+        publisher,
+        serve_owned: Mutex::new(serve_owned),
     };
 
     let mut comm = CommState::new(rank, capacity, driver, members, &setup);
@@ -571,6 +597,7 @@ fn comm_run<'scope, T: Transport>(
         comm.flush_ctrl(transport, shared)?;
         comm.flush_ready(transport, shared)?;
         comm.report_progress(transport, shared)?;
+        comm.replica_tick(transport, shared)?;
         comm.heartbeat_tick(transport)?;
 
         if comm.evicted_self {
@@ -635,6 +662,8 @@ struct CommState {
     fins_from: u64,
     fins_sent: bool,
     last_reported: u64,
+    /// Publisher epoch of the last replica frame shipped to the driver.
+    last_replica_epoch: u64,
     remote_sends: u64,
     /// Active-membership bitmap (authoritative copy; mirrored into
     /// `Shared` for the worker).
@@ -691,6 +720,7 @@ impl CommState {
             fins_from: 0,
             fins_sent: false,
             last_reported: 0,
+            last_replica_epoch: 0,
             remote_sends: 0,
             members,
             evicted: 0,
@@ -958,16 +988,128 @@ impl CommState {
             || (shared.worker_exited.load(Ordering::Acquire) && updates != self.last_reported);
         if due {
             self.last_reported = updates;
+            // Piggyback serving freshness on the frame the driver already
+            // expects: `u64::MAX` staleness means "serving disabled or
+            // nothing published yet" (a real staleness of MAX updates is
+            // unreachable — the budget caps updates far below it).
+            let (staleness, publish_gap) = match &shared.publisher {
+                Some(p) => (
+                    p.staleness(updates).unwrap_or(u64::MAX),
+                    p.max_publish_gap(),
+                ),
+                None => (u64::MAX, 0),
+            };
             self.note_sent(self.driver);
             t.send(
                 self.driver,
                 &Message::Progress {
                     rank: self.rank as u32,
                     updates,
+                    staleness,
+                    publish_gap,
                 },
             )?;
         }
         Ok(())
+    }
+
+    /// Ships the latest published snapshot to the driver as a replica
+    /// frame (owned user segments + the full item matrix) whenever the
+    /// publisher has advanced an epoch.  The driver keeps the newest
+    /// replica per rank and fails queries over to it when the rank is
+    /// dead or mid-census, with a staleness bound instead of an error.
+    fn replica_tick<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
+        let Some(publisher) = &shared.publisher else {
+            return Ok(());
+        };
+        if publisher.epoch() == self.last_replica_epoch {
+            return Ok(());
+        }
+        let Some(snap) = publisher.latest() else {
+            return Ok(());
+        };
+        self.last_replica_epoch = snap.epoch();
+        let owned = shared
+            .serve_owned
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let k = snap.k();
+        let segments = owned
+            .iter()
+            .map(|&(start, count)| {
+                let mut rows = Vec::with_capacity(count * k);
+                for r in start..start + count {
+                    rows.extend_from_slice(snap.user_factor(r as Idx));
+                }
+                WireSegment {
+                    row_start: start as u64,
+                    rows,
+                }
+            })
+            .collect();
+        let mut items = Vec::with_capacity(snap.num_items() * k);
+        for j in 0..snap.num_items() {
+            items.extend_from_slice(snap.item_factor(j as Idx));
+        }
+        let msg = Message::Replica(Box::new(ReplicaPayload {
+            rank: self.rank as u32,
+            k: k as u32,
+            epoch: snap.epoch(),
+            updates_at: snap.updates_at(),
+            segments,
+            items,
+        }));
+        self.note_sent(self.driver);
+        t.send(self.driver, &msg)
+    }
+
+    /// Answers a routed top-k query from the latest published snapshot.
+    /// Every path produces a reply — the router's deadline accounting
+    /// depends on a quiesced or not-yet-published rank *saying so*
+    /// rather than going silent.
+    fn answer_query(
+        &self,
+        shared: &Shared,
+        id: u64,
+        user: u32,
+        k: u32,
+        mut seen: Vec<u32>,
+    ) -> Message {
+        let empty = |status: u8| Message::QueryReply {
+            id,
+            status,
+            epoch: 0,
+            updates_at: 0,
+            staleness: 0,
+            recs: Vec::new(),
+        };
+        // A drained rank will never publish again: tell the router the
+        // run is over (terminal — the gathered model supersedes this
+        // shard) instead of letting the edge-final `Fin` surface as a
+        // transport error.
+        if shared.drain.load(Ordering::Acquire) && shared.worker_exited.load(Ordering::Acquire) {
+            return empty(QUERY_RUN_OVER);
+        }
+        let snap = shared.publisher.as_ref().and_then(|p| p.latest());
+        let Some(snap) = snap else {
+            return empty(QUERY_NOT_READY);
+        };
+        if user as usize >= snap.num_users() {
+            return empty(QUERY_UNKNOWN_USER);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        let top = snap.top_k(user, k as usize, &seen);
+        let now = shared.local_updates.load(Ordering::Acquire);
+        Message::QueryReply {
+            id,
+            status: QUERY_OK,
+            epoch: top.epoch,
+            updates_at: top.updates_at,
+            staleness: now.saturating_sub(top.updates_at),
+            recs: top.recs.iter().map(|r| (r.item, r.score)).collect(),
+        }
     }
 
     fn send_fins<T: Transport>(&mut self, t: &T) -> Result<(), NetError> {
@@ -1212,6 +1354,10 @@ impl CommState {
                     });
                 shared.cmd_pending.store(true, Ordering::Release);
             }
+            Message::Query { id, user, k, seen } => {
+                let reply = self.answer_query(shared, id, user, k, seen);
+                self.post_ctrl(t, self.driver, &reply)?;
+            }
             Message::ShardTransfer(transfer) => {
                 shared
                     .cmds
@@ -1300,6 +1446,11 @@ fn worker_loop(
         let Some(token) = shared.queue.pop() else {
             #[cfg(feature = "sched-fuzz")]
             nomad_core::sched::hooks::after_pop(rank, false);
+            // Idle hop: still contribute the user block to an in-flight
+            // snapshot build, so a starved rank cannot stall a publish.
+            if let Some(p) = &shared.publisher {
+                p.coop_tick(0, local_updates, 0, &st.own, None);
+            }
             std::thread::yield_now();
             continue;
         };
@@ -1324,6 +1475,12 @@ fn worker_loop(
         }
         local_updates += count;
         shared.local_updates.store(local_updates, Ordering::Release);
+        // Serving hook: two relaxed loads when no build is due; during a
+        // build this contributes the user block once and item row
+        // `token.item` (still owned — the token has not been pushed on).
+        if let Some(p) = &shared.publisher {
+            p.coop_tick(0, local_updates, 0, &st.own, Some((token.item, &*h)));
+        }
 
         // Chaos knob: a real spawned child can be told to die abruptly
         // after N updates — the kill-a-rank regression's deterministic

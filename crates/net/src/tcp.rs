@@ -642,6 +642,8 @@ mod tests {
                 &Message::Progress {
                     rank: 1,
                     updates: 7,
+                    staleness: u64::MAX,
+                    publish_gap: 0,
                 },
             )
             .unwrap();
@@ -655,7 +657,9 @@ mod tests {
                 1,
                 Message::Progress {
                     rank: 1,
-                    updates: 7
+                    updates: 7,
+                    staleness: u64::MAX,
+                    publish_gap: 0,
                 }
             )
         );
@@ -671,6 +675,8 @@ mod tests {
                     &Message::Progress {
                         rank: 0,
                         updates: u,
+                        staleness: u64::MAX,
+                        publish_gap: 0,
                     },
                 )
                 .unwrap();
@@ -684,7 +690,9 @@ mod tests {
                 msg,
                 Message::Progress {
                     rank: 0,
-                    updates: expect
+                    updates: expect,
+                    staleness: u64::MAX,
+                    publish_gap: 0,
                 }
             );
         }

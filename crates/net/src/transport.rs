@@ -265,6 +265,8 @@ mod tests {
                     &Message::Progress {
                         rank: 0,
                         updates: u,
+                        staleness: u64::MAX,
+                        publish_gap: 0,
                     },
                 )
                 .unwrap();

@@ -123,6 +123,10 @@ pub struct SetupPayload {
     /// child — the kill-a-rank regression uses it as a deterministic
     /// `SIGKILL` stand-in.
     pub abort_after_updates: u64,
+    /// Serving knob: run a `SnapshotPublisher` over the rank's shard,
+    /// publishing roughly every this many local updates (`0` = serving
+    /// disabled; queries answer `NotReady`).
+    pub serve_publish_every: u64,
     /// Membership epoch this setup belongs to (bumped by every eviction
     /// and join).
     pub epoch: u64,
@@ -167,6 +171,40 @@ pub struct ShardPayload {
     /// Tokens this rank sent to other ranks over the transport.
     pub remote_sends: u64,
 }
+
+/// A rank's published serving snapshot, shipped to the driver so the
+/// front-end router can fail over to a **stale replica** of the shard
+/// when the owning rank dies or partitions mid-run.  Sent rank → driver
+/// after every publisher epoch advance: the owned user rows (from the
+/// immutable published snapshot, not the live slab) plus the full item
+/// matrix the snapshot froze.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaPayload {
+    /// The publishing rank.
+    pub rank: u32,
+    /// Latent dimension (for framing segment rows and `items`).
+    pub k: u32,
+    /// Publisher epoch of the snapshot this replica copies.
+    pub epoch: u64,
+    /// Cumulative update clock when the snapshot was initiated — the
+    /// staleness anchor for every answer served from this replica.
+    pub updates_at: u64,
+    /// Owned user rows, as disjoint contiguous segments.
+    pub segments: Vec<WireSegment>,
+    /// The snapshot's full item matrix, row-major (`ncols * k` values).
+    pub items: Vec<f64>,
+}
+
+/// `QueryReply::status`: the owning rank answered from its live snapshot.
+pub const QUERY_OK: u8 = 0;
+/// `QueryReply::status`: the rank has not published a snapshot yet (the
+/// router fails over to the driver-held stale replica).
+pub const QUERY_NOT_READY: u8 = 1;
+/// `QueryReply::status`: the run has drained and the rank has quiesced —
+/// a terminal "run over, use the gathered model" answer, not an error.
+pub const QUERY_RUN_OVER: u8 = 2;
+/// `QueryReply::status`: the queried user is outside the model.
+pub const QUERY_UNKNOWN_USER: u8 = 3;
 
 /// User rows in flight between address spaces: eviction takeover (driver
 /// re-materializes the dead rank's shard on a survivor) and join
@@ -216,12 +254,21 @@ pub enum Message {
         /// The tokens.
         tokens: Vec<WireToken>,
     },
-    /// Rank → driver: cumulative local update count.
+    /// Rank → driver: cumulative local update count, with the rank's
+    /// serving freshness piggybacked so the driver can report fleet-wide
+    /// staleness without extra frames.
     Progress {
         /// The reporting rank.
         rank: u32,
         /// Its cumulative SGD-update count.
         updates: u64,
+        /// Updates since the rank's latest published snapshot was
+        /// initiated ([`u64::MAX`] = serving disabled or nothing
+        /// published yet).
+        staleness: u64,
+        /// Largest update gap between the rank's consecutive publishes
+        /// so far (`0` until two snapshots exist).
+        publish_gap: u64,
     },
     /// Driver → rank: stop processing, flush, quiesce.
     Drain,
@@ -315,6 +362,41 @@ pub enum Message {
     /// Driver → survivor (takeover) or donor → newcomer (rebalance):
     /// a segment of user rows changes owner.
     ShardTransfer(Box<ShardTransferPayload>),
+    /// Router (via the driver's endpoint) → owning rank: answer a top-k
+    /// query for `user` from the rank's live snapshot.
+    Query {
+        /// Router-assigned query id, echoed in the reply (idempotent:
+        /// retries and hedges reuse the id, first reply wins).
+        id: u64,
+        /// The queried global user row.
+        user: u32,
+        /// How many recommendations to return.
+        k: u32,
+        /// Items to exclude (already rated); any order, duplicates ok —
+        /// the rank normalizes before scoring.
+        seen: Vec<u32>,
+    },
+    /// Owning rank → router: the answer (or a typed non-answer) to a
+    /// [`Message::Query`].
+    QueryReply {
+        /// The echoed query id.
+        id: u64,
+        /// One of [`QUERY_OK`], [`QUERY_NOT_READY`], [`QUERY_RUN_OVER`],
+        /// [`QUERY_UNKNOWN_USER`]; any other value is a decode error.
+        status: u8,
+        /// Publisher epoch of the answering snapshot (0 unless `Ok`).
+        epoch: u64,
+        /// Update clock the answering snapshot was initiated at.
+        updates_at: u64,
+        /// The rank's staleness bound at answer time (updates since the
+        /// snapshot was initiated).
+        staleness: u64,
+        /// Recommendations, best first, as `(item, score)` pairs.
+        recs: Vec<(u32, f64)>,
+    },
+    /// Rank → driver: a copy of the rank's latest published snapshot,
+    /// kept driver-side as the failover replica for this shard.
+    Replica(Box<ReplicaPayload>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -336,6 +418,9 @@ const TAG_JOIN: u8 = 16;
 const TAG_ADD_RANK: u8 = 17;
 const TAG_REBALANCE: u8 = 18;
 const TAG_SHARD_TRANSFER: u8 = 19;
+const TAG_QUERY: u8 = 20;
+const TAG_QUERY_REPLY: u8 = 21;
+const TAG_REPLICA: u8 = 22;
 
 // ---------------------------------------------------------------------------
 // Primitive writers/readers.
@@ -547,6 +632,7 @@ impl Message {
                 put_u64(&mut buf, s.progress_every);
                 put_u32(&mut buf, s.heartbeat_timeout_ms);
                 put_u64(&mut buf, s.abort_after_updates);
+                put_u64(&mut buf, s.serve_publish_every);
                 put_u64(&mut buf, s.epoch);
                 put_u32(&mut buf, seq_len(s.active_ranks.len())?);
                 for &r in &s.active_ranks {
@@ -560,10 +646,17 @@ impl Message {
                 put_u64(&mut buf, *qlen);
                 put_tokens(&mut buf, tokens)?;
             }
-            Message::Progress { rank, updates } => {
+            Message::Progress {
+                rank,
+                updates,
+                staleness,
+                publish_gap,
+            } => {
                 buf.push(TAG_PROGRESS);
                 put_u32(&mut buf, *rank);
                 put_u64(&mut buf, *updates);
+                put_u64(&mut buf, *staleness);
+                put_u64(&mut buf, *publish_gap);
             }
             Message::Drain => buf.push(TAG_DRAIN),
             Message::Fin { rank } => {
@@ -651,6 +744,49 @@ impl Message {
                 put_f64s(&mut buf, &t.rows)?;
                 put_entries(&mut buf, &t.entries)?;
             }
+            Message::Query { id, user, k, seen } => {
+                buf.push(TAG_QUERY);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, *user);
+                put_u32(&mut buf, *k);
+                put_u32(&mut buf, seq_len(seen.len())?);
+                for &s in seen {
+                    put_u32(&mut buf, s);
+                }
+            }
+            Message::QueryReply {
+                id,
+                status,
+                epoch,
+                updates_at,
+                staleness,
+                recs,
+            } => {
+                buf.push(TAG_QUERY_REPLY);
+                put_u64(&mut buf, *id);
+                buf.push(*status);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *updates_at);
+                put_u64(&mut buf, *staleness);
+                put_u32(&mut buf, seq_len(recs.len())?);
+                for &(item, score) in recs {
+                    put_u32(&mut buf, item);
+                    put_f64(&mut buf, score);
+                }
+            }
+            Message::Replica(p) => {
+                buf.push(TAG_REPLICA);
+                put_u32(&mut buf, p.rank);
+                put_u32(&mut buf, p.k);
+                put_u64(&mut buf, p.epoch);
+                put_u64(&mut buf, p.updates_at);
+                put_u32(&mut buf, seq_len(p.segments.len())?);
+                for seg in &p.segments {
+                    put_u64(&mut buf, seg.row_start);
+                    put_f64s(&mut buf, &seg.rows)?;
+                }
+                put_f64s(&mut buf, &p.items)?;
+            }
         }
         Ok(buf)
     }
@@ -698,6 +834,7 @@ impl Message {
                 let progress_every = r.u64()?;
                 let heartbeat_timeout_ms = r.u32()?;
                 let abort_after_updates = r.u64()?;
+                let serve_publish_every = r.u64()?;
                 let epoch = r.u64()?;
                 let n = r.seq(4)?;
                 let mut active_ranks = Vec::with_capacity(n);
@@ -724,6 +861,7 @@ impl Message {
                     progress_every,
                     heartbeat_timeout_ms,
                     abort_after_updates,
+                    serve_publish_every,
                     epoch,
                     active_ranks,
                     w_rows,
@@ -737,6 +875,8 @@ impl Message {
             TAG_PROGRESS => Message::Progress {
                 rank: r.u32()?,
                 updates: r.u64()?,
+                staleness: r.u64()?,
+                publish_gap: r.u64()?,
             },
             TAG_DRAIN => Message::Drain,
             TAG_FIN => Message::Fin { rank: r.u32()? },
@@ -809,6 +949,63 @@ impl Message {
                 rows: r.f64s()?,
                 entries: get_entries(&mut r)?,
             })),
+            TAG_QUERY => {
+                let id = r.u64()?;
+                let user = r.u32()?;
+                let k = r.u32()?;
+                let n = r.seq(4)?;
+                let mut seen = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seen.push(r.u32()?);
+                }
+                Message::Query { id, user, k, seen }
+            }
+            TAG_QUERY_REPLY => {
+                let id = r.u64()?;
+                let status = r.u8()?;
+                if status > QUERY_UNKNOWN_USER {
+                    return Err(WireError::BadValue(status as u64));
+                }
+                let epoch = r.u64()?;
+                let updates_at = r.u64()?;
+                let staleness = r.u64()?;
+                let n = r.seq(12)?;
+                let mut recs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    recs.push((r.u32()?, r.f64()?));
+                }
+                Message::QueryReply {
+                    id,
+                    status,
+                    epoch,
+                    updates_at,
+                    staleness,
+                    recs,
+                }
+            }
+            TAG_REPLICA => {
+                let rank = r.u32()?;
+                let k = r.u32()?;
+                let epoch = r.u64()?;
+                let updates_at = r.u64()?;
+                // Minimum 12 bytes per segment (row_start + empty rows).
+                let n = r.seq(12)?;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    segments.push(WireSegment {
+                        row_start: r.u64()?,
+                        rows: r.f64s()?,
+                    });
+                }
+                Message::Replica(Box::new(ReplicaPayload {
+                    rank,
+                    k,
+                    epoch,
+                    updates_at,
+                    segments,
+                    items: r.f64s()?,
+                }))
+            }
             other => return Err(WireError::BadTag(other)),
         };
         r.finish()?;
@@ -892,6 +1089,8 @@ mod tests {
         roundtrip(&Message::Progress {
             rank: 1,
             updates: u64::MAX,
+            staleness: u64::MAX,
+            publish_gap: 4096,
         });
         roundtrip(&Message::Drain);
         roundtrip(&Message::Fin { rank: 0 });
@@ -936,6 +1135,7 @@ mod tests {
             progress_every: 4096,
             heartbeat_timeout_ms: 10_000,
             abort_after_updates: 0,
+            serve_publish_every: 2_000,
             epoch: 3,
             active_ranks: vec![0, 1, 3],
             w_rows: vec![0.125; 16],
@@ -1001,6 +1201,75 @@ mod tests {
     }
 
     #[test]
+    fn serving_messages_round_trip() {
+        roundtrip(&Message::Query {
+            id: u64::MAX,
+            user: 42,
+            k: 10,
+            seen: vec![3, 1, 1, u32::MAX],
+        });
+        roundtrip(&Message::Query {
+            id: 0,
+            user: 0,
+            k: 0,
+            seen: vec![],
+        });
+        roundtrip(&Message::QueryReply {
+            id: 7,
+            status: QUERY_OK,
+            epoch: 3,
+            updates_at: 10_000,
+            staleness: 512,
+            recs: vec![(5, 4.5), (0, -0.25), (u32::MAX, f64::MIN_POSITIVE)],
+        });
+        roundtrip(&Message::QueryReply {
+            id: 8,
+            status: QUERY_RUN_OVER,
+            epoch: 0,
+            updates_at: 0,
+            staleness: 0,
+            recs: vec![],
+        });
+        roundtrip(&Message::Replica(Box::new(ReplicaPayload {
+            rank: 2,
+            k: 2,
+            epoch: 5,
+            updates_at: 9_000,
+            segments: vec![
+                WireSegment {
+                    row_start: 0,
+                    rows: vec![1.0, 2.0, 3.0, 4.0],
+                },
+                WireSegment {
+                    row_start: 700,
+                    rows: vec![5.0, 6.0],
+                },
+            ],
+            items: vec![0.5, -0.5, 1.5, -1.5],
+        })));
+    }
+
+    #[test]
+    fn invalid_query_reply_status_is_rejected() {
+        let mut bytes = Message::QueryReply {
+            id: 1,
+            status: QUERY_OK,
+            epoch: 0,
+            updates_at: 0,
+            staleness: 0,
+            recs: vec![],
+        }
+        .encode()
+        .unwrap();
+        // The status byte sits right after tag + u64 id.
+        bytes[1 + 8] = QUERY_UNKNOWN_USER + 1;
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::BadValue((QUERY_UNKNOWN_USER + 1) as u64))
+        );
+    }
+
+    #[test]
     fn truncated_inputs_error_instead_of_panicking() {
         let full = Message::TokenBatch {
             qlen: 1,
@@ -1062,6 +1331,7 @@ mod tests {
             progress_every: 1,
             heartbeat_timeout_ms: 0,
             abort_after_updates: 0,
+            serve_publish_every: 0,
             epoch: 0,
             active_ranks: vec![0],
             w_rows: vec![0.0],

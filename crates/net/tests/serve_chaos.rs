@@ -1,0 +1,115 @@
+//! Seeded chaos sweeps over the *serving* tier: kill or partition the
+//! rank being queried mid-run and assert that every concurrent query
+//! still resolves within its deadline.
+//!
+//! Own binary for the same reason as `chaos.rs`: the schedule controller
+//! installs process-wide.
+//!
+//! Each case runs a 3-rank loopback mesh with per-rank snapshot
+//! publishers and two query threads hammering the [`ServeRouter`] while
+//! the seeded fault (`crash@<step>` / `partition@<step>`) takes out the
+//! victim.  The oracles live in
+//! [`fuzz_loopback_serving`](nomad_net::fuzz_loopback_serving): on top
+//! of the usual chaos invariants (completion, conservation, crash ⇒
+//! eviction), **no query may hang or time out** — a query whose owner
+//! died must come back as a stale-replica failover with its staleness
+//! bound, an explicit shed, or a run-over notice.  A failing case prints
+//! its `strategy@seed` pair; replay it with
+//! `NOMAD_FUZZ_REPLAY=crash@7@0x2 cargo test -p nomad-net --test serve_chaos`.
+//!
+//! [`ServeRouter`]: nomad_net::ServeRouter
+
+use nomad_core::sched::{FuzzCase, Strategy};
+use nomad_core::{NomadConfig, StopCondition};
+use nomad_data::{named_dataset, SizeTier};
+use nomad_matrix::RatingMatrix;
+use nomad_net::{fuzz_loopback_serving, NetConfig};
+use nomad_sgd::HyperParams;
+
+fn tiny() -> RatingMatrix {
+    named_dataset("netflix-sim", SizeTier::Tiny)
+        .unwrap()
+        .build()
+        .matrix
+}
+
+/// Same substrate as the plain chaos family — small batches for fine
+/// fault granularity, a short heartbeat so evictions (and therefore
+/// failovers) happen well inside the query deadline — plus a publish
+/// cadence fast enough that fresh answers exist within the first few
+/// hundred updates.
+fn serve_chaos_config(seed: u64) -> NetConfig {
+    let nomad = NomadConfig::new(HyperParams::netflix().with_k(8))
+        .with_stop(StopCondition::Updates(20_000))
+        .with_seed(4242 ^ seed)
+        .with_message_batch(4);
+    let mut cfg = NetConfig::new(nomad);
+    cfg.heartbeat_timeout_ms = 300;
+    cfg.serve_publish_every = 500;
+    cfg
+}
+
+fn run_case(data: &RatingMatrix, case: FuzzCase) {
+    let stats = fuzz_loopback_serving(data, &serve_chaos_config(case.seed), 3, 2, case)
+        .unwrap_or_else(|f| panic!("{f}"));
+    if matches!(case.strategy, Strategy::Crash(_)) {
+        assert!(
+            !stats.evicted.is_empty(),
+            "{case}: crash case finished without an eviction"
+        );
+    }
+    assert!(
+        stats.queries.successes() > 0,
+        "{case}: no query ever succeeded (stats: {:?})",
+        stats.queries
+    );
+}
+
+/// Sweeps `seeds` cases per strategy family.  The steps differ from the
+/// plain chaos family's so the two sweeps explore different fault
+/// landing points; the victim still derives from the seed, so queries
+/// for its users exercise the failover path in every crash case.
+fn sweep(data: &RatingMatrix, seeds: u64) {
+    if let Ok(spec) = std::env::var("NOMAD_FUZZ_REPLAY") {
+        let case: FuzzCase = spec
+            .parse()
+            .unwrap_or_else(|e| panic!("bad NOMAD_FUZZ_REPLAY {spec:?}: {e}"));
+        assert!(
+            matches!(case.strategy, Strategy::Crash(_) | Strategy::Partition(_)),
+            "{case} is not a chaos case; replay it via the sched_fuzz tests instead"
+        );
+        eprintln!("replaying {case} ...");
+        run_case(data, case);
+        return;
+    }
+    for seed in 0..seeds {
+        run_case(
+            data,
+            FuzzCase::new(seed, Strategy::Crash(3 + 11 * (seed % 5))),
+        );
+        run_case(
+            data,
+            FuzzCase::new(seed, Strategy::Partition(2 + 5 * (seed % 6))),
+        );
+    }
+}
+
+/// 4-seed quick sweep (8 cases): runs in the default suite.
+#[test]
+fn serving_chaos_seeds_quick_resolve_every_query() {
+    let data = tiny();
+    sweep(&data, 4);
+}
+
+/// 32-seed long sweep (env-tunable via `NOMAD_FUZZ_SEEDS`); nightly CI
+/// runs it with `--ignored`.
+#[test]
+#[ignore = "long serving-chaos sweep (NOMAD_FUZZ_SEEDS, default 32); nightly CI runs it with --ignored"]
+fn serving_chaos_seeds_long_resolve_every_query() {
+    let seeds = std::env::var("NOMAD_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let data = tiny();
+    sweep(&data, seeds);
+}

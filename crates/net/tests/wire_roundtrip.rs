@@ -9,7 +9,10 @@
 
 use proptest::prelude::*;
 
-use nomad_net::{Message, SetupPayload, ShardPayload, WireError, WireSegment, WireToken};
+use nomad_net::{
+    Message, ReplicaPayload, SetupPayload, ShardPayload, WireError, WireSegment, WireToken,
+    QUERY_UNKNOWN_USER,
+};
 
 /// Strategy: an arbitrary factor row, including non-finite and
 /// signed-zero bit patterns (decoded factors must be *bit*-faithful).
@@ -114,6 +117,7 @@ proptest! {
             progress_every: 4096,
             heartbeat_timeout_ms: 10_000,
             abort_after_updates: 0,
+            serve_publish_every: budget / 7,
             epoch: 3,
             active_ranks: (0..ranks).collect(),
             w_rows: w,
@@ -121,6 +125,105 @@ proptest! {
         }));
         let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
         prop_assert_eq!(&msg, &decoded);
+    }
+
+    /// Serving queries survive the wire exactly (ids, excluded items).
+    #[test]
+    fn queries_round_trip(
+        id in any::<u64>(),
+        user in any::<u32>(),
+        k in any::<u32>(),
+        seen in proptest::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let msg = Message::Query { id, user, k, seen };
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        prop_assert_eq!(&msg, &decoded);
+    }
+
+    /// Query replies survive the wire bit-identically — recommendation
+    /// scores are `f64`s and must not be disturbed (NaN/-0.0 included).
+    #[test]
+    fn query_replies_round_trip(
+        id in any::<u64>(),
+        status in 0u8..=3,
+        clocks in (any::<u64>(), any::<u64>(), any::<u64>()),
+        rec_bits in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..30),
+    ) {
+        let msg = Message::QueryReply {
+            id,
+            status,
+            epoch: clocks.0,
+            updates_at: clocks.1,
+            staleness: clocks.2,
+            recs: rec_bits.into_iter().map(|(j, b)| (j, f64::from_bits(b))).collect(),
+        };
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        assert_bit_identical(&msg, &decoded);
+    }
+
+    /// A reply status outside the defined range is a decode error, not a
+    /// value the router has to defend against.
+    #[test]
+    fn undefined_reply_statuses_are_rejected(bad in QUERY_UNKNOWN_USER + 1..=u8::MAX) {
+        let msg = Message::QueryReply {
+            id: 1,
+            status: QUERY_UNKNOWN_USER, // encode something valid first
+            epoch: 0,
+            updates_at: 0,
+            staleness: 0,
+            recs: vec![],
+        };
+        let mut bytes = msg.encode().unwrap();
+        // The status byte sits right after the tag byte and the u64 id.
+        bytes[1 + 8] = bad;
+        prop_assert!(matches!(Message::decode(&bytes), Err(WireError::BadValue(_))));
+    }
+
+    /// Replica frames (snapshot mirrors for failover) survive the wire
+    /// bit-identically.
+    #[test]
+    fn replicas_round_trip(
+        rank in 0u32..64,
+        k in 1u32..8,
+        epoch in any::<u64>(),
+        updates_at in any::<u64>(),
+        seg_starts in proptest::collection::vec((any::<u64>(), 0u64..4), 0..4),
+        item_bits in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let segments = seg_starts
+            .into_iter()
+            .map(|(row_start, n)| WireSegment {
+                row_start,
+                rows: (0..n * k as u64).map(|i| f64::from_bits(row_start ^ i)).collect(),
+            })
+            .collect();
+        let msg = Message::Replica(Box::new(ReplicaPayload {
+            rank,
+            k,
+            epoch,
+            updates_at,
+            segments,
+            items: item_bits.into_iter().map(f64::from_bits).collect(),
+        }));
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        assert_bit_identical(&msg, &decoded);
+    }
+
+    /// Truncating or corrupting serving frames is total: an error or a
+    /// different valid message, never a panic.
+    #[test]
+    fn serving_frame_corruption_is_total(
+        seen in proptest::collection::vec(any::<u32>(), 0..12),
+        cut_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let bytes = Message::Query { id: 42, user: 7, k: 10, seen }.encode().unwrap();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        let mut flipped = bytes.clone();
+        let pos = (cut_seed % bytes.len() as u64) as usize;
+        flipped[pos] ^= flip;
+        let _ = Message::decode(&flipped); // must not panic
     }
 
     /// Every strict prefix of a valid frame fails to decode — cleanly.

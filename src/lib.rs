@@ -169,6 +169,58 @@
 //! correctness anchor the threaded and simulated engines carry — and at
 //! every quiesce the gathered token pass counts must sum to the tickets
 //! drawn across all ranks (token conservation).
+//!
+//! ## Serving over the distributed mesh
+//!
+//! The two previous sections compose: with `serve_publish_every` set,
+//! every rank runs a [`serve::SnapshotPublisher`] over its user shard and
+//! a [`net::ServeRouter`] answers per-user top-k queries against the
+//! *training mesh* — with per-query deadlines, retry/backoff, hedging,
+//! load shedding, and failover to a driver-held stale replica when the
+//! owning rank is evicted mid-run.  Every query resolves: fresh, stale
+//! with an explicit staleness bound, shed, or a terminal run-over notice
+//! once training has gathered — never a hang (the same code block is the
+//! README's distributed-serving quickstart):
+//!
+//! ```
+//! use std::time::Duration;
+//! use nomad::core::{NomadConfig, StopCondition};
+//! use nomad::data::{named_dataset, SizeTier};
+//! use nomad::net::{Answer, DistributedNomad, NetConfig, RouterConfig, ServeError, ServeRouter};
+//! use nomad::sgd::HyperParams;
+//!
+//! let dataset = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+//! let nomad = NomadConfig::new(HyperParams::netflix().with_k(8))
+//!     .with_stop(StopCondition::Updates(40_000));
+//! let mut config = NetConfig::new(nomad);
+//! config.serve_publish_every = 500; // each rank snapshots its shard
+//! let router = ServeRouter::new(RouterConfig::default());
+//!
+//! let engine = DistributedNomad::with_config(config, 2);
+//! std::thread::scope(|scope| {
+//!     scope.spawn(|| loop {
+//!         match router.query(0, 5, vec![]) {
+//!             // Run gathered — switch to the returned model.
+//!             Ok(Answer::RunOver) => break,
+//!             // Fresh from the owner, or Stale with a staleness bound.
+//!             Ok(_) => {}
+//!             // Overloaded: back off and retry.
+//!             Err(ServeError::Shed { .. }) => std::thread::sleep(Duration::from_millis(1)),
+//!             Err(e) => panic!("{e}"),
+//!         }
+//!     });
+//!     engine.run_loopback_serving(&dataset.matrix, &[], &router).unwrap();
+//! });
+//! let stats = router.stats();
+//! assert_eq!(stats.resolved(), stats.submitted, "zero hung queries");
+//! assert!(stats.successes() > 0);
+//! ```
+//!
+//! `run_processes_serving` does the same over re-exec'd rank processes;
+//! the `distributed` bench binary reports answered qps (and query p50/p99)
+//! measured *while* the mesh trains, and the chaos suite kills the rank
+//! being queried mid-run and asserts every in-flight query still resolves
+//! within its deadline.
 
 /// Sparse rating-matrix substrate (re-export of `nomad-matrix`).
 pub use nomad_matrix as matrix;
