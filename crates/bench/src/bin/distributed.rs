@@ -28,18 +28,21 @@ fn main() {
     // Rank children re-enter this very binary; divert them before any
     // orchestrator logic (or CLI handling) runs.
     nomad_net::child_entry();
-    nomad_bench::handle_cli_args_with(
+    let telemetry = nomad_bench::handle_cli_args_telemetry(
         "distributed",
         "Real multi-process distributed NOMAD: updates/sec at 1/2/4 ranks vs \
          the cluster simulator's virtual-clock predictions",
-        "Output: BENCH_distributed.json (schema nomad-perf-v1), CSV on stdout, \
-         a markdown summary (with the sim cross-validation) on stderr.",
+        "Output: BENCH_distributed.json (schema nomad-perf-v1) and \
+         telemetry.jsonl (schema nomad-telemetry-v1), CSV on stdout, \
+         a markdown summary (with the sim cross-validation) on stderr; \
+         --telemetry adds the fleet/router metric tables.",
         &[
             "NOMAD_DIST_MODE=process|tcp|loopback  rank deployment (default: process)",
             "NOMAD_DIST_RANKS=<csv>       rank counts (default: 1,2,4)",
             "NOMAD_DIST_KS=<csv>          latent dimensions (default: 8,32,100)",
             "NOMAD_DIST_BUDGET=<n>        SGD-update budget per run",
             "NOMAD_DIST_OUT=<path>        JSON output path (default: BENCH_distributed.json)",
+            "NOMAD_TELEMETRY_OUT=<path>   telemetry JSONL path (default: telemetry.jsonl)",
             "NOMAD_PERF_REPS=<n>          repetitions per config, best kept (default: 1)",
             "NOMAD_PERF_ASSERT=1          fail unless 2 ranks >= 1.1x 1 rank updates/sec",
         ],
@@ -72,6 +75,21 @@ fn main() {
     let json = distperf::render_json(&scale, mode, &results, Some(&join), Some(&serving));
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // Telemetry dump: the training grid's merged fleet counters, plus the
+    // serving scenario's fleet and router registries — always written, so
+    // the CI artifact does not depend on the --telemetry flag.
+    let grid_fleet = distperf::merged_fleet(&results);
+    let scopes: &[nomad_bench::TelemetryScope<'_>] = &[
+        ("fleet", &grid_fleet, None),
+        ("serve.fleet", &serving.fleet_telemetry, None),
+        ("serve.router", &serving.router_telemetry, None),
+    ];
+    let telemetry_path = nomad_bench::write_telemetry_jsonl(scopes);
+    eprintln!("wrote {telemetry_path}");
+    if telemetry {
+        nomad_bench::print_telemetry_tables(scopes);
+    }
 
     if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {
         let ok = distperf::scaling_gate(&results);

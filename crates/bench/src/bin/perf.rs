@@ -26,12 +26,14 @@
 //!   2 ranks ≥ 1.1× 1 rank.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use nomad_cluster::ComputeModel;
 use nomad_core::{NomadConfig, SerialNomad, StopCondition, ThreadedNomad};
 use nomad_data::{named_dataset, SizeTier};
 use nomad_sgd::HyperParams;
+use nomad_telemetry::{Registry, TelemetrySnapshot};
 
 /// One measured configuration.
 struct Measurement {
@@ -94,15 +96,18 @@ fn main() {
     // Process-mode distributed runs re-exec this binary as rank children;
     // divert them before anything else happens.
     nomad_net::child_entry();
-    let engine = nomad_bench::handle_cli_args_engine(
+    let (engine, telemetry) = nomad_bench::handle_cli_args_engine_telemetry(
         "perf",
         "Raw throughput: updates/sec and ns/update, serial vs threaded (1..N \
          workers), optionally the multi-process distributed engine",
         "Output: BENCH_threaded.json and/or BENCH_distributed.json (schema \
-         nomad-perf-v1), CSV on stdout, a markdown summary on stderr.",
+         nomad-perf-v1) plus telemetry.jsonl (schema nomad-telemetry-v1), \
+         CSV on stdout, a markdown summary on stderr; --telemetry adds the \
+         metric tables.",
         &[
             "NOMAD_PERF_OUT=<path>        threaded JSON path (default: BENCH_threaded.json)",
             "NOMAD_DIST_OUT=<path>        distributed JSON path (default: BENCH_distributed.json)",
+            "NOMAD_TELEMETRY_OUT=<path>   telemetry JSONL path (default: telemetry.jsonl)",
             "NOMAD_PERF_ASSERT=1          fail unless threaded(2) >= 1.2x serial updates/sec",
             "NOMAD_PERF_REPS=<n>          repetitions per config, best kept (default: 1)",
         ],
@@ -115,12 +120,34 @@ fn main() {
         .filter(|&r| r >= 1)
         .unwrap_or(1);
     let mut failed = false;
+    let mut train_snap = None;
+    let mut fleet_snap = None;
     if engine == "threaded" || engine == "all" {
-        failed |= !run_threaded_suite(reps);
+        let (ok, snap) = run_threaded_suite(reps);
+        failed |= !ok;
+        train_snap = Some(snap);
     }
     if engine == "distributed" || engine == "all" {
-        failed |= !run_distributed_suite(reps);
+        let (ok, snap) = run_distributed_suite(reps);
+        failed |= !ok;
+        fleet_snap = Some(snap);
     }
+
+    // One telemetry dump per invocation, covering whichever legs ran —
+    // written regardless of --telemetry so the CI artifact always exists.
+    let mut scopes: Vec<nomad_bench::TelemetryScope<'_>> = Vec::new();
+    if let Some(snap) = &train_snap {
+        scopes.push(("train", snap, None));
+    }
+    if let Some(snap) = &fleet_snap {
+        scopes.push(("fleet", snap, None));
+    }
+    let telemetry_path = nomad_bench::write_telemetry_jsonl(&scopes);
+    eprintln!("wrote {telemetry_path}");
+    if telemetry {
+        nomad_bench::print_telemetry_tables(&scopes);
+    }
+
     if failed {
         std::process::exit(1);
     }
@@ -128,8 +155,9 @@ fn main() {
 
 /// The distributed leg: the shared `distperf` harness over the deployment
 /// mode from `NOMAD_DIST_MODE` (re-exec'd processes by default).
-/// Returns `false` if the `NOMAD_PERF_ASSERT` scaling gate failed.
-fn run_distributed_suite(reps: u32) -> bool {
+/// Returns whether the `NOMAD_PERF_ASSERT` scaling gate passed, plus the
+/// grid's merged fleet telemetry.
+fn run_distributed_suite(reps: u32) -> (bool, TelemetrySnapshot) {
     use nomad_bench::distperf;
     let mode = distperf::DeployMode::from_env();
     let scale = distperf::DistScale::from_env();
@@ -145,21 +173,26 @@ fn run_distributed_suite(reps: u32) -> bool {
     let json = distperf::render_json(&scale, mode, &results, None, None);
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+    let fleet = distperf::merged_fleet(&results);
     if std::env::var("NOMAD_PERF_ASSERT").as_deref() == Ok("1") {
-        return distperf::scaling_gate(&results);
+        return (distperf::scaling_gate(&results), fleet);
     }
-    true
+    (true, fleet)
 }
 
-/// The original serial-vs-threaded leg.  Returns `false` if the
-/// `NOMAD_PERF_ASSERT` gate failed.
-fn run_threaded_suite(reps: u32) -> bool {
+/// The original serial-vs-threaded leg.  Returns whether the
+/// `NOMAD_PERF_ASSERT` gate passed, plus the suite's cumulative engine
+/// telemetry (every run's registry merged — the per-hop counters cost
+/// three relaxed atomics, the same price the alloc-free proof pays, so
+/// recording stays on even while throughput is being measured).
+fn run_threaded_suite(reps: u32) -> (bool, TelemetrySnapshot) {
     let scale = PerfScale::from_env();
     let dataset = named_dataset("netflix-sim", scale.tier)
         .expect("netflix-sim is always registered")
         .build();
 
     let mut results: Vec<Measurement> = Vec::new();
+    let mut train_telemetry = TelemetrySnapshot::default();
     for &k in scale.ks {
         let cfg = config(k, scale.budget);
 
@@ -170,7 +203,8 @@ fn run_threaded_suite(reps: u32) -> bool {
         // on shared hardware.
         let mut best: Option<Measurement> = None;
         for _ in 0..reps {
-            let serial = SerialNomad::new(cfg);
+            let registry = Arc::new(Registry::new());
+            let serial = SerialNomad::new(cfg).with_telemetry(Arc::clone(&registry));
             let start = Instant::now();
             let (_, trace) =
                 serial.run(&dataset.matrix, &dataset.test, 1, &ComputeModel::hpc_core());
@@ -181,6 +215,7 @@ fn run_threaded_suite(reps: u32) -> bool {
                 updates: trace.metrics.updates,
                 seconds: start.elapsed().as_secs_f64(),
             };
+            train_telemetry.merge(&registry.snapshot());
             if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
                 best = Some(m);
             }
@@ -190,7 +225,9 @@ fn run_threaded_suite(reps: u32) -> bool {
         for &workers in scale.workers {
             let mut best: Option<Measurement> = None;
             for _ in 0..reps {
-                let threaded = ThreadedNomad::new(cfg.with_schedule_recording(false));
+                let registry = Arc::new(Registry::new());
+                let threaded = ThreadedNomad::new(cfg.with_schedule_recording(false))
+                    .with_telemetry(Arc::clone(&registry));
                 let start = Instant::now();
                 let out = threaded.run(&dataset.matrix, &dataset.test, workers, 1);
                 // Whole-run wall clock, the same window the serial engine
@@ -204,6 +241,7 @@ fn run_threaded_suite(reps: u32) -> bool {
                     updates: out.trace.metrics.updates,
                     seconds: start.elapsed().as_secs_f64(),
                 };
+                train_telemetry.merge(&registry.snapshot());
                 if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
                     best = Some(m);
                 }
@@ -260,7 +298,7 @@ fn run_threaded_suite(reps: u32) -> bool {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if cores < 2 {
             eprintln!("perf assert skipped: only {cores} core(s) available, need >= 2");
-            return true;
+            return (true, train_telemetry);
         }
         let best_ratio = scale
             .ks
@@ -284,11 +322,11 @@ fn run_threaded_suite(reps: u32) -> bool {
                  machine has fewer than 2 *physical* cores ({cores} logical reported — \
                  SMT siblings share FP units), unset NOMAD_PERF_ASSERT instead."
             );
-            return false;
+            return (false, train_telemetry);
         }
         eprintln!("perf assert passed: threaded(2) = {best_ratio:.2}x serial");
     }
-    true
+    (true, train_telemetry)
 }
 
 /// Hand-rolled JSON: the vendored serde stub has no serializer, and the

@@ -198,14 +198,16 @@ fn verify_quiesced_identity(publisher: &SnapshotPublisher, model: &FactorModel, 
 }
 
 fn main() {
-    nomad_bench::handle_cli_args_with(
+    let telemetry = nomad_bench::handle_cli_args_telemetry(
         "serving",
         "Top-k serving benchmark: queries/sec and p50/p99 latency against a \
          live-training threaded NOMAD run, plus quiesced read scaling",
-        "Output: BENCH_serving.json (schema nomad-perf-v1), CSV on stdout, \
-         a markdown summary on stderr.",
+        "Output: BENCH_serving.json (schema nomad-perf-v1) and telemetry.jsonl \
+         (schema nomad-telemetry-v1), CSV on stdout, a markdown summary on \
+         stderr; --telemetry adds the training metric tables.",
         &[
             "NOMAD_SERVE_OUT=<path>       JSON path (default: BENCH_serving.json)",
+            "NOMAD_TELEMETRY_OUT=<path>   telemetry JSONL path (default: telemetry.jsonl)",
             "NOMAD_PERF_ASSERT=1          fail unless quiesced reads scale >= 1.2x at 2 workers",
         ],
     );
@@ -224,7 +226,12 @@ fn main() {
         .collect();
 
     let mut results: Vec<Measurement> = Vec::new();
+    // Cumulative training telemetry across every (k, budget) run: each
+    // run gets a fresh registry (merged afterwards), so publish-gap
+    // gauges stay per-run maxima rather than bleeding across configs.
+    let mut train_telemetry = nomad_telemetry::TelemetrySnapshot::default();
     for (&k, &budget) in scale.ks.iter().zip(scale.budgets) {
+        let registry = Arc::new(nomad_telemetry::Registry::new());
         let publisher = SnapshotPublisher::new(scale.publish_every);
         let engine = QueryEngine::new(&publisher, 1);
         let config = NomadConfig::new(HyperParams::netflix().with_k(k))
@@ -240,14 +247,11 @@ fn main() {
                 let test = &dataset.test;
                 let publisher = &publisher;
                 let done = Arc::clone(&trainer_done);
+                let registry = Arc::clone(&registry);
                 scope.spawn(move || {
-                    let out = ThreadedNomad::new(config).run_serving(
-                        data,
-                        test,
-                        TRAIN_WORKERS,
-                        1,
-                        publisher,
-                    );
+                    let out = ThreadedNomad::new(config)
+                        .with_telemetry(registry)
+                        .run_serving(data, test, TRAIN_WORKERS, 1, publisher);
                     done.store(true, Ordering::Relaxed);
                     out.model
                 })
@@ -284,6 +288,7 @@ fn main() {
 
         // Correctness anchor before any quiesced numbers are taken.
         verify_quiesced_identity(&publisher, &model, k);
+        train_telemetry.merge(&registry.snapshot());
 
         // Quiesced read scaling: 1 vs 2 query workers at every top-k.
         for &top_k in TOP_KS {
@@ -368,6 +373,14 @@ fn main() {
     let json = render_json(&scale, &results);
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // Telemetry dump (always written; --telemetry adds the table).
+    let scopes: &[nomad_bench::TelemetryScope<'_>] = &[("train", &train_telemetry, None)];
+    let telemetry_path = nomad_bench::write_telemetry_jsonl(scopes);
+    eprintln!("wrote {telemetry_path}");
+    if telemetry {
+        nomad_bench::print_telemetry_tables(scopes);
+    }
 
     // CI gate: quiesced concurrent reads must scale.  The snapshot is
     // immutable and the readers lock-free, so 2 workers on >= 2 cores have

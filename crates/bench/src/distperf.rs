@@ -20,6 +20,7 @@ use nomad_net::{
     Answer, DistributedNomad, NetConfig, RouterConfig, RouterStats, ServeError, ServeRouter,
 };
 use nomad_sgd::HyperParams;
+use nomad_telemetry::{names, TelemetrySnapshot};
 
 /// How rank endpoints are deployed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +152,9 @@ pub struct DistMeasurement {
     /// The cluster simulator's virtual-clock seconds for the same
     /// workload on the paper's modelled hardware.
     pub sim_seconds: f64,
+    /// The merged fleet telemetry snapshot of the best run (driver scope
+    /// plus every rank's final report).
+    pub fleet: TelemetrySnapshot,
 }
 
 impl DistMeasurement {
@@ -226,6 +230,7 @@ pub fn measure(scale: &DistScale, mode: DeployMode, reps: u32) -> Vec<DistMeasur
                     seconds: start.elapsed().as_secs_f64(),
                     remote_sends: out.stats.remote_sends,
                     sim_seconds,
+                    fleet: out.stats.telemetry(),
                 };
                 if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
                     best = Some(m);
@@ -235,6 +240,17 @@ pub fn measure(scale: &DistScale, mode: DeployMode, reps: u32) -> Vec<DistMeasur
         }
     }
     results
+}
+
+/// Folds the per-configuration fleet snapshots of a measured grid into
+/// one cumulative snapshot — the `fleet` scope of the bench binaries'
+/// `telemetry.jsonl` dump.
+pub fn merged_fleet(results: &[DistMeasurement]) -> TelemetrySnapshot {
+    let mut fleet = TelemetrySnapshot::default();
+    for m in results {
+        fleet.merge(&m.fleet);
+    }
+    fleet
 }
 
 /// Wall-clock effect of elastic membership: the same update budget run
@@ -376,8 +392,14 @@ pub struct ServingMeasurement {
     pub budget: u64,
     /// Concurrent query threads.
     pub query_threads: usize,
-    /// Router outcome counters for the whole run.
+    /// Router outcome counters for the whole run, rebuilt from the
+    /// router's `serve.*` registry counters (not bench-local tallies).
     pub queries: RouterStats,
+    /// The router's full registry snapshot (outcome counters plus the
+    /// shared `serve.latency_us` histogram).
+    pub router_telemetry: TelemetrySnapshot,
+    /// The training mesh's merged fleet snapshot at gather.
+    pub fleet_telemetry: TelemetrySnapshot,
     /// Answered queries per wall-clock second of the training run.
     pub qps: f64,
     /// Median query latency in microseconds (`None` below the router's
@@ -435,11 +457,28 @@ pub fn measure_serving(scale: &DistScale, query_threads: usize) -> ServingMeasur
     });
     let seconds = start.elapsed().as_secs_f64();
 
-    let queries = router.stats();
-    let (p50, p99) = match router.latency_percentiles() {
-        Some((p50, p99)) => (Some(p50), Some(p99)),
-        None => (None, None),
+    // Everything reported below is read back out of the router's shared
+    // registry — the same counters and histogram the hedging policy and
+    // `NetStats::telemetry()` consumers see — rather than kept in
+    // bench-local accumulators.
+    let router_telemetry = router.telemetry();
+    let fleet_telemetry = out.stats.telemetry();
+    let counter = |name: &str| router_telemetry.counter(name).unwrap_or(0);
+    let queries = RouterStats {
+        submitted: counter(names::SERVE_SUBMITTED),
+        fresh: counter(names::SERVE_FRESH),
+        stale: counter(names::SERVE_STALE),
+        run_over: counter(names::SERVE_RUN_OVER),
+        shed: counter(names::SERVE_SHED),
+        timeout: counter(names::SERVE_TIMEOUT),
+        failover: counter(names::SERVE_FAILOVER),
+        retries: counter(names::SERVE_RETRIES),
+        hedges: counter(names::SERVE_HEDGES),
     };
+    let (p50, p99) = router_telemetry
+        .histogram(names::SERVE_LATENCY_US)
+        .and_then(|h| Some((h.quantile(0.5)?, h.quantile(0.99)?)))
+        .map_or((None, None), |(p50, p99)| (Some(p50), Some(p99)));
     ServingMeasurement {
         k,
         ranks,
@@ -452,6 +491,8 @@ pub fn measure_serving(scale: &DistScale, query_threads: usize) -> ServingMeasur
         max_publish_gap: out.stats.max_publish_gap,
         train_updates_per_sec: out.stats.updates as f64 / seconds.max(1e-12),
         queries,
+        router_telemetry,
+        fleet_telemetry,
     }
 }
 

@@ -34,7 +34,42 @@ pub fn handle_cli_args(name: &str, about: &str) {
 /// Every binary still documents `NOMAD_SCALE`, which the smoke tests
 /// enforce, and still rejects unknown arguments with exit code 2.
 pub fn handle_cli_args_with(name: &str, about: &str, output: &str, extra_env: &[&str]) {
-    cli_core(name, about, output, extra_env, None);
+    cli_core(name, about, output, extra_env, None, false);
+}
+
+/// Like [`handle_cli_args_with`], but the binary additionally accepts a
+/// `--telemetry` flag; returns whether it was passed.  Binaries that
+/// accept it print the fleet/router metric tables collected during the
+/// run (the JSONL dump is written regardless, so CI artifacts do not
+/// depend on the flag).
+pub fn handle_cli_args_telemetry(
+    name: &str,
+    about: &str,
+    output: &str,
+    extra_env: &[&str],
+) -> bool {
+    cli_core(name, about, output, extra_env, None, true).1
+}
+
+/// Like [`handle_cli_args_engine`], but also accepts `--telemetry`;
+/// returns `(engine, telemetry)`.
+pub fn handle_cli_args_engine_telemetry(
+    name: &str,
+    about: &str,
+    output: &str,
+    extra_env: &[&str],
+    allowed: &[&str],
+    default: &str,
+) -> (String, bool) {
+    let (engine, telemetry) = cli_core(
+        name,
+        about,
+        output,
+        extra_env,
+        Some((allowed, default)),
+        true,
+    );
+    (engine.expect("a selector was supplied"), telemetry)
 }
 
 /// Like [`handle_cli_args_with`], but the binary additionally accepts an
@@ -52,8 +87,16 @@ pub fn handle_cli_args_engine(
     allowed: &[&str],
     default: &str,
 ) -> String {
-    cli_core(name, about, output, extra_env, Some((allowed, default)))
-        .expect("a selector was supplied")
+    cli_core(
+        name,
+        about,
+        output,
+        extra_env,
+        Some((allowed, default)),
+        false,
+    )
+    .0
+    .expect("a selector was supplied")
 }
 
 /// The one implementation behind the whole reproduction-binary CLI
@@ -61,21 +104,25 @@ pub fn handle_cli_args_engine(
 /// `--help`, so a typoed flag can never ride along with a valid one),
 /// answer `--help` with the usage/environment template and exit 0.
 /// `selector` optionally enables the `--engine` flag; the chosen value is
-/// returned.
+/// returned.  `telemetry_flag` enables `--telemetry`; whether it was
+/// passed is the second return.
 fn cli_core(
     name: &str,
     about: &str,
     output: &str,
     extra_env: &[&str],
     selector: Option<(&[&str], &str)>,
-) -> Option<String> {
+    telemetry_flag: bool,
+) -> (Option<String>, bool) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut help = false;
+    let mut telemetry = false;
     let mut engine: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match (arg.as_str(), selector) {
             ("--help" | "-h", _) => help = true,
+            ("--telemetry", _) if telemetry_flag => telemetry = true,
             ("--engine", Some((allowed, _))) => match iter.next() {
                 Some(value) => engine = Some(value.clone()),
                 None => {
@@ -107,9 +154,12 @@ fn cli_core(
         engine
     });
     if help {
+        let telemetry_usage = if telemetry_flag { " [--telemetry]" } else { "" };
         let usage_flags = match selector {
-            Some((allowed, _)) => format!("[--help] [--engine {}]", allowed.join("|")),
-            None => "[--help]".to_string(),
+            Some((allowed, _)) => {
+                format!("[--help] [--engine {}]{telemetry_usage}", allowed.join("|"))
+            }
+            None => format!("[--help]{telemetry_usage}"),
         };
         let mut env_lines =
             String::from("  NOMAD_SCALE=quick|standard   experiment scale (default: quick)");
@@ -125,7 +175,49 @@ fn cli_core(
         );
         std::process::exit(0);
     }
-    engine
+    (engine, telemetry)
+}
+
+/// Writes one `nomad-telemetry-v1` JSONL line per scope to the path named
+/// by `NOMAD_TELEMETRY_OUT` (default `telemetry.jsonl`), validating every
+/// line against the schema first — a bench binary must never upload an
+/// artifact the CI schema gate would reject.  Returns the path written.
+///
+/// # Panics
+/// Panics if a rendered line fails schema validation or the file cannot
+/// be written.
+pub fn write_telemetry_jsonl(scopes: &[TelemetryScope<'_>]) -> String {
+    let path =
+        std::env::var("NOMAD_TELEMETRY_OUT").unwrap_or_else(|_| "telemetry.jsonl".to_string());
+    let mut out = String::new();
+    for (scope, snap, events) in scopes {
+        let line = nomad_telemetry::render_jsonl_line(scope, snap, *events);
+        nomad_telemetry::validate_jsonl_line(&line).unwrap_or_else(|e| {
+            panic!(
+                "telemetry line for scope {scope:?} violates {}: {e}",
+                nomad_telemetry::SCHEMA
+            )
+        });
+        out.push_str(&line);
+        out.push('\n');
+    }
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    path
+}
+
+/// One scope of a telemetry dump: `(scope name, snapshot, event lines)`.
+pub type TelemetryScope<'a> = (
+    &'a str,
+    &'a nomad_telemetry::TelemetrySnapshot,
+    Option<&'a [String]>,
+);
+
+/// Prints the human `--telemetry` tables for each scope (stderr, like
+/// every other bench summary).
+pub fn print_telemetry_tables(scopes: &[TelemetryScope<'_>]) {
+    for (scope, snap, _) in scopes {
+        eprintln!("{}", nomad_telemetry::render_table(scope, snap));
+    }
 }
 
 /// Runs the registered figure generator for `id` at the scale selected by

@@ -5,6 +5,7 @@
 //! and worker idle time (the "curse of the last reducer" that bulk
 //! synchronous algorithms suffer from, Section 4.1).
 
+use nomad_telemetry::{names, Registry, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
@@ -101,6 +102,26 @@ impl SimMetrics {
         }
         self.barrier_wait_time.iter().sum::<f64>() / (elapsed * self.barrier_wait_time.len() as f64)
     }
+
+    /// Folds these simulation counters into a [`TelemetrySnapshot`] under
+    /// the **same metric names the real engines use** (`engine.updates`,
+    /// `engine.tokens`, `net.frames_sent`, `net.bytes_sent`), so a
+    /// simulated run and a real run share one telemetry schema — the same
+    /// JSONL rows, the same fleet-fold arithmetic, directly comparable.
+    ///
+    /// Network frames count the inter-machine messages only (the real
+    /// `net.frames_sent` counts transport frames; intra-machine token
+    /// hand-offs are already covered by `engine.tokens`).
+    pub fn to_telemetry(&self) -> TelemetrySnapshot {
+        let registry = Registry::new();
+        registry.counter(names::UPDATES).add(self.updates);
+        registry.counter(names::TOKENS).add(self.tokens_processed);
+        registry
+            .counter(names::FRAMES_SENT)
+            .add(self.inter_machine_messages);
+        registry.counter(names::BYTES_SENT).add(self.network_bytes);
+        registry.snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +159,26 @@ mod tests {
         // 1M updates / 2 workers / 0.5 s = 1M updates/worker/sec.
         assert!((m.updates_per_worker_per_second() - 1.0e6).abs() < 1.0);
         assert!((m.mean_utilization() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_telemetry_shares_the_real_engines_schema() {
+        let mut m = SimMetrics::new(2);
+        m.updates = 500;
+        m.tokens_processed = 40;
+        m.record_message(100, true);
+        m.record_message(300, false);
+        let snap = m.to_telemetry();
+        assert_eq!(snap.counter(names::UPDATES), Some(500));
+        assert_eq!(snap.counter(names::TOKENS), Some(40));
+        assert_eq!(snap.counter(names::FRAMES_SENT), Some(1));
+        assert_eq!(snap.counter(names::BYTES_SENT), Some(300));
+        // A sim snapshot merges into a real fleet snapshot: one schema.
+        let real = Registry::new();
+        real.counter(names::UPDATES).add(1_000);
+        let mut fleet = real.snapshot();
+        fleet.merge(&snap);
+        assert_eq!(fleet.counter(names::UPDATES), Some(1_500));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod sched;
 pub mod serial;
 pub mod sim;
 pub mod slab;
+pub mod telemetry;
 pub mod threaded;
 pub mod worker;
 
@@ -61,5 +62,6 @@ pub use sched::{FaultPlan, FuzzCase, FuzzController, ScheduleController, Strateg
 pub use serial::SerialNomad;
 pub use sim::SimNomad;
 pub use slab::FactorSlab;
+pub use telemetry::EngineTelemetry;
 pub use threaded::ThreadedNomad;
 pub use worker::WorkerData;

@@ -19,9 +19,12 @@ use nomad_serve::SnapshotPublisher;
 use nomad_sgd::schedule::StepSchedule;
 use nomad_sgd::{FactorModel, HyperParams};
 
+use nomad_telemetry::Registry;
+
 use crate::config::{NomadConfig, StopCondition};
 use crate::online::{OnlineData, OnlineOutput};
 use crate::routing::Router;
+use crate::telemetry::EngineTelemetry;
 use crate::worker::WorkerData;
 
 /// One linearized token-processing event: worker `q` processed item `j`.
@@ -47,12 +50,25 @@ pub struct ProcessingEvent {
 #[derive(Debug, Clone)]
 pub struct SerialNomad {
     config: NomadConfig,
+    telemetry: Option<std::sync::Arc<Registry>>,
 }
 
 impl SerialNomad {
     /// Creates the solver.
     pub fn new(config: NomadConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a metric registry: every run records `engine.*` metrics
+    /// into it (updates, token hops, queue depth, publishes, publish
+    /// gap).  Recording never perturbs training — for a fixed seed the
+    /// factors are bit-identical with or without telemetry.
+    pub fn with_telemetry(mut self, registry: std::sync::Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// Runs Algorithm 1 with `num_workers` virtual workers on one thread.
@@ -201,6 +217,7 @@ impl SerialNomad {
             publisher.begin_run(views.nrows(), views.ncols(), params.k, num_workers);
         }
 
+        let telem = self.telemetry.as_deref().map(EngineTelemetry::register);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E41A1);
         let mut router = Router::new(cfg.routing);
 
@@ -286,6 +303,9 @@ impl SerialNomad {
                 elapsed += per_item + local_updates as f64 * per_update;
                 trace.metrics.updates += local_updates;
                 trace.metrics.tokens_processed += 1;
+                if let Some(telem) = &telem {
+                    telem.note_hop(local_updates, queues[q].len());
+                }
                 if let Some(publisher) = serving {
                     // One relaxed atomic load when not due; an exact-copy
                     // publish every `publish_every` updates otherwise.
@@ -321,6 +341,9 @@ impl SerialNomad {
             // Quiesce publish: the latest snapshot now mirrors the returned
             // model bit for bit.
             publisher.publish_model(&model, total_updates);
+            if let Some(telem) = &telem {
+                telem.note_publisher(publisher);
+            }
         }
         trace.push(TracePoint {
             seconds: elapsed,
@@ -529,6 +552,30 @@ mod tests {
             publisher.max_publish_gap() <= 10_000 + max_token_updates,
             "gap {} exceeds interval + one token ({max_token_updates})",
             publisher.max_publish_gap()
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_match_the_trace_and_leave_training_untouched() {
+        use nomad_telemetry::names;
+        let (data, test) = tiny_dataset();
+        let solver = SerialNomad::new(quick_config(8));
+        let (plain, _) = solver.run(&data, &test, 2, &ComputeModel::hpc_core());
+        let registry = std::sync::Arc::new(Registry::new());
+        let (model, trace) = solver
+            .clone()
+            .with_telemetry(std::sync::Arc::clone(&registry))
+            .run(&data, &test, 2, &ComputeModel::hpc_core());
+        assert_eq!(plain, model, "telemetry must not perturb training");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::UPDATES), Some(trace.metrics.updates));
+        assert_eq!(
+            snap.counter(names::TOKENS),
+            Some(trace.metrics.tokens_processed)
+        );
+        assert_eq!(
+            snap.histogram(names::QUEUE_DEPTH).unwrap().count,
+            trace.metrics.tokens_processed
         );
     }
 

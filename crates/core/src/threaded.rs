@@ -25,9 +25,11 @@
 //! trained factors bit for bit (asserted in tests).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::queue::SegQueue;
+use nomad_telemetry::Registry;
 
 use nomad_cluster::{RunTrace, SimTime, TracePoint};
 use nomad_matrix::{ArrivalTrace, DynamicMatrix, Idx, RatingMatrix, RowPartition, TripletMatrix};
@@ -40,6 +42,7 @@ use crate::online::{apply_batch, token_home, OnlineOutput};
 use crate::routing::RoutingPolicy;
 use crate::serial::ProcessingEvent;
 use crate::slab::FactorSlab;
+use crate::telemetry::EngineTelemetry;
 use crate::worker::WorkerData;
 
 /// A nomadic token: the item index plus its total processing-pass count.
@@ -76,12 +79,27 @@ pub struct ThreadedOutput {
 #[derive(Debug, Clone)]
 pub struct ThreadedNomad {
     config: NomadConfig,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl ThreadedNomad {
     /// Creates the engine.
     pub fn new(config: NomadConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a metric registry: every run records `engine.*` metrics
+    /// into it (updates, token hops, queue depth, publishes, publish
+    /// gap).  Registration happens once at run setup; the per-hop cost
+    /// is three relaxed atomic operations, so the hot path stays
+    /// allocation-free (re-proven by `tests/alloc_free.rs`, which runs
+    /// with telemetry attached).
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The configuration in use.
@@ -182,6 +200,7 @@ impl ThreadedNomad {
             publisher.begin_run(data.nrows(), data.ncols(), params.k, num_threads);
         }
 
+        let telem = self.telemetry.as_deref().map(EngineTelemetry::register);
         let mut trace = RunTrace::new("NOMAD-threaded", "", 1, num_threads, num_threads);
         let mut all_events: Vec<(u64, ProcessingEvent)> = Vec::new();
         let ticket = AtomicU64::new(0);
@@ -210,6 +229,7 @@ impl ThreadedNomad {
                     let routing = cfg.routing;
                     let seed = cfg.seed;
                     let record = cfg.record_schedule;
+                    let telem = telem.as_ref();
                     handles.push(scope.spawn(move || {
                         worker_loop(
                             q,
@@ -228,6 +248,7 @@ impl ThreadedNomad {
                             seed,
                             record,
                             serving,
+                            telem,
                         )
                     }));
                 }
@@ -248,6 +269,9 @@ impl ThreadedNomad {
             let model = assemble_model(data.nrows(), &owned, &queues, &slab, &ticket);
             if let Some(publisher) = serving {
                 publisher.publish_model(&model, updates_done.load(Ordering::SeqCst));
+                if let Some(telem) = &telem {
+                    telem.note_publisher(publisher);
+                }
             }
             trace.push(TracePoint {
                 seconds: elapsed_wall,
@@ -358,6 +382,7 @@ impl ThreadedNomad {
             publisher.begin_run(warm.nrows(), warm.ncols(), params.k, num_threads);
         }
 
+        let telem = self.telemetry.as_deref().map(EngineTelemetry::register);
         let mut trace = RunTrace::new("NOMAD-threaded-online", "", 1, num_threads, num_threads);
         let ticket = AtomicU64::new(0);
         let updates_done = AtomicU64::new(0);
@@ -394,6 +419,7 @@ impl ThreadedNomad {
                     let routing = cfg.routing;
                     let seed = cfg.seed;
                     let record = cfg.record_schedule;
+                    let telem = telem.as_ref();
                     handles.push(scope.spawn(move || {
                         worker_loop(
                             q,
@@ -412,6 +438,7 @@ impl ThreadedNomad {
                             seed,
                             record,
                             serving,
+                            telem,
                         )
                     }));
                 }
@@ -459,6 +486,9 @@ impl ThreadedNomad {
                         // Serve the grown space from this quiesce onward.
                         publisher.grow(dynamic.nrows(), dynamic.ncols());
                         publisher.publish_model(&model, done);
+                        if let Some(telem) = &telem {
+                            telem.note_publisher(publisher);
+                        }
                     }
                     trace.push(TracePoint {
                         seconds: elapsed_wall,
@@ -486,6 +516,9 @@ impl ThreadedNomad {
         let model = assemble_model(dynamic.nrows(), &owned, &queues, &slab, &ticket);
         if let Some(publisher) = serving {
             publisher.publish_model(&model, trace.metrics.updates);
+            if let Some(telem) = &telem {
+                telem.note_publisher(publisher);
+            }
         }
         trace.push(TracePoint {
             seconds: elapsed_wall,
@@ -612,6 +645,7 @@ fn worker_loop(
     seed: u64,
     record: bool,
     serving: Option<&SnapshotPublisher>,
+    telem: Option<&EngineTelemetry>,
 ) -> Vec<(u64, ProcessingEvent)> {
     let mut rng = nomad_linalg::SmallRng64::new(seed ^ (q as u64).wrapping_mul(0x9E37_79B9));
     // Round-robin cursor, staggered per worker so the first destination is
@@ -679,6 +713,11 @@ fn worker_loop(
             ));
         }
         let done_now = updates_done.fetch_add(count, Ordering::Relaxed) + count;
+        if let Some(telem) = telem {
+            // Three relaxed atomics — no locks, no allocation (the
+            // alloc-counting test runs with telemetry attached).
+            telem.note_hop(count, queues[q].len());
+        }
         if let Some(publisher) = serving {
             // Must happen before the push below: this worker may only read
             // slab row `token.item` while it still holds the token.
@@ -929,6 +968,42 @@ mod tests {
         assert_eq!(snap.num_users(), out.model.num_users());
         assert_eq!(snap.num_items(), out.model.num_items());
         assert_eq!(snap.to_model(), out.model);
+    }
+
+    #[test]
+    fn telemetry_mirrors_trace_metrics_without_perturbing_training() {
+        use nomad_telemetry::names;
+        let (data, test) = tiny_dataset();
+        let solver = ThreadedNomad::new(quick_config(20_000));
+        let plain = solver.run(&data, &test, 1, 1);
+        let registry = Arc::new(Registry::new());
+        let publisher = SnapshotPublisher::new(8_000);
+        let out = solver
+            .clone()
+            .with_telemetry(Arc::clone(&registry))
+            .run_serving(&data, &test, 1, 1, &publisher);
+        // Recording reads nothing the training writes: bit-identical run
+        // (one thread, so the execution order is deterministic).
+        assert_eq!(plain.model, out.model);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(names::UPDATES),
+            Some(out.trace.metrics.updates)
+        );
+        assert_eq!(
+            snap.counter(names::TOKENS),
+            Some(out.trace.metrics.tokens_processed)
+        );
+        assert_eq!(
+            snap.counter(names::PUBLISHES),
+            Some(publisher.snapshots_published())
+        );
+        assert_eq!(
+            snap.gauge(names::PUBLISH_GAP),
+            Some(publisher.max_publish_gap() as i64)
+        );
+        let depth = snap.histogram(names::QUEUE_DEPTH).unwrap();
+        assert_eq!(depth.count, out.trace.metrics.tokens_processed);
     }
 
     #[test]

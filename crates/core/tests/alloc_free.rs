@@ -18,13 +18,22 @@
 //! (`nomad_serve::SnapshotPublisher`'s spare pool), so only the first few
 //! publishes that fill the epoch ring allocate, and those are covered by
 //! the same small slack.
+//!
+//! Since the telemetry PR the runs also record into an attached
+//! `nomad_telemetry::Registry`: registration (which locks and allocates)
+//! happens at setup and is identical across both runs, and the per-hop
+//! recording is three relaxed atomic operations — so "zero allocations
+//! per steady-state hop" now holds *with telemetry enabled*, which is
+//! the zero-cost claim.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use nomad_core::{NomadConfig, StopCondition, ThreadedNomad};
 use nomad_data::{named_dataset, SizeTier};
 use nomad_sgd::HyperParams;
+use nomad_telemetry::{names, Registry};
 
 /// Forwards to the system allocator, counting allocations.
 struct CountingAlloc;
@@ -52,9 +61,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Runs the threaded engine to `budget` updates — with live snapshot
-/// publishing every 50k updates — and returns `(allocations, token hops)`
-/// for the whole run, allocator-counted end to end (including every
-/// publish and the publisher's own bookkeeping).
+/// publishing every 50k updates and telemetry recording enabled — and
+/// returns `(allocations, token hops)` for the whole run,
+/// allocator-counted end to end (including every publish, the
+/// publisher's own bookkeeping, and every telemetry record).
 fn measure(budget: u64, threads: usize) -> (u64, u64) {
     let ds = named_dataset("netflix-sim", SizeTier::Tiny)
         .unwrap()
@@ -64,12 +74,21 @@ fn measure(budget: u64, threads: usize) -> (u64, u64) {
         .with_seed(7)
         .with_schedule_recording(false);
     let publisher = nomad_serve::SnapshotPublisher::new(50_000);
+    let registry = Arc::new(Registry::new());
     let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let out = ThreadedNomad::new(cfg).run_serving(&ds.matrix, &ds.test, threads, 1, &publisher);
+    let out = ThreadedNomad::new(cfg)
+        .with_telemetry(Arc::clone(&registry))
+        .run_serving(&ds.matrix, &ds.test, threads, 1, &publisher);
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert!(
         publisher.snapshots_published() >= budget / 50_000,
         "publishing must actually happen for this test to mean anything"
+    );
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(names::TOKENS),
+        Some(out.trace.metrics.tokens_processed),
+        "telemetry must actually record for this test to mean anything"
     );
     (after - before, out.trace.metrics.tokens_processed)
 }

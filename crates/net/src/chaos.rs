@@ -142,7 +142,9 @@ impl<T: Transport> ChaosTransport<T> {
                 .unwrap_or_else(|e| e.into_inner())
                 .pop_front();
             match next {
-                Some((dest, msg)) => self.inner.send(dest, &msg)?,
+                Some((dest, msg)) => {
+                    self.inner.send(dest, &msg)?;
+                }
                 None => return Ok(()),
             }
         }
@@ -158,20 +160,20 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         self.inner.ranks()
     }
 
-    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
+    fn send(&self, dest: usize, msg: &Message) -> Result<usize, NetError> {
         if self.is_killed() {
             // A dead process's packets go nowhere; pretending success
             // keeps the wrapped loop running until a receive fails.
-            return Ok(());
+            return Ok(0);
         }
         match self.next_fault() {
-            TransportFault::Kill => Ok(()),
+            TransportFault::Kill => Ok(0),
             TransportFault::Drop => {
                 self.held_out
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .push_back((dest, msg.clone()));
-                Ok(())
+                Ok(0)
             }
             TransportFault::None => {
                 self.flush_held_out()?;

@@ -76,6 +76,7 @@ use nomad_matrix::{RatingMatrix, RowPartition};
 use nomad_sgd::{fresh_item_rows, fresh_user_rows, FactorMatrix, FactorModel};
 
 use nomad_serve::ModelSnapshot;
+use nomad_telemetry::{names, CounterHandle, EventKind, EventRing, Registry, TelemetrySnapshot};
 
 use crate::rank::routing_to_wire;
 use crate::serve_router::{Route, RouterBackend, ServeRouter};
@@ -98,6 +99,20 @@ const CENSUS_DEADLINE: Duration = Duration::from_secs(60);
 /// controller parks comm threads for tens of milliseconds) so that a
 /// slow rank is never confused with a dead one by default.
 pub const DEFAULT_HEARTBEAT_TIMEOUT_MS: u32 = 10_000;
+
+/// How long hard down-evidence (TCP EOF, send failure) must persist
+/// before it evicts, *once drain has started*.  A rank that quiesces
+/// cleanly sends its final frames — telemetry, then its shard — and
+/// exits immediately, so the reader thread can flag the EOF while
+/// those frames still sit unprocessed in the driver's inbox.
+/// Evicting on the raw flag would discard the shard of a rank that
+/// did everything right; waiting one grace period lets the settled
+/// frames drain (processing the shard then exempts the rank from
+/// eviction for good).  Before drain no rank exits on purpose, so the
+/// grace does not apply there: a pre-drain corpse keeps attracting
+/// tokens, and every token it eats is a re-mint of a fresh factor row,
+/// so prompt eviction is what keeps the surviving model trained.
+const EOF_EVICT_GRACE: Duration = Duration::from_millis(250);
 
 /// Configuration of a distributed run: the shared NOMAD configuration
 /// plus the transport-level knobs.
@@ -185,6 +200,29 @@ pub struct NetStats {
     /// Worst per-rank gap between consecutive snapshot publishes, in
     /// updates, over the ranks alive at gather; `0` when serving was off.
     pub max_publish_gap: u64,
+    /// Latest cumulative telemetry snapshot per mesh slot (`None` = the
+    /// slot never reported).  Evicted ranks stay frozen at their last
+    /// report — the driver drops post-eviction frames — so each rank's
+    /// totals enter the fleet fold exactly once.
+    pub rank_telemetry: Vec<Option<TelemetrySnapshot>>,
+    /// The driver's own scope: membership arbitration counters
+    /// (`net.evictions`, `net.joins`).
+    pub driver_telemetry: TelemetrySnapshot,
+    /// Driver-scope event trace (`kind@a@b@t<micros>` lines, oldest
+    /// first): evictions, censuses, joins, replica publishes.
+    pub events: Vec<String>,
+}
+
+impl NetStats {
+    /// The fleet-wide telemetry fold: every rank's latest cumulative
+    /// snapshot plus the driver's own scope, each merged exactly once.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut fleet = self.driver_telemetry.clone();
+        for snap in self.rank_telemetry.iter().flatten() {
+            fleet.merge(snap);
+        }
+        fleet
+    }
 }
 
 /// Output of a distributed run.
@@ -226,6 +264,10 @@ struct DriverState {
     owned: Vec<Vec<(usize, usize)>>,
     latest: Vec<u64>,
     last_heard: Vec<Instant>,
+    /// When hard down-evidence (EOF / send failure) was first observed
+    /// per slot; eviction on that evidence waits [`EOF_EVICT_GRACE`] so
+    /// a cleanly-exited rank's final frames get processed first.
+    down_since: Vec<Option<Instant>>,
     /// Peers some rank has reported silent (any reporter sets the bit).
     suspected: u64,
     census: Option<Census>,
@@ -243,6 +285,36 @@ struct DriverState {
     evicted_list: Vec<u32>,
     joined_list: Vec<u32>,
     shards: Vec<Option<ShardPayload>>,
+    telemetry: DriverTelemetry,
+}
+
+/// The driver's own telemetry scope plus the per-rank snapshot store the
+/// fleet fold is built from.
+struct DriverTelemetry {
+    registry: Registry,
+    evictions: CounterHandle,
+    joins: CounterHandle,
+    events: EventRing,
+    /// Latest `(seq, snapshot)` accepted per mesh slot.  Frames are
+    /// cumulative, so keeping only the highest `seq` per rank — and
+    /// relying on the recv loop's evicted-sender guard to freeze dead
+    /// ranks at their last report — folds every rank exactly once.
+    rank_snaps: Vec<Option<(u64, TelemetrySnapshot)>>,
+}
+
+impl DriverTelemetry {
+    fn new(capacity: usize) -> Self {
+        let registry = Registry::new();
+        let evictions = registry.counter(names::EVICTIONS);
+        let joins = registry.counter(names::JOINS);
+        Self {
+            registry,
+            evictions,
+            joins,
+            events: EventRing::new(256),
+            rank_snaps: (0..capacity).map(|_| None).collect(),
+        }
+    }
 }
 
 impl DriverState {
@@ -255,6 +327,7 @@ impl DriverState {
             owned: vec![Vec::new(); capacity],
             latest: vec![0; capacity],
             last_heard: vec![Instant::now(); capacity],
+            down_since: vec![None; capacity],
             suspected: 0,
             census: None,
             pending_evictions: VecDeque::new(),
@@ -267,6 +340,7 @@ impl DriverState {
             evicted_list: Vec::new(),
             joined_list: Vec::new(),
             shards: (0..capacity).map(|_| None).collect(),
+            telemetry: DriverTelemetry::new(capacity),
         }
     }
 
@@ -281,6 +355,12 @@ impl DriverState {
     fn progress_sum(&self) -> u64 {
         (0..self.capacity)
             .filter(|&r| self.is_active(r))
+            // A shard-less rank with hard down-evidence either crashed
+            // (its updates died with it) or is mid-quiesce (drain has
+            // already fired, so its progress is moot).  Excluding it
+            // keeps a corpse's stale progress from satisfying the drain
+            // budget during the [`EOF_EVICT_GRACE`] window.
+            .filter(|&r| self.down_since[r].is_none() || self.shards[r].is_some())
             .map(|r| self.latest[r])
             .sum()
     }
@@ -620,7 +700,21 @@ fn run_driver_impl<T: Transport>(
                     continue;
                 }
                 let silent = now.duration_since(st.last_heard[r]);
-                let dead = transport.peer_down(r)
+                // Before drain no rank exits on purpose, so hard
+                // evidence is conclusive — evict promptly (a corpse
+                // keeps eating tokens, and every token it eats is a
+                // re-mint).  After drain a clean quiesce's final
+                // frames (telemetry, shard) may still be queued
+                // behind the EOF that produced the flag, so the
+                // evidence only counts once it has settled.
+                let down_settled = if transport.peer_down(r) {
+                    let since = *st.down_since[r].get_or_insert(now);
+                    !st.drained || now.duration_since(since) >= EOF_EVICT_GRACE
+                } else {
+                    st.down_since[r] = None;
+                    false
+                };
+                let dead = down_settled
                     || silent > timeout
                     || (st.suspected & bit(r) != 0 && silent > timeout / 2);
                 if dead {
@@ -679,6 +773,11 @@ fn run_driver_impl<T: Transport>(
                         "replica for rank {r} from endpoint {src}"
                     )));
                 }
+                st.telemetry.events.record(
+                    EventKind::Publish,
+                    payload.rank as u64,
+                    payload.updates_at,
+                );
                 serve.merge(&payload, k)?;
             }
             Message::QueryReply {
@@ -744,6 +843,21 @@ fn run_driver_impl<T: Transport>(
                 }
                 st.shards[r] = Some(*shard);
                 census_try_finish(transport, &mut st, data, cfg, budget)?;
+            }
+            Message::Telemetry(payload) => {
+                let r = payload.rank as usize;
+                if r >= capacity || r != src {
+                    return Err(NetError::Protocol(format!(
+                        "telemetry for rank {r} from endpoint {src}"
+                    )));
+                }
+                // Frames are cumulative; keep only the newest per rank.
+                // (Evicted senders never reach here — the drop guard
+                // above freezes them at their last accepted report.)
+                let slot = &mut st.telemetry.rank_snaps[r];
+                if slot.as_ref().is_none_or(|(seq, _)| payload.seq > *seq) {
+                    *slot = Some((payload.seq, payload.snapshot));
+                }
             }
             other => {
                 return Err(NetError::Protocol(format!(
@@ -850,6 +964,14 @@ fn run_driver_impl<T: Transport>(
         reminted: st.reminted,
         max_staleness,
         max_publish_gap,
+        rank_telemetry: st
+            .telemetry
+            .rank_snaps
+            .into_iter()
+            .map(|slot| slot.map(|(_, snap)| snap))
+            .collect(),
+        driver_telemetry: st.telemetry.registry.snapshot(),
+        events: st.telemetry.events.dump_lines(),
     };
     Ok(DistOutput { model, stats })
 }
@@ -919,7 +1041,7 @@ fn maybe_drain<T: Transport>(
 fn send_lenient<T: Transport>(transport: &T, dest: usize, msg: &Message) -> Result<(), NetError> {
     match transport.send(dest, msg) {
         Err(NetError::PeerGone(_)) => Ok(()),
-        other => other,
+        other => other.map(|_| ()),
     }
 }
 
@@ -946,6 +1068,10 @@ fn start_eviction<T: Transport>(
     st.evicted |= bit(dead);
     st.suspected &= !bit(dead);
     st.evicted_list.push(dead as u32);
+    st.telemetry.evictions.inc();
+    st.telemetry
+        .events
+        .record(EventKind::Eviction, dead as u64, st.progress_sum());
     // The corpse's updates no longer count toward the budget: survivors
     // must finish the work themselves.
     st.latest[dead] = 0;
@@ -1102,6 +1228,9 @@ fn finish_census<T: Transport>(
     // constant in time between membership events, so the latest cut
     // already reflects every earlier one.
     st.debt = census.tickets as i128 - census.passes as i128;
+    st.telemetry
+        .events
+        .record(EventKind::Census, epoch, st.debt.unsigned_abs() as u64);
 
     if st.drained {
         // Post-drain, survivors must not absorb new work: the driver
@@ -1232,7 +1361,12 @@ fn request_join<T: Transport>(
     st.epoch += 1;
     st.active |= bit(joiner);
     st.last_heard[joiner] = Instant::now();
+    st.down_since[joiner] = None;
     st.joined_list.push(joiner as u32);
+    st.telemetry.joins.inc();
+    st.telemetry
+        .events
+        .record(EventKind::Join, joiner as u64, st.progress_sum());
     let epoch = st.epoch;
     let actives: Vec<u32> = st.active_ranks().iter().map(|&r| r as u32).collect();
 

@@ -31,6 +31,7 @@ use nomad_cluster::ComputeModel;
 use nomad_core::sched::{install, FaultPlan, FuzzCase, FuzzController, FuzzFailure, Strategy};
 use nomad_core::{NomadConfig, SerialNomad};
 use nomad_matrix::{RatingMatrix, TripletMatrix};
+use nomad_telemetry::{names, TelemetrySnapshot};
 
 use crate::chaos::ChaosTransport;
 use crate::driver::{run_driver, run_driver_serving, DistributedNomad, NetConfig};
@@ -116,6 +117,9 @@ pub struct NetChaosStats {
     pub evicted: Vec<u32>,
     /// Tokens re-minted after evictions.
     pub reminted: u64,
+    /// The merged fleet telemetry snapshot at gather (driver scope plus
+    /// every rank's last accepted report, evicted ranks frozen).
+    pub fleet: TelemetrySnapshot,
     /// Wall-clock duration of the run.
     pub wall_seconds: f64,
 }
@@ -216,11 +220,50 @@ pub fn fuzz_loopback_chaos(
             ),
         ));
     }
+    // Telemetry fold oracle: the fleet snapshot counts every rank's
+    // last-reported updates **exactly once**.  Survivors' final frames
+    // ride the same FIFO edge just ahead of their gather shards, so
+    // their telemetry equals the gathered shard totals; an evicted rank
+    // stays frozen at its last accepted report (the driver drops frames
+    // from evicted senders).  Double-folding a frozen snapshot — or
+    // losing one — breaks this equality.
+    let fleet = out.stats.telemetry();
+    let frozen: u64 = out
+        .stats
+        .evicted
+        .iter()
+        .filter_map(|&r| out.stats.rank_telemetry.get(r as usize))
+        .flatten()
+        .filter_map(|snap| snap.counter(names::UPDATES))
+        .sum();
+    let expected = out.stats.updates + frozen;
+    if fleet.counter(names::UPDATES) != Some(expected) {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "fleet telemetry counted {:?} updates, expected exactly {expected} \
+                 ({} from survivors' gather + {frozen} frozen from evicted ranks)",
+                fleet.counter(names::UPDATES),
+                out.stats.updates
+            ),
+        ));
+    }
+    if fleet.counter(names::EVICTIONS) != Some(out.stats.evicted.len() as u64) {
+        return Err(FuzzFailure::new(
+            case,
+            format!(
+                "fleet telemetry counted {:?} evictions, gather saw {:?}",
+                fleet.counter(names::EVICTIONS),
+                out.stats.evicted
+            ),
+        ));
+    }
     Ok(NetChaosStats {
         updates: out.stats.updates,
         hops: out.stats.tokens_processed,
         evicted: out.stats.evicted,
         reminted: out.stats.reminted,
+        fleet,
         wall_seconds,
     })
 }

@@ -67,10 +67,12 @@ use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
 use nomad_serve::SnapshotPublisher;
 use nomad_sgd::{FactorMatrix, HyperParams, StepSchedule};
 
+use nomad_telemetry::{names, CounterHandle, GaugeHandle, HistogramHandle, Registry};
+
 use crate::transport::{NetError, Transport};
 use crate::wire::{
-    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment,
-    WireToken, QUERY_NOT_READY, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
+    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, TelemetryPayload,
+    WireSegment, WireToken, QUERY_NOT_READY, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
 };
 
 /// How long the communication loop blocks on the transport per iteration.
@@ -580,7 +582,11 @@ fn run_rank_inner<T: Transport>(
         updates: shared.local_updates.load(Ordering::Acquire),
         remote_sends: comm.remote_sends,
     };
-    transport.send(driver, &Message::Shard(Box::new(shard)))
+    // Final telemetry frame ahead of the shard: per-edge FIFO guarantees
+    // the driver folds the complete totals before gather finishes.
+    comm.send_telemetry(transport, &shared)?;
+    transport.send(driver, &Message::Shard(Box::new(shard)))?;
+    Ok(())
 }
 
 /// The communication loop, extracted so the caller can guarantee the
@@ -635,8 +641,81 @@ fn comm_run<'scope, T: Transport>(
         #[cfg(feature = "sched-fuzz")]
         nomad_core::sched::hooks::comm_poll(comm.rank);
         if let Some((src, msg)) = transport.recv_timeout(COMM_POLL)? {
+            comm.telemetry.frames_recv.inc();
             comm.note_heard(src);
             comm.handle(transport, shared, src, msg)?;
+        }
+    }
+}
+
+/// The rank's observability plane: a per-rank [`Registry`] whose
+/// cumulative snapshot rides to the driver as [`Message::Telemetry`]
+/// frames on the progress cadence, plus the typed handles the comm loop
+/// feeds.  Worker-owned totals (updates, tickets, publisher state) are
+/// mirrored into the registry at report time, so the SGD hot path is
+/// untouched by telemetry.
+struct RankTelemetry {
+    registry: Registry,
+    updates: CounterHandle,
+    tokens: CounterHandle,
+    publishes: CounterHandle,
+    publish_gap: GaugeHandle,
+    queue_depth: HistogramHandle,
+    frames_sent: CounterHandle,
+    frames_recv: CounterHandle,
+    bytes_sent: CounterHandle,
+    retries: CounterHandle,
+    /// Report sequence number (first frame is 1); the driver drops
+    /// frames arriving out of order.
+    seq: u64,
+    /// Sync watermarks for the mirrored counters.
+    synced_updates: u64,
+    synced_tokens: u64,
+    synced_publishes: u64,
+}
+
+impl RankTelemetry {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            updates: registry.counter(names::UPDATES),
+            tokens: registry.counter(names::TOKENS),
+            publishes: registry.counter(names::PUBLISHES),
+            publish_gap: registry.gauge(names::PUBLISH_GAP),
+            queue_depth: registry.histogram(names::QUEUE_DEPTH),
+            frames_sent: registry.counter(names::FRAMES_SENT),
+            frames_recv: registry.counter(names::FRAMES_RECV),
+            bytes_sent: registry.counter(names::BYTES_SENT),
+            retries: registry.counter(names::RETRIES),
+            seq: 0,
+            synced_updates: 0,
+            synced_tokens: 0,
+            synced_publishes: 0,
+            registry,
+        }
+    }
+
+    /// Counts one outbound frame of `bytes` payload bytes.
+    fn note_frame(&self, bytes: usize) {
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes as u64);
+    }
+
+    /// Mirrors worker-owned totals into the registry (called on the
+    /// report cadence, never on the hot path).
+    fn sync(&mut self, shared: &Shared) {
+        let updates = shared.local_updates.load(Ordering::Acquire);
+        self.updates.add(updates - self.synced_updates);
+        self.synced_updates = updates;
+        let tokens = shared.tickets.load(Ordering::Acquire);
+        self.tokens.add(tokens - self.synced_tokens);
+        self.synced_tokens = tokens;
+        self.queue_depth.record(shared.queue.len() as u64);
+        if let Some(p) = &shared.publisher {
+            let published = p.snapshots_published();
+            self.publishes.add(published - self.synced_publishes);
+            self.synced_publishes = published;
+            self.publish_gap.set_max(p.max_publish_gap() as i64);
         }
     }
 }
@@ -684,6 +763,8 @@ struct CommState {
     evicted_self: bool,
     /// Failure-detection state; `None` when heartbeats are disabled.
     hb: Option<Heartbeat>,
+    /// The rank's metric registry + wire-report bookkeeping.
+    telemetry: RankTelemetry,
 }
 
 struct Heartbeat {
@@ -730,6 +811,7 @@ impl CommState {
             awaiting_reconfigure: false,
             evicted_self: false,
             hb,
+            telemetry: RankTelemetry::new(),
         }
     }
 
@@ -772,8 +854,12 @@ impl CommState {
     ) -> Result<(), NetError> {
         self.note_sent(dest);
         match t.send(dest, msg) {
+            Ok(n) => {
+                self.telemetry.note_frame(n);
+                Ok(())
+            }
             Err(NetError::PeerGone(_)) if dest != self.driver => Ok(()),
-            other => other,
+            Err(e) => Err(e),
         }
     }
 
@@ -964,13 +1050,15 @@ impl CommState {
             tokens,
         };
         match t.send(dest, &msg) {
-            Ok(()) => {
+            Ok(n) => {
                 self.remote_sends += count;
+                self.telemetry.note_frame(n);
                 Ok(())
             }
             Err(NetError::PeerGone(_)) if dest != self.driver => {
                 // The stream died under us: recover the whole batch
                 // locally.  The failure detector will evict the peer.
+                self.telemetry.retries.inc();
                 if let Message::TokenBatch { tokens, .. } = msg {
                     for tok in tokens {
                         self.inject(shared, tok)?;
@@ -1000,7 +1088,7 @@ impl CommState {
                 None => (u64::MAX, 0),
             };
             self.note_sent(self.driver);
-            t.send(
+            let n = t.send(
                 self.driver,
                 &Message::Progress {
                     rank: self.rank as u32,
@@ -1009,8 +1097,36 @@ impl CommState {
                     publish_gap,
                 },
             )?;
+            self.telemetry.note_frame(n);
+            // Telemetry rides the same cadence: one cumulative snapshot
+            // frame per progress report.
+            self.send_telemetry(t, shared)?;
         }
         Ok(())
+    }
+
+    /// Ships a cumulative telemetry snapshot to the driver.  The frame
+    /// is monotonic (`seq`) and cumulative, so the driver folds only the
+    /// latest one per rank — losing a frame loses resolution, never
+    /// counts.
+    fn send_telemetry<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
+        self.telemetry.sync(shared);
+        self.telemetry.seq += 1;
+        let msg = Message::Telemetry(Box::new(TelemetryPayload {
+            rank: self.rank as u32,
+            seq: self.telemetry.seq,
+            snapshot: self.telemetry.registry.snapshot(),
+        }));
+        self.note_sent(self.driver);
+        match t.send(self.driver, &msg) {
+            // The next frame's byte counters absorb this one's cost.
+            Ok(n) => {
+                self.telemetry.note_frame(n);
+                Ok(())
+            }
+            Err(NetError::PeerGone(_)) => Ok(()), // driver gone: moot
+            Err(e) => Err(e),
+        }
     }
 
     /// Ships the latest published snapshot to the driver as a replica
@@ -1061,7 +1177,9 @@ impl CommState {
             items,
         }));
         self.note_sent(self.driver);
-        t.send(self.driver, &msg)
+        let n = t.send(self.driver, &msg)?;
+        self.telemetry.note_frame(n);
+        Ok(())
     }
 
     /// Answers a routed top-k query from the latest published snapshot.
@@ -1268,7 +1386,9 @@ impl CommState {
             held,
         };
         self.note_sent(self.driver);
-        t.send(self.driver, &msg)
+        let n = t.send(self.driver, &msg)?;
+        self.telemetry.note_frame(n);
+        Ok(())
     }
 
     fn handle<T: Transport>(

@@ -37,8 +37,10 @@
 //! only the query lifecycle.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use nomad_telemetry::{names, CounterHandle, HistogramHandle, Registry, TelemetrySnapshot};
 
 use crate::transport::{NetError, Transport};
 use crate::wire::{Message, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER};
@@ -49,11 +51,8 @@ use crate::wire::{Message, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER};
 /// `deadline + CLIENT_GRACE`.
 const CLIENT_GRACE: Duration = Duration::from_millis(250);
 
-/// Completed-query latencies kept for the hedge-delay percentile.
-const LAT_RING: usize = 256;
-
 /// Samples required before the p99 estimate replaces the hedge floor.
-const MIN_LAT_SAMPLES: usize = 16;
+const MIN_LAT_SAMPLES: u64 = 16;
 
 /// Tuning knobs of a [`ServeRouter`].
 #[derive(Debug, Clone, Copy)]
@@ -180,7 +179,8 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Cumulative outcome counters, readable at any time via
-/// [`ServeRouter::stats`].
+/// [`ServeRouter::stats`].  Sourced from the router's metric registry —
+/// the same `serve.*` counters a telemetry snapshot carries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RouterStats {
     /// Queries submitted (admitted or not).
@@ -270,23 +270,69 @@ struct RouterState {
     pending: HashMap<u64, Pending>,
     results: HashMap<u64, Result<Answer, ServeError>>,
     finished: bool,
-    lat_ring: Vec<u64>,
-    lat_pos: usize,
-    stats: RouterStats,
+}
+
+/// The router's registered metrics: one counter per terminal outcome
+/// plus the answer-latency histogram the hedge-delay estimator reads.
+struct ServeMetrics {
+    submitted: CounterHandle,
+    fresh: CounterHandle,
+    stale: CounterHandle,
+    run_over: CounterHandle,
+    shed: CounterHandle,
+    timeout: CounterHandle,
+    failover: CounterHandle,
+    retries: CounterHandle,
+    hedges: CounterHandle,
+    latency_us: HistogramHandle,
+}
+
+impl ServeMetrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            submitted: registry.counter(names::SERVE_SUBMITTED),
+            fresh: registry.counter(names::SERVE_FRESH),
+            stale: registry.counter(names::SERVE_STALE),
+            run_over: registry.counter(names::SERVE_RUN_OVER),
+            shed: registry.counter(names::SERVE_SHED),
+            timeout: registry.counter(names::SERVE_TIMEOUT),
+            failover: registry.counter(names::SERVE_FAILOVER),
+            retries: registry.counter(names::SERVE_RETRIES),
+            hedges: registry.counter(names::SERVE_HEDGES),
+            latency_us: registry.histogram(names::SERVE_LATENCY_US),
+        }
+    }
 }
 
 /// The serving front-end; see the module docs.  Clone-free and `Sync`:
 /// share it by reference (or `Arc`) between query threads and the
 /// driver.
+///
+/// Every outcome and every completed-query latency is recorded into a
+/// [`Registry`] under `serve.*` names — the router's own hedge-delay
+/// estimator reads the same `serve.latency_us` histogram callers see in
+/// the telemetry snapshot, so there is a single source of truth for
+/// serving latency.
 pub struct ServeRouter {
     cfg: RouterConfig,
     state: Mutex<RouterState>,
     done: Condvar,
+    registry: Arc<Registry>,
+    metrics: ServeMetrics,
 }
 
 impl ServeRouter {
-    /// Creates a router with the given knobs.
+    /// Creates a router with the given knobs and its own private metric
+    /// registry.
     pub fn new(cfg: RouterConfig) -> Self {
+        Self::with_registry(cfg, Arc::new(Registry::new()))
+    }
+
+    /// Creates a router recording its `serve.*` metrics into a shared
+    /// registry (so a bench or driver can snapshot serving and engine
+    /// metrics together).
+    pub fn with_registry(cfg: RouterConfig, registry: Arc<Registry>) -> Self {
+        let metrics = ServeMetrics::register(&registry);
         Self {
             cfg,
             state: Mutex::new(RouterState {
@@ -294,17 +340,27 @@ impl ServeRouter {
                 pending: HashMap::new(),
                 results: HashMap::new(),
                 finished: false,
-                lat_ring: Vec::with_capacity(LAT_RING),
-                lat_pos: 0,
-                stats: RouterStats::default(),
             }),
             done: Condvar::new(),
+            registry,
+            metrics,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &RouterConfig {
         &self.cfg
+    }
+
+    /// The registry the router records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A frozen snapshot of the router's metrics (`serve.*` counters and
+    /// the latency histogram), mergeable into a fleet view.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
     }
 
     fn lock(&self) -> MutexGuard<'_, RouterState> {
@@ -329,14 +385,14 @@ impl ServeRouter {
         let id;
         {
             let mut st = self.lock();
-            st.stats.submitted += 1;
+            self.metrics.submitted.inc();
             if st.finished {
-                st.stats.run_over += 1;
+                self.metrics.run_over.inc();
                 return Ok(Answer::RunOver);
             }
             let in_flight = st.pending.len();
             if in_flight >= self.cfg.capacity {
-                st.stats.shed += 1;
+                self.metrics.shed.inc();
                 return Err(ServeError::Shed {
                     in_flight,
                     capacity: self.cfg.capacity,
@@ -372,7 +428,7 @@ impl ServeRouter {
                 // The pump never got to this query (wedged or dead
                 // driver): the caller resolves its own timeout.
                 let attempts = st.pending.remove(&id).map_or(0, |p| p.attempts);
-                st.stats.timeout += 1;
+                self.metrics.timeout.inc();
                 return Err(ServeError::Timeout {
                     user,
                     deadline: self.cfg.deadline,
@@ -387,9 +443,19 @@ impl ServeRouter {
         }
     }
 
-    /// Outcome counters so far.
+    /// Outcome counters so far, read from the registry.
     pub fn stats(&self) -> RouterStats {
-        self.lock().stats
+        RouterStats {
+            submitted: self.metrics.submitted.get(),
+            fresh: self.metrics.fresh.get(),
+            stale: self.metrics.stale.get(),
+            run_over: self.metrics.run_over.get(),
+            shed: self.metrics.shed.get(),
+            timeout: self.metrics.timeout.get(),
+            failover: self.metrics.failover.get(),
+            retries: self.metrics.retries.get(),
+            hedges: self.metrics.hedges.get(),
+        }
     }
 
     /// Queries currently in flight.
@@ -397,16 +463,13 @@ impl ServeRouter {
         self.lock().pending.len()
     }
 
-    /// `(p50, p99)` answer latency in microseconds over the recent
-    /// completed-query window, or `None` before any query completed.
+    /// `(p50, p99)` answer latency in microseconds from the
+    /// `serve.latency_us` histogram (conservative bucket upper bounds),
+    /// or `None` before any query completed.
     pub fn latency_percentiles(&self) -> Option<(u64, u64)> {
-        let st = self.lock();
-        if st.lat_ring.is_empty() {
-            return None;
-        }
-        let mut v = st.lat_ring.clone();
-        v.sort_unstable();
-        Some((v[v.len() / 2], v[(v.len() * 99) / 100]))
+        let p50 = self.metrics.latency_us.quantile(0.5)?;
+        let p99 = self.metrics.latency_us.quantile(0.99)?;
+        Some((p50, p99))
     }
 
     /// Resolves `id` and wakes its caller; a no-op for unknown ids (late
@@ -416,22 +479,17 @@ impl ServeRouter {
             return;
         };
         match &result {
-            Ok(Answer::Fresh { .. }) => st.stats.fresh += 1,
-            Ok(Answer::Stale { .. }) => st.stats.stale += 1,
-            Ok(Answer::RunOver) => st.stats.run_over += 1,
-            Err(ServeError::Timeout { .. }) => st.stats.timeout += 1,
-            Err(ServeError::Shed { .. }) => st.stats.shed += 1,
-            Err(ServeError::Failover { .. }) => st.stats.failover += 1,
+            Ok(Answer::Fresh { .. }) => self.metrics.fresh.inc(),
+            Ok(Answer::Stale { .. }) => self.metrics.stale.inc(),
+            Ok(Answer::RunOver) => self.metrics.run_over.inc(),
+            Err(ServeError::Timeout { .. }) => self.metrics.timeout.inc(),
+            Err(ServeError::Shed { .. }) => self.metrics.shed.inc(),
+            Err(ServeError::Failover { .. }) => self.metrics.failover.inc(),
         }
         if matches!(result, Ok(Answer::Fresh { .. }) | Ok(Answer::Stale { .. })) {
-            let us = p.submitted.elapsed().as_micros() as u64;
-            if st.lat_ring.len() < LAT_RING {
-                st.lat_ring.push(us);
-            } else {
-                let pos = st.lat_pos;
-                st.lat_ring[pos] = us;
-            }
-            st.lat_pos = (st.lat_pos + 1) % LAT_RING;
+            self.metrics
+                .latency_us
+                .record(p.submitted.elapsed().as_micros() as u64);
         }
         st.results.insert(id, result);
         self.done.notify_all();
@@ -449,14 +507,16 @@ impl ServeRouter {
 
     /// The hedge delay: twice the observed p99 answer latency, floored
     /// by the configured minimum (and used verbatim until enough
-    /// samples exist).
-    fn hedge_delay(&self, st: &RouterState) -> Duration {
-        if st.lat_ring.len() < MIN_LAT_SAMPLES {
+    /// samples exist).  Reads the same `serve.latency_us` histogram the
+    /// telemetry snapshot exposes — one latency source of truth, with no
+    /// private sample ring to drift from it.
+    fn hedge_delay(&self) -> Duration {
+        if self.metrics.latency_us.count() < MIN_LAT_SAMPLES {
             return self.cfg.hedge_floor;
         }
-        let mut v = st.lat_ring.clone();
-        v.sort_unstable();
-        let p99 = v[(v.len() * 99) / 100];
+        let Some(p99) = self.metrics.latency_us.quantile(0.99) else {
+            return self.cfg.hedge_floor;
+        };
         self.cfg
             .hedge_floor
             .max(Duration::from_micros(p99.saturating_mul(2)))
@@ -522,7 +582,7 @@ impl ServeRouter {
                     );
                 }
                 Route::Owner(owner) => {
-                    let hedge_delay = self.hedge_delay(&st);
+                    let hedge_delay = self.hedge_delay();
                     let p = st.pending.get_mut(&id).expect("pending");
                     if p.failover {
                         // The owner said "not ready": degrade to the
@@ -570,16 +630,18 @@ impl ServeRouter {
                             seen: p.seen.clone(),
                         };
                         if was_retry {
-                            st.stats.retries += 1;
+                            self.metrics.retries.inc();
                         }
                         if was_hedge {
-                            st.stats.hedges += 1;
+                            self.metrics.hedges.inc();
                         }
                         match t.send(owner, &msg) {
                             // A dead stream is the failure detector's
                             // problem; the next pump re-classifies.
                             Err(NetError::PeerGone(_)) => {}
-                            other => other?,
+                            other => {
+                                other?;
+                            }
                         }
                     }
                 }
@@ -878,6 +940,68 @@ mod tests {
             );
             assert!(router.stats().retries > 0, "retries should have fired");
         });
+    }
+
+    #[test]
+    fn hedge_delay_uses_floor_until_enough_samples_then_doubles_p99() {
+        let floor = Duration::from_millis(20);
+        let router = ServeRouter::new(RouterConfig {
+            hedge_floor: floor,
+            ..RouterConfig::default()
+        });
+        // No samples yet: the configured floor is used verbatim.
+        assert_eq!(router.hedge_delay(), floor);
+        // Below the sample threshold the floor still wins, no matter how
+        // slow the recorded answers were.
+        for _ in 0..(MIN_LAT_SAMPLES - 1) {
+            router.metrics.latency_us.record(500_000);
+        }
+        assert_eq!(router.hedge_delay(), floor);
+        // At the threshold the estimator switches to 2 × p99 of the
+        // shared histogram (a conservative bucket upper bound, so the
+        // delay is at least 2 × the recorded latency).
+        router.metrics.latency_us.record(500_000);
+        let delay = router.hedge_delay();
+        assert!(
+            delay >= Duration::from_micros(1_000_000),
+            "2 × p99 of 500ms samples must be ≥ 1s, got {delay:?}"
+        );
+        // The floor is a lower bound even with fast samples: a fresh
+        // router whose answers all land in ~1µs keeps the floor.
+        let fast = ServeRouter::new(RouterConfig {
+            hedge_floor: floor,
+            ..RouterConfig::default()
+        });
+        for _ in 0..(2 * MIN_LAT_SAMPLES) {
+            fast.metrics.latency_us.record(1);
+        }
+        assert_eq!(fast.hedge_delay(), floor, "floor must clamp fast p99s");
+    }
+
+    #[test]
+    fn outcome_counters_and_latency_live_in_the_shared_registry() {
+        use nomad_telemetry::names;
+        let registry = Arc::new(Registry::new());
+        let router = ServeRouter::with_registry(
+            RouterConfig {
+                capacity: 0,
+                ..RouterConfig::default()
+            },
+            Arc::clone(&registry),
+        );
+        let _ = router.query(1, 3, vec![]).unwrap_err(); // shed
+        router.finish();
+        let _ = router.query(2, 3, vec![]).unwrap(); // run-over
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::SERVE_SUBMITTED), Some(2));
+        assert_eq!(snap.counter(names::SERVE_SHED), Some(1));
+        assert_eq!(snap.counter(names::SERVE_RUN_OVER), Some(1));
+        // stats() reads the very same counters.
+        let stats = router.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.run_over, 1);
+        assert_eq!(router.telemetry(), snap);
     }
 
     #[test]

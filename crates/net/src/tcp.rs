@@ -140,11 +140,11 @@ fn spawn_reader(src: usize, stream: TcpStream, shared: Arc<Shared>) {
         .expect("spawn reader thread");
 }
 
-fn send_on(stream: &mut TcpStream, msg: &Message) -> Result<(), NetError> {
+fn send_on(stream: &mut TcpStream, msg: &Message) -> Result<usize, NetError> {
     let payload = msg.encode()?;
     write_frame(stream, &payload)?;
     stream.flush()?;
-    Ok(())
+    Ok(payload.len())
 }
 
 /// Reads exactly one frame directly from `stream` (used during the
@@ -518,7 +518,7 @@ impl Transport for TcpTransport {
         self.ranks
     }
 
-    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
+    fn send(&self, dest: usize, msg: &Message) -> Result<usize, NetError> {
         assert!(dest <= self.ranks, "destination {dest} out of mesh");
         assert_ne!(dest, self.id, "no self-edges in the mesh");
         let mut slot = self.shared.writers[dest].lock().expect("writer poisoned");
@@ -526,7 +526,7 @@ impl Transport for TcpTransport {
             return Err(NetError::PeerGone(dest));
         };
         match send_on(stream, msg) {
-            Ok(()) => Ok(()),
+            Ok(n) => Ok(n),
             Err(NetError::Io(_)) => {
                 // The stream died under us: hard evidence for the failure
                 // detector, and the slot empties so later sends fail fast.
@@ -720,7 +720,7 @@ mod tests {
                     gone = true;
                     break;
                 }
-                Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+                Ok(_) => std::thread::sleep(Duration::from_millis(2)),
                 Err(e) => panic!("unexpected error {e}"),
             }
         }

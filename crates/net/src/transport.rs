@@ -76,11 +76,13 @@ pub trait Transport: Send {
     /// Number of rank endpoints in the mesh.
     fn ranks(&self) -> usize;
 
-    /// Sends `msg` to endpoint `dest`.
+    /// Sends `msg` to endpoint `dest`, returning the encoded payload's
+    /// byte length so callers can feed byte counters without encoding
+    /// twice.
     ///
     /// # Errors
     /// Fails if the destination is unreachable or encoding fails.
-    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError>;
+    fn send(&self, dest: usize, msg: &Message) -> Result<usize, NetError>;
 
     /// Receives the next message from any endpoint, waiting up to
     /// `timeout`.  `Ok(None)` means the timeout elapsed with nothing to
@@ -170,16 +172,17 @@ impl Transport for Loopback {
         self.ranks
     }
 
-    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
+    fn send(&self, dest: usize, msg: &Message) -> Result<usize, NetError> {
         assert!(dest <= self.ranks, "destination {dest} out of mesh");
         assert_ne!(dest, self.id, "no self-edges in the mesh");
         let bytes = msg.encode()?;
+        let len = bytes.len();
         let mailbox = &self.boxes[dest];
         let mut queue = mailbox.queue.lock().expect("mailbox poisoned");
         queue.push_back((self.id, bytes));
         drop(queue);
         mailbox.ready.notify_one();
-        Ok(())
+        Ok(len)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, NetError> {
@@ -233,7 +236,7 @@ impl<T: Transport> Transport for DelayedTransport<T> {
         self.inner.ranks()
     }
 
-    fn send(&self, dest: usize, msg: &Message) -> Result<(), NetError> {
+    fn send(&self, dest: usize, msg: &Message) -> Result<usize, NetError> {
         std::thread::sleep(self.send_delay);
         self.inner.send(dest, msg)
     }

@@ -24,6 +24,7 @@
 use std::io::{Read, Write};
 
 use nomad_matrix::Idx;
+use nomad_telemetry::{HistSnapshot, TelemetrySnapshot, HIST_BUCKETS};
 
 /// Hard cap on the byte length of a single frame payload (64 MiB).
 ///
@@ -193,6 +194,27 @@ pub struct ReplicaPayload {
     pub segments: Vec<WireSegment>,
     /// The snapshot's full item matrix, row-major (`ncols * k` values).
     pub items: Vec<f64>,
+}
+
+/// Hard cap on a metric name's byte length in a `Telemetry` frame.
+pub const MAX_METRIC_NAME_LEN: usize = 256;
+
+/// [`Message::Telemetry`] payload: one rank's cumulative metric snapshot.
+///
+/// Snapshots are **cumulative**, not deltas: the driver keeps only the
+/// highest-`seq` frame per rank and folds those into the fleet view, so
+/// an evicted rank stays represented by its last report and every
+/// counter enters the fleet total exactly once by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryPayload {
+    /// The reporting rank.
+    pub rank: u32,
+    /// Per-rank report sequence number; the driver drops frames that
+    /// arrive out of order.
+    pub seq: u64,
+    /// The frozen metrics (sorted by name, as `Registry::snapshot`
+    /// produces them).
+    pub snapshot: TelemetrySnapshot,
 }
 
 /// `QueryReply::status`: the owning rank answered from its live snapshot.
@@ -397,6 +419,9 @@ pub enum Message {
     /// Rank → driver: a copy of the rank's latest published snapshot,
     /// kept driver-side as the failover replica for this shard.
     Replica(Box<ReplicaPayload>),
+    /// Rank → driver: a periodic cumulative telemetry snapshot (see
+    /// [`TelemetryPayload`] for the exactly-once fold contract).
+    Telemetry(Box<TelemetryPayload>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -421,6 +446,7 @@ const TAG_SHARD_TRANSFER: u8 = 19;
 const TAG_QUERY: u8 = 20;
 const TAG_QUERY_REPLY: u8 = 21;
 const TAG_REPLICA: u8 = 22;
+const TAG_TELEMETRY: u8 = 23;
 
 // ---------------------------------------------------------------------------
 // Primitive writers/readers.
@@ -447,6 +473,15 @@ fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) -> Result<(), WireError> {
     for &v in vs {
         put_f64(buf, v);
     }
+    Ok(())
+}
+
+fn put_name(buf: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    if s.len() > MAX_METRIC_NAME_LEN {
+        return Err(WireError::BadLength(s.len() as u64));
+    }
+    put_u16(buf, s.len() as u16);
+    buf.extend_from_slice(s.as_bytes());
     Ok(())
 }
 
@@ -516,6 +551,16 @@ impl<'a> Reader<'a> {
             return Err(WireError::Truncated);
         }
         Ok(n as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 metric name (see [`put_name`]).
+    fn name(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        if n > MAX_METRIC_NAME_LEN {
+            return Err(WireError::BadLength(n as u64));
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadValue(n as u64))
     }
 
     fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
@@ -787,6 +832,31 @@ impl Message {
                 }
                 put_f64s(&mut buf, &p.items)?;
             }
+            Message::Telemetry(p) => {
+                buf.push(TAG_TELEMETRY);
+                put_u32(&mut buf, p.rank);
+                put_u64(&mut buf, p.seq);
+                put_u32(&mut buf, seq_len(p.snapshot.counters.len())?);
+                for (name, v) in &p.snapshot.counters {
+                    put_name(&mut buf, name)?;
+                    put_u64(&mut buf, *v);
+                }
+                put_u32(&mut buf, seq_len(p.snapshot.gauges.len())?);
+                for (name, v) in &p.snapshot.gauges {
+                    put_name(&mut buf, name)?;
+                    put_u64(&mut buf, *v as u64);
+                }
+                put_u32(&mut buf, seq_len(p.snapshot.hists.len())?);
+                for (name, h) in &p.snapshot.hists {
+                    put_name(&mut buf, name)?;
+                    put_u64(&mut buf, h.count);
+                    put_u64(&mut buf, h.sum);
+                    put_u64(&mut buf, h.max);
+                    for &b in &h.buckets {
+                        put_u64(&mut buf, b);
+                    }
+                }
+            }
         }
         Ok(buf)
     }
@@ -1004,6 +1074,51 @@ impl Message {
                     updates_at,
                     segments,
                     items: r.f64s()?,
+                }))
+            }
+            TAG_TELEMETRY => {
+                let rank = r.u32()?;
+                let seq = r.u64()?;
+                let mut snapshot = TelemetrySnapshot::default();
+                // Minimum 10 bytes per entry (empty name + u64 value).
+                let n = r.seq(10)?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let v = r.u64()?;
+                    snapshot.counters.push((name, v));
+                }
+                let n = r.seq(10)?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let v = r.u64()? as i64;
+                    snapshot.gauges.push((name, v));
+                }
+                // Minimum bytes per histogram: empty name + count/sum/max
+                // + the fixed bucket array.
+                let n = r.seq(2 + 3 * 8 + 8 * HIST_BUCKETS)?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let count = r.u64()?;
+                    let sum = r.u64()?;
+                    let max = r.u64()?;
+                    let mut buckets = [0u64; HIST_BUCKETS];
+                    for b in buckets.iter_mut() {
+                        *b = r.u64()?;
+                    }
+                    snapshot.hists.push((
+                        name,
+                        HistSnapshot {
+                            count,
+                            sum,
+                            max,
+                            buckets,
+                        },
+                    ));
+                }
+                Message::Telemetry(Box::new(TelemetryPayload {
+                    rank,
+                    seq,
+                    snapshot,
                 }))
             }
             other => return Err(WireError::BadTag(other)),
@@ -1247,6 +1362,60 @@ mod tests {
             ],
             items: vec![0.5, -0.5, 1.5, -1.5],
         })));
+    }
+
+    #[test]
+    fn telemetry_round_trips() {
+        use nomad_telemetry::Registry;
+        let reg = Registry::new();
+        reg.counter("engine.updates").add(12_345);
+        reg.counter("net.frames_sent").add(7);
+        reg.gauge("engine.publish_gap").set(4096);
+        reg.histogram("serve.latency_us").record(250);
+        reg.histogram("serve.latency_us").record(u64::MAX);
+        roundtrip(&Message::Telemetry(Box::new(TelemetryPayload {
+            rank: 3,
+            seq: 9,
+            snapshot: reg.snapshot(),
+        })));
+        roundtrip(&Message::Telemetry(Box::new(TelemetryPayload {
+            rank: 0,
+            seq: 0,
+            snapshot: TelemetrySnapshot::default(),
+        })));
+    }
+
+    #[test]
+    fn oversized_metric_name_fails_encode() {
+        let mut snapshot = TelemetrySnapshot::default();
+        snapshot
+            .counters
+            .push(("x".repeat(MAX_METRIC_NAME_LEN + 1), 1));
+        let err = Message::Telemetry(Box::new(TelemetryPayload {
+            rank: 0,
+            seq: 0,
+            snapshot,
+        }))
+        .encode()
+        .unwrap_err();
+        assert!(matches!(err, WireError::BadLength(_)));
+    }
+
+    #[test]
+    fn non_utf8_metric_name_is_rejected() {
+        let mut bytes = vec![TAG_TELEMETRY];
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // rank
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one counter
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // name length 1
+        bytes.push(0xFF); // invalid UTF-8
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // counter value
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no gauges
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no histograms
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadValue(_))
+        ));
     }
 
     #[test]

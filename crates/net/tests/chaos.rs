@@ -27,6 +27,7 @@ use nomad_data::{named_dataset, SizeTier};
 use nomad_matrix::RatingMatrix;
 use nomad_net::{fuzz_loopback_chaos, NetConfig};
 use nomad_sgd::HyperParams;
+use nomad_telemetry::names;
 
 fn tiny() -> RatingMatrix {
     named_dataset("netflix-sim", SizeTier::Tiny)
@@ -57,6 +58,20 @@ fn run_case(data: &RatingMatrix, case: FuzzCase) {
             "{case}: crash case finished without an eviction"
         );
     }
+    // Exactly-once telemetry fold: [`fuzz_loopback_chaos`] already
+    // asserted that the fleet's `engine.updates` equals the survivors'
+    // gather total plus the evicted ranks' frozen reports (counted once,
+    // never twice); re-check the eviction counter against the gather
+    // list here so the sweep fails loudly if the oracles drift apart.
+    assert_eq!(
+        stats.fleet.counter(names::EVICTIONS),
+        Some(stats.evicted.len() as u64),
+        "{case}: fleet eviction counter disagrees with the gather list"
+    );
+    assert!(
+        stats.fleet.counter(names::UPDATES).unwrap_or(0) >= stats.updates,
+        "{case}: fleet updates lost survivors' final telemetry frames"
+    );
 }
 
 /// Sweeps `seeds` chaos cases per strategy family.  The crash and

@@ -10,15 +10,66 @@
 use proptest::prelude::*;
 
 use nomad_net::{
-    Message, ReplicaPayload, SetupPayload, ShardPayload, WireError, WireSegment, WireToken,
-    QUERY_UNKNOWN_USER,
+    Message, ReplicaPayload, SetupPayload, ShardPayload, TelemetryPayload, WireError, WireSegment,
+    WireToken, QUERY_UNKNOWN_USER,
 };
+use nomad_telemetry::{HistSnapshot, TelemetrySnapshot, HIST_BUCKETS};
 
 /// Strategy: an arbitrary factor row, including non-finite and
 /// signed-zero bit patterns (decoded factors must be *bit*-faithful).
 fn arb_factor() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(any::<u64>(), 0..12)
         .prop_map(|bits| bits.into_iter().map(f64::from_bits).collect())
+}
+
+/// Strategy: a metric name within the codec's length cap (the cap itself
+/// is pinned by a unit test in the wire module). Names are drawn from the
+/// dotted-lowercase alphabet real metrics use.
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._";
+    proptest::collection::vec(0usize..CHARSET.len(), 1..24)
+        .prop_map(|idx| idx.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
+/// Strategy: an arbitrary frozen telemetry snapshot — counters, gauges
+/// (including negative values, via bit reinterpretation), and full
+/// 65-bucket histograms with unconstrained totals.
+fn arb_telemetry() -> impl Strategy<Value = TelemetrySnapshot> {
+    (
+        proptest::collection::vec((arb_metric_name(), any::<u64>()), 0..6),
+        proptest::collection::vec((arb_metric_name(), any::<u64>()), 0..6),
+        proptest::collection::vec(
+            (
+                arb_metric_name(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u64>(), HIST_BUCKETS..HIST_BUCKETS + 1),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauge_bits, hists)| TelemetrySnapshot {
+            counters,
+            gauges: gauge_bits
+                .into_iter()
+                .map(|(name, bits)| (name, bits as i64))
+                .collect(),
+            hists: hists
+                .into_iter()
+                .map(|(name, seed, bucket_vec)| {
+                    let mut buckets = [0u64; HIST_BUCKETS];
+                    buckets.copy_from_slice(&bucket_vec);
+                    (
+                        name,
+                        HistSnapshot {
+                            count: seed,
+                            sum: seed.rotate_left(17),
+                            max: seed >> 3,
+                            buckets,
+                        },
+                    )
+                })
+                .collect(),
+        })
 }
 
 fn arb_tokens() -> impl Strategy<Value = Vec<WireToken>> {
@@ -207,6 +258,40 @@ proptest! {
         }));
         let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
         assert_bit_identical(&msg, &decoded);
+    }
+
+    /// Telemetry frames — cumulative counter/gauge/histogram snapshots a
+    /// rank reports to the driver — survive the wire exactly. Everything
+    /// in the payload is integral, so structural equality is exact.
+    #[test]
+    fn telemetry_frames_round_trip(
+        rank in any::<u32>(),
+        seq in any::<u64>(),
+        snapshot in arb_telemetry(),
+    ) {
+        let msg = Message::Telemetry(Box::new(TelemetryPayload { rank, seq, snapshot }));
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        prop_assert_eq!(&msg, &decoded);
+    }
+
+    /// Truncating a telemetry frame anywhere is a clean [`WireError`],
+    /// and flipping any single byte never panics the decoder — metric
+    /// names make these the only frames carrying length-prefixed strings,
+    /// so the name-length guard gets fuzzed here.
+    #[test]
+    fn telemetry_frame_corruption_is_total(
+        snapshot in arb_telemetry(),
+        cut_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let msg = Message::Telemetry(Box::new(TelemetryPayload { rank: 3, seq: 9, snapshot }));
+        let bytes = msg.encode().unwrap();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        let mut flipped = bytes.clone();
+        let pos = (cut_seed % bytes.len() as u64) as usize;
+        flipped[pos] ^= flip;
+        let _ = Message::decode(&flipped); // must not panic
     }
 
     /// Truncating or corrupting serving frames is total: an error or a

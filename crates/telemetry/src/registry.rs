@@ -1,0 +1,318 @@
+//! The metric [`Registry`]: named ownership of counters, gauges and
+//! histograms, typed handles for the hot path, and the frozen
+//! [`TelemetrySnapshot`] that rides the wire and merges into fleet
+//! views.
+//!
+//! Registration takes a lock and may allocate — it happens once, at
+//! engine setup.  Recording through a handle touches only the metric's
+//! own atomics.  The registry is *static-friendly*: `Registry::new` is
+//! `const`, so a crate can keep one in a `static` and register into it
+//! lazily.
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
+
+/// One registered metric.
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A cheap, clonable handle to a registered [`Counter`].
+#[derive(Clone)]
+pub struct CounterHandle(Arc<Counter>);
+
+impl std::ops::Deref for CounterHandle {
+    type Target = Counter;
+    fn deref(&self) -> &Counter {
+        &self.0
+    }
+}
+
+/// A cheap, clonable handle to a registered [`Gauge`].
+#[derive(Clone)]
+pub struct GaugeHandle(Arc<Gauge>);
+
+impl std::ops::Deref for GaugeHandle {
+    type Target = Gauge;
+    fn deref(&self) -> &Gauge {
+        &self.0
+    }
+}
+
+/// A cheap, clonable handle to a registered [`Histogram`].
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<Histogram>);
+
+impl std::ops::Deref for HistogramHandle {
+    type Target = Histogram;
+    fn deref(&self) -> &Histogram {
+        &self.0
+    }
+}
+
+/// Named ownership of a set of metrics.
+///
+/// Registration is idempotent: asking twice for the same name returns a
+/// handle to the same underlying metric (and panics if the name was
+/// registered as a different kind — that is a programming error, not a
+/// runtime condition).
+pub struct Registry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.  `const`, so `static REGISTRY: Registry =
+    /// Registry::new();` works.
+    pub const fn new() -> Self {
+        Self {
+            metrics: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register<T, F, G>(&self, name: &str, make: F, extract: G) -> T
+    where
+        F: FnOnce() -> Metric,
+        G: Fn(&Metric) -> Option<T>,
+    {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            return extract(m)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()));
+        }
+        let metric = make();
+        let handle = extract(&metric).expect("freshly made metric matches its own kind");
+        metrics.push((name.to_string(), metric));
+        handle
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        self.register(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(CounterHandle(Arc::clone(c))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        self.register(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(GaugeHandle(Arc::clone(g))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.register(
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(HistogramHandle(Arc::clone(h))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Freezes every registered metric into a [`TelemetrySnapshot`]
+    /// (sorted by name, so snapshots compare and merge deterministically).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut snap = TelemetrySnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.hists.push((name.clone(), h.snapshot())),
+            }
+        }
+        drop(metrics);
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.hists.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("metrics", &metrics.len())
+            .finish()
+    }
+}
+
+/// A frozen view of a registry (or a merge of several): plain data,
+/// sorted by name, the unit the `Telemetry` wire frame carries and the
+/// driver folds into the fleet view.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge readings.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram contents.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl TelemetrySnapshot {
+    /// The counter `name`'s total, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The gauge `name`'s reading, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// `true` when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters and histogram buckets add,
+    /// gauges take the maximum (a gauge is a level/bound reading — the
+    /// fleet value is the worst rank's).  Metrics present on only one
+    /// side are kept.  Sorted order is preserved.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, v) in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(i) => self.counters[i].1 = self.counters[i].1.wrapping_add(*v),
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.gauges[i].1 = self.gauges[i].1.max(*v),
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.hists {
+            match self.hists.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.hists[i].1.merge(h),
+                Err(i) => self.hists.insert(i, (name.clone(), *h)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn registry_is_static_friendly() {
+        static REG: Registry = Registry::new();
+        REG.counter("static.metric").inc();
+        assert_eq!(REG.snapshot().counter("static.metric"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z").add(1);
+        r.counter("a").add(2);
+        r.gauge("g").set(-4);
+        r.histogram("h").record(7);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a");
+        assert_eq!(s.counters[1].0, "z");
+        assert_eq!(s.gauge("g"), Some(-4));
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_gauges_folds_hists() {
+        let a = Registry::new();
+        a.counter("c").add(10);
+        a.gauge("g").set(5);
+        a.histogram("h").record(100);
+        let b = Registry::new();
+        b.counter("c").add(32);
+        b.counter("only_b").add(1);
+        b.gauge("g").set(3);
+        b.histogram("h").record(7);
+
+        let mut fleet = a.snapshot();
+        fleet.merge(&b.snapshot());
+        assert_eq!(fleet.counter("c"), Some(42));
+        assert_eq!(fleet.counter("only_b"), Some(1));
+        assert_eq!(fleet.gauge("g"), Some(5), "gauges merge by max");
+        let h = fleet.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 100);
+    }
+
+    #[test]
+    fn merge_is_exactly_once_per_snapshot() {
+        // The driver's fold keeps the *latest* snapshot per rank and
+        // merges each exactly once: merging the same cumulative snapshot
+        // twice would double-count, which this pins as the wrong answer.
+        let a = Registry::new();
+        a.counter("c").add(10);
+        let snap = a.snapshot();
+        let mut once = TelemetrySnapshot::default();
+        once.merge(&snap);
+        let mut twice = once.clone();
+        twice.merge(&snap);
+        assert_eq!(once.counter("c"), Some(10));
+        assert_ne!(once, twice, "double fold must be observable");
+    }
+}

@@ -30,7 +30,11 @@
 //!   evaluation (DSGD, DSGD++, CCD++, FPSGD**, ALS, ASGD, GraphLab-ALS,
 //!   serial SGD),
 //! * [`eval`] — the experiment harness that regenerates the paper's
-//!   figures and tables.
+//!   figures and tables,
+//! * [`telemetry`] — zero-cost metrics (sharded counters, gauges,
+//!   log-scale histograms), a bounded lock-free event ring, and the
+//!   `nomad-telemetry-v1` JSONL dump format; every engine and the
+//!   distributed mesh record into it.
 //!
 //! ## Quick start
 //!
@@ -221,6 +225,51 @@
 //! measured *while* the mesh trains, and the chaos suite kills the rank
 //! being queried mid-run and asserts every in-flight query still resolves
 //! within its deadline.
+//!
+//! ## Observability: metrics and fleet telemetry
+//!
+//! Every engine accepts a [`telemetry::Registry`] via `with_telemetry`.
+//! Registration (a lock, a few allocations) happens once at run setup;
+//! recording a token hop afterwards is three relaxed atomic operations,
+//! so the hot path stays allocation-free — the counting-allocator test
+//! re-proves zero heap allocations per steady-state hop *with* telemetry
+//! attached.  In the distributed engine each rank streams cumulative
+//! snapshots of its registry to the driver, which merges them into a
+//! fleet view (`NetStats::telemetry()`); ranks evicted mid-run stay
+//! frozen at their last report, so their work is counted exactly once
+//! (the same code block is the README's telemetry quickstart):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nomad::core::{NomadConfig, StopCondition, ThreadedNomad};
+//! use nomad::data::{named_dataset, SizeTier};
+//! use nomad::sgd::HyperParams;
+//! use nomad::telemetry::{names, render_jsonl_line, validate_jsonl_line, Registry};
+//!
+//! let dataset = named_dataset("netflix-sim", SizeTier::Tiny).unwrap().build();
+//! let config = NomadConfig::new(HyperParams::netflix().with_k(8))
+//!     .with_stop(StopCondition::Updates(20_000));
+//!
+//! let registry = Arc::new(Registry::new());
+//! ThreadedNomad::new(config)
+//!     .with_telemetry(Arc::clone(&registry))
+//!     .run(&dataset.matrix, &dataset.test, 2, 1);
+//!
+//! let snap = registry.snapshot();
+//! assert!(snap.counter(names::UPDATES).unwrap() >= 20_000);
+//! assert!(snap.histogram(names::QUEUE_DEPTH).unwrap().p99().is_some());
+//!
+//! // One `nomad-telemetry-v1` JSONL line per scope — the same format the
+//! // bench binaries dump to `telemetry.jsonl` and CI schema-checks.
+//! let line = render_jsonl_line("train", &snap, None);
+//! validate_jsonl_line(&line).unwrap();
+//! ```
+//!
+//! The `perf`, `distributed` and `serving` bench binaries always write
+//! `telemetry.jsonl` (override the path with `NOMAD_TELEMETRY_OUT`) and
+//! render human-readable metric tables under `--telemetry`; the serving
+//! section of `BENCH_distributed.json` is *sourced from* the router's
+//! `serve.*` registry rather than bench-local tallies.
 
 /// Sparse rating-matrix substrate (re-export of `nomad-matrix`).
 pub use nomad_matrix as matrix;
@@ -253,3 +302,7 @@ pub use nomad_baselines as baselines;
 
 /// Experiment harness (re-export of `nomad-eval`).
 pub use nomad_eval as eval;
+
+/// Zero-cost metrics, event tracing and fleet telemetry (re-export of
+/// `nomad-telemetry`).
+pub use nomad_telemetry as telemetry;
