@@ -15,12 +15,23 @@
 //! like the assembled `FactorModel` — a broken publisher must fail loudly,
 //! not publish plausible latencies.
 //!
+//! After the exact-path measurements, the binary sweeps the **approximate
+//! IVF path** on synthetic clustered catalogs: for each catalog size it
+//! builds a mixture-of-Gaussians model, publishes it, and measures
+//! queries/sec and recall@10 (against the exact scan) for a range of
+//! `nprobe` values — the `"ivf"` rows in the JSON.  It also measures the
+//! **delta-snapshot** row fraction a steady-state publish ships (the
+//! `"delta"` object), which is what the `ReplicaDelta` wire path saves.
+//!
 //! Environment:
 //! - `NOMAD_SCALE=quick|standard` — dataset tier / budgets.
 //! - `NOMAD_SERVE_OUT=<path>` — JSON path (default `BENCH_serving.json`).
-//! - `NOMAD_PERF_ASSERT=1` — exit non-zero unless quiesced read throughput
-//!   with 2 query workers reaches ≥ 1.2× a single worker for at least one
-//!   `k` (auto-skipped below 2 cores).
+//! - `NOMAD_PERF_ASSERT=1` — exit non-zero unless (a) quiesced read
+//!   throughput with 2 query workers reaches ≥ 1.2× a single worker for at
+//!   least one `k`, (b) some IVF operating point on the largest catalog
+//!   reaches recall@10 ≥ 0.95 at ≥ 3× the exact scan's queries/sec, and
+//!   (c) a steady-state delta publish ships < 20% of the catalog's rows
+//!   (auto-skipped below 2 cores).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,7 +42,7 @@ use nomad_core::{NomadConfig, StopCondition, ThreadedNomad};
 use nomad_data::{named_dataset, SizeTier};
 use nomad_matrix::Idx;
 use nomad_serve::{QueryEngine, SnapshotPublisher};
-use nomad_sgd::{FactorModel, HyperParams};
+use nomad_sgd::{FactorMatrix, FactorModel, HyperParams};
 
 /// Top-k sizes measured for every latent dimension.
 const TOP_KS: &[usize] = &[8, 32, 100];
@@ -48,6 +59,11 @@ struct ServeScale {
     /// Queries per measurement (live measurements may stop earlier when
     /// training quiesces first; quiesced measurements always run it full).
     queries: usize,
+    /// Synthetic catalog sizes for the IVF sweep (items; ascending — the
+    /// perf gate reads the last entry).
+    ivf_items: &'static [usize],
+    /// Timed queries per IVF operating point.
+    ivf_queries: usize,
 }
 
 impl ServeScale {
@@ -60,6 +76,8 @@ impl ServeScale {
                 budgets: &[8_000_000, 4_000_000, 1_500_000],
                 publish_every: 200_000,
                 queries: 20_000,
+                ivf_items: &[4_096, 16_384],
+                ivf_queries: 4_000,
             },
             _ => Self {
                 label: "quick",
@@ -68,6 +86,8 @@ impl ServeScale {
                 budgets: &[2_000_000, 1_000_000, 400_000],
                 publish_every: 50_000,
                 queries: 5_000,
+                ivf_items: &[1_024, 4_096],
+                ivf_queries: 2_000,
             },
         }
     }
@@ -195,6 +215,227 @@ fn verify_quiesced_identity(publisher: &SnapshotPublisher, model: &FactorModel, 
         }
     }
     eprintln!("identity check passed: k={k} quiesced snapshot == assembled model (bit-exact)");
+}
+
+// ----------------------------------------------------------------------
+// IVF sweep: recall@10 vs speedup on synthetic clustered catalogs.
+// ----------------------------------------------------------------------
+
+/// Latent dimension of the synthetic IVF catalogs.
+const IVF_LATENT_K: usize = 16;
+/// Users in the synthetic catalogs (queries cycle through them).
+const IVF_USERS: usize = 256;
+/// True mixture components the catalog is drawn from (independent of the
+/// index's centroid count, which defaults to `≈ √items`).
+const IVF_CLUSTERS: usize = 32;
+/// Answer size for recall (recall@10).
+const IVF_TOP_K: usize = 10;
+/// Users sampled for each recall measurement.
+const RECALL_SAMPLES: usize = 200;
+
+/// One IVF operating point: an (items, nprobe) pair measured against the
+/// exact scan on the same catalog.
+struct IvfRow {
+    items: usize,
+    n_centroids: usize,
+    nprobe: usize,
+    queries: u64,
+    seconds: f64,
+    exact_qps: f64,
+    recall_at_10: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl IvfRow {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.seconds.max(1e-12)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.qps() / self.exact_qps.max(1e-12)
+    }
+}
+
+/// Steady-state delta-publish measurement: of `items_total` item rows, a
+/// publish after perturbing ~5% of them named `rows_shipped` in the delta
+/// set a consumer at the previous epoch must fetch.
+struct DeltaStats {
+    items_total: usize,
+    perturbed: usize,
+    rows_shipped: usize,
+}
+
+impl DeltaStats {
+    fn fraction(&self) -> f64 {
+        self.rows_shipped as f64 / self.items_total.max(1) as f64
+    }
+}
+
+/// A mixture-of-Gaussians factor model: items cluster tightly around
+/// `IVF_CLUSTERS` centers (the regime IVF exploits), users sit near the
+/// same centers so their top-k actually concentrates in a few cells.
+fn clustered_model(users: usize, items: usize, seed: u64) -> FactorModel {
+    let mut rng = nomad_linalg::SmallRng64::new(seed);
+    let centers: Vec<Vec<f64>> = (0..IVF_CLUSTERS)
+        .map(|_| (0..IVF_LATENT_K).map(|_| rng.next_gaussian()).collect())
+        .collect();
+    let place = |rows: usize, spread: f64, rng: &mut nomad_linalg::SmallRng64| {
+        let mut m = FactorMatrix::zeros(rows, IVF_LATENT_K);
+        for r in 0..rows {
+            let center = &centers[rng.next_below(IVF_CLUSTERS)];
+            for (dst, &c) in m.row_mut(r).iter_mut().zip(center) {
+                *dst = c + spread * rng.next_gaussian();
+            }
+        }
+        m
+    };
+    FactorModel {
+        w: place(users, 0.35, &mut rng),
+        h: place(items, 0.2, &mut rng),
+    }
+}
+
+/// Times `queries` calls of `f` cycling random users and returns the
+/// measurement triple `(completed, seconds, sorted latencies ns)`.
+fn timed_queries(
+    users: usize,
+    queries: usize,
+    rng_seed: u64,
+    mut f: impl FnMut(Idx),
+) -> (u64, f64, Vec<u64>) {
+    let mut rng = nomad_linalg::SmallRng64::new(rng_seed);
+    let mut latencies = Vec::with_capacity(queries);
+    let start = Instant::now();
+    for _ in 0..queries {
+        let user = rng.next_below(users) as Idx;
+        let t = Instant::now();
+        f(user);
+        latencies.push(t.elapsed().as_nanos() as u64);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (latencies.len() as u64, seconds, latencies)
+}
+
+/// Sweeps `nprobe` over one published catalog and appends one row per
+/// operating point.  `recall_samples` counts into the serve telemetry
+/// scope so the sampling effort shows up next to `serve.ivf_probes`.
+fn ivf_sweep(scale: &ServeScale, registry: &nomad_telemetry::Registry, rows: &mut Vec<IvfRow>) {
+    let probes = registry.counter(nomad_telemetry::names::SERVE_IVF_PROBES);
+    let samples = registry.counter(nomad_telemetry::names::SERVE_RECALL_SAMPLES);
+    for (ci, &items) in scale.ivf_items.iter().enumerate() {
+        let model = clustered_model(IVF_USERS, items, 0x1f5 + ci as u64);
+        let publisher = SnapshotPublisher::new(1 << 40);
+        publisher.publish_model(&model, 1);
+        let engine = QueryEngine::new(&publisher, 1);
+        let n_centroids = engine.ivf_centroids().expect("snapshot published");
+
+        // Exact-scan baseline (the denominator of every speedup figure).
+        let (q, secs, _) =
+            timed_queries(IVF_USERS, scale.ivf_queries, 0xACE0 ^ items as u64, |u| {
+                let top = engine.top_k(u, IVF_TOP_K, &[]).expect("exact query failed");
+                std::hint::black_box(&top);
+            });
+        let exact_qps = q as f64 / secs.max(1e-12);
+
+        // Exact answers for the recall sample, keyed by user.
+        let recall_users: Vec<Idx> = (0..RECALL_SAMPLES)
+            .map(|i| (i % IVF_USERS) as Idx)
+            .collect();
+        let exact_sets: Vec<Vec<Idx>> = recall_users
+            .iter()
+            .map(|&u| {
+                let top = engine.top_k(u, IVF_TOP_K, &[]).expect("exact query failed");
+                top.recs.iter().map(|r| r.item).collect()
+            })
+            .collect();
+
+        let mut nprobes: Vec<usize> = [1, 2, 4, 8, 16, 32]
+            .iter()
+            .copied()
+            .filter(|&p| p < n_centroids)
+            .collect();
+        nprobes.push(n_centroids);
+        for nprobe in nprobes {
+            // Warm the index cache so the timed loop measures queries,
+            // not the one-off k-means build.
+            engine
+                .top_k_approx(0, IVF_TOP_K, nprobe, &[])
+                .expect("warmup query failed");
+            let (q, secs, lat) =
+                timed_queries(IVF_USERS, scale.ivf_queries, 0xF00D ^ nprobe as u64, |u| {
+                    let top = engine
+                        .top_k_approx(u, IVF_TOP_K, nprobe, &[])
+                        .expect("approx query failed");
+                    std::hint::black_box(&top);
+                });
+            probes.add(q * nprobe as u64);
+
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for (&u, exact) in recall_users.iter().zip(&exact_sets) {
+                let approx = engine
+                    .top_k_approx(u, IVF_TOP_K, nprobe, &[])
+                    .expect("recall query failed");
+                hits += approx
+                    .recs
+                    .iter()
+                    .filter(|r| exact.contains(&r.item))
+                    .count();
+                total += exact.len();
+            }
+            samples.add(recall_users.len() as u64);
+
+            rows.push(IvfRow {
+                items,
+                n_centroids,
+                nprobe,
+                queries: q,
+                seconds: secs,
+                exact_qps,
+                recall_at_10: hits as f64 / total.max(1) as f64,
+                p50_us: percentile_us(&lat, 0.50),
+                p99_us: percentile_us(&lat, 0.99),
+            });
+        }
+    }
+}
+
+/// Measures the steady-state delta-publish fraction: third publish of a
+/// catalog with ~5% of item rows perturbed per epoch (the first two
+/// epochs shed the inclusive-compare slack documented on
+/// [`SnapshotPublisher::changed_items_since`]).
+fn measure_delta_fraction(items: usize) -> DeltaStats {
+    let mut rng = nomad_linalg::SmallRng64::new(0xde17a);
+    let mut model = clustered_model(IVF_USERS, items, 0x1f5);
+    let publisher = SnapshotPublisher::new(1 << 40);
+    publisher.begin_run(IVF_USERS, items, IVF_LATENT_K, 1);
+
+    let perturbed = (items / 20).max(1);
+    let perturb_epoch = |model: &mut FactorModel, rng: &mut nomad_linalg::SmallRng64| {
+        for _ in 0..perturbed {
+            let j = rng.next_below(items);
+            for v in model.h.row_mut(j) {
+                *v += 0.05 * rng.next_gaussian();
+            }
+        }
+    };
+    publisher.publish_model(&model, 10);
+    perturb_epoch(&mut model, &mut rng);
+    publisher.publish_model(&model, 20);
+    let consumer_at = publisher.latest().expect("published").updates_at();
+    perturb_epoch(&mut model, &mut rng);
+    publisher.publish_model(&model, 30);
+    // What a consumer holding the epoch-2 snapshot must fetch: the rows
+    // stamped at its watermark or later (both perturbation epochs —
+    // ~10% of the catalog for 5% churn per epoch).
+    let rows_shipped = publisher.changed_items_since(consumer_at).len();
+    DeltaStats {
+        items_total: items,
+        perturbed,
+        rows_shipped,
+    }
 }
 
 fn main() {
@@ -330,6 +571,14 @@ fn main() {
         }
     }
 
+    // Approximate-path sweep + delta fraction, on synthetic clustered
+    // catalogs (separate registry: serve-side counters, not training).
+    let serve_registry = nomad_telemetry::Registry::new();
+    let mut ivf_rows: Vec<IvfRow> = Vec::new();
+    ivf_sweep(&scale, &serve_registry, &mut ivf_rows);
+    let delta = measure_delta_fraction(*scale.ivf_items.last().expect("ivf_items nonempty"));
+    let serve_telemetry = serve_registry.snapshot();
+
     // CSV to stdout.
     println!("k,top_k,phase,query_workers,queries,seconds,qps,p50_us,p99_us,training_live");
     for m in &results {
@@ -368,14 +617,65 @@ fn main() {
         );
     }
 
+    // IVF sweep: CSV block + markdown table.
+    println!();
+    println!(
+        "items,n_centroids,nprobe,queries,seconds,qps,exact_qps,speedup,recall_at_10,p50_us,p99_us"
+    );
+    for r in &ivf_rows {
+        println!(
+            "{},{},{},{},{:.6},{:.1},{:.1},{:.2},{:.4},{:.2},{:.2}",
+            r.items,
+            r.n_centroids,
+            r.nprobe,
+            r.queries,
+            r.seconds,
+            r.qps(),
+            r.exact_qps,
+            r.speedup(),
+            r.recall_at_10,
+            r.p50_us,
+            r.p99_us
+        );
+    }
+    eprintln!(
+        "## ivf sweep (clustered synthetic, {} users, latent k={}, top-{})",
+        IVF_USERS, IVF_LATENT_K, IVF_TOP_K
+    );
+    eprintln!("| items | centroids | nprobe | qps | speedup | recall@10 | p50 µs | p99 µs |");
+    eprintln!("|---|---|---|---|---|---|---|---|");
+    for r in &ivf_rows {
+        eprintln!(
+            "| {} | {} | {} | {:.0} | {:.2}x | {:.3} | {:.1} | {:.1} |",
+            r.items,
+            r.n_centroids,
+            r.nprobe,
+            r.qps(),
+            r.speedup(),
+            r.recall_at_10,
+            r.p50_us,
+            r.p99_us
+        );
+    }
+    eprintln!(
+        "delta steady state: {} of {} item rows shipped ({:.1}% for {} perturbed/epoch)",
+        delta.rows_shipped,
+        delta.items_total,
+        100.0 * delta.fraction(),
+        delta.perturbed
+    );
+
     let out_path =
         std::env::var("NOMAD_SERVE_OUT").unwrap_or_else(|_| "BENCH_serving.json".to_string());
-    let json = render_json(&scale, &results);
+    let json = render_json(&scale, &results, &ivf_rows, &delta);
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
     // Telemetry dump (always written; --telemetry adds the table).
-    let scopes: &[nomad_bench::TelemetryScope<'_>] = &[("train", &train_telemetry, None)];
+    let scopes: &[nomad_bench::TelemetryScope<'_>] = &[
+        ("train", &train_telemetry, None),
+        ("serve", &serve_telemetry, None),
+    ];
     let telemetry_path = nomad_bench::write_telemetry_jsonl(scopes);
     eprintln!("wrote {telemetry_path}");
     if telemetry {
@@ -420,12 +720,55 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("serving assert passed: 2 query workers = {best_ratio:.2}x one");
+
+        // IVF gate: on the largest catalog some operating point must be
+        // both accurate and substantially faster than the exact scan.
+        let largest = *scale.ivf_items.last().expect("ivf_items nonempty");
+        let best = ivf_rows
+            .iter()
+            .filter(|r| r.items == largest && r.recall_at_10 >= 0.95)
+            .map(|r| r.speedup())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best < 3.0 {
+            eprintln!(
+                "SERVING ASSERT FAILED: no IVF operating point on the {largest}-item \
+                 catalog reached recall@10 >= 0.95 at >= 3x the exact scan \
+                 (best accurate speedup: {best:.2}x)."
+            );
+            std::process::exit(1);
+        }
+        eprintln!("ivf assert passed: {best:.2}x exact-scan qps at recall@10 >= 0.95");
+
+        // Delta gate: steady-state publishes must ship a small fraction
+        // of the catalog, or the ReplicaDelta path saves nothing.
+        if delta.fraction() >= 0.20 {
+            eprintln!(
+                "SERVING ASSERT FAILED: steady-state delta shipped {} of {} item rows \
+                 ({:.1}%, need < 20%).",
+                delta.rows_shipped,
+                delta.items_total,
+                100.0 * delta.fraction()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "delta assert passed: steady-state publish ships {:.1}% of item rows",
+            100.0 * delta.fraction()
+        );
     }
 }
 
 /// Hand-rolled JSON, same convention as the `perf`/`distributed` binaries
-/// (the vendored serde stub has no serializer).
-fn render_json(scale: &ServeScale, results: &[Measurement]) -> String {
+/// (the vendored serde stub has no serializer).  Exact-path rows keep
+/// their original shape; IVF operating points are appended to the same
+/// `results` array as `"phase": "ivf"` rows (CI schema-validates them),
+/// and the delta measurement gets its own object.
+fn render_json(
+    scale: &ServeScale,
+    results: &[Measurement],
+    ivf_rows: &[IvfRow],
+    delta: &DeltaStats,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"nomad-perf-v1\",\n");
@@ -435,8 +778,9 @@ fn render_json(scale: &ServeScale, results: &[Measurement]) -> String {
     let _ = writeln!(s, "  \"train_workers\": {TRAIN_WORKERS},");
     let _ = writeln!(s, "  \"publish_every\": {},", scale.publish_every);
     s.push_str("  \"results\": [\n");
+    let total = results.len() + ivf_rows.len();
     for (i, m) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+        let comma = if i + 1 == total { "" } else { "," };
         let _ = writeln!(
             s,
             "    {{\"k\": {}, \"top_k\": {}, \"phase\": \"{}\", \"query_workers\": {}, \
@@ -455,6 +799,42 @@ fn render_json(scale: &ServeScale, results: &[Measurement]) -> String {
             comma
         );
     }
-    s.push_str("  ]\n}\n");
+    for (i, r) in ivf_rows.iter().enumerate() {
+        let comma = if results.len() + i + 1 == total {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"phase\": \"ivf\", \"items\": {}, \"n_centroids\": {}, \"nprobe\": {}, \
+             \"top_k\": {IVF_TOP_K}, \"queries\": {}, \"seconds\": {:.6}, \"qps\": {:.1}, \
+             \"exact_qps\": {:.1}, \"speedup\": {:.3}, \"recall_at_10\": {:.4}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}",
+            r.items,
+            r.n_centroids,
+            r.nprobe,
+            r.queries,
+            r.seconds,
+            r.qps(),
+            r.exact_qps,
+            r.speedup(),
+            r.recall_at_10,
+            r.p50_us,
+            r.p99_us,
+            comma
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"delta\": {{\"items\": {}, \"perturbed_per_epoch\": {}, \"rows_shipped\": {}, \
+         \"fraction\": {:.4}}}",
+        delta.items_total,
+        delta.perturbed,
+        delta.rows_shipped,
+        delta.fraction()
+    );
+    s.push_str("}\n");
     s
 }

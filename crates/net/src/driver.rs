@@ -82,8 +82,8 @@ use crate::rank::routing_to_wire;
 use crate::serve_router::{Route, RouterBackend, ServeRouter};
 use crate::transport::{Loopback, NetError, Transport};
 use crate::wire::{
-    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, WireSegment,
-    WireToken,
+    Message, ReplicaDeltaPayload, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload,
+    WireSegment, WireToken,
 };
 
 /// Hard deadline for a distributed run; a mesh that cannot finish a test
@@ -145,6 +145,12 @@ pub struct NetConfig {
     /// driver as a stale replica; `0` disables serving entirely (no
     /// publisher, no replica traffic).
     pub serve_publish_every: u64,
+    /// Serving: answer rank-side queries through the approximate IVF
+    /// shortlist index, probing this many centroid posting lists per
+    /// query; `0` keeps the exact brute-force scan.  Clamped to the
+    /// index's centroid count (where the answer is bit-identical to the
+    /// scan), so any large value degrades gracefully to exact.
+    pub serve_nprobe: u32,
 }
 
 impl NetConfig {
@@ -158,6 +164,7 @@ impl NetConfig {
             abort_rank: None,
             abort_after_updates: 0,
             serve_publish_every: 0,
+            serve_nprobe: 0,
         }
     }
 
@@ -294,6 +301,9 @@ struct DriverTelemetry {
     registry: Registry,
     evictions: CounterHandle,
     joins: CounterHandle,
+    /// Rows applied from [`Message::ReplicaDelta`] frames
+    /// ([`names::SNAPSHOT_DELTA_ROWS`]).
+    delta_rows: CounterHandle,
     events: EventRing,
     /// Latest `(seq, snapshot)` accepted per mesh slot.  Frames are
     /// cumulative, so keeping only the highest `seq` per rank — and
@@ -307,10 +317,12 @@ impl DriverTelemetry {
         let registry = Registry::new();
         let evictions = registry.counter(names::EVICTIONS);
         let joins = registry.counter(names::JOINS);
+        let delta_rows = registry.counter(names::SNAPSHOT_DELTA_ROWS);
         Self {
             registry,
             evictions,
             joins,
+            delta_rows,
             events: EventRing::new(256),
             rank_snaps: (0..capacity).map(|_| None).collect(),
         }
@@ -394,6 +406,12 @@ struct ServeState {
     staleness: Vec<u64>,
     /// Per-rank worst publish gap from the latest progress report.
     publish_gap: Vec<u64>,
+    /// Per-rank epoch of the last frame applied (full or delta).  A
+    /// [`Message::ReplicaDelta`] applies only on top of the exact epoch
+    /// it was diffed against ([`ReplicaDeltaPayload::base_epoch`]); any
+    /// gap — a dropped frame under chaos, a fresh driver — drops the
+    /// delta and waits for the rank's next periodic full frame.
+    replica_epoch: Vec<u64>,
 }
 
 impl ServeState {
@@ -405,6 +423,7 @@ impl ServeState {
             snap: None,
             staleness: vec![u64::MAX; capacity],
             publish_gap: vec![0; capacity],
+            replica_epoch: vec![0; capacity],
         }
     }
 
@@ -454,8 +473,61 @@ impl ServeState {
             self.replica.h.set_row(j, &p.items[j * k..(j + 1) * k]);
         }
         self.ready |= bit(p.rank as usize);
+        self.replica_epoch[p.rank as usize] = p.epoch;
         self.snap = None;
         Ok(())
+    }
+
+    /// Merges one rank's **delta** publish into the replica.
+    ///
+    /// Returns `Ok(false)` (frame dropped, replica untouched) when the
+    /// delta does not chain onto the last applied epoch for this rank —
+    /// either the rank has never published here or an intermediate frame
+    /// was lost.  The rank's periodic full [`Message::Replica`] resyncs
+    /// self-heal that state, so a drop is not an error.  H rows are
+    /// last-writer-wins across ranks, exactly like the full-frame H
+    /// overwrite; the `delta_equiv` suite pins that a chain of deltas
+    /// from one rank reproduces full-frame merging bit-for-bit.
+    fn merge_delta(&mut self, p: &ReplicaDeltaPayload, k: usize) -> Result<bool, NetError> {
+        let (nrows, ncols) = (self.row_updates_at.len(), self.replica.h.rows());
+        if p.k as usize != k {
+            return Err(NetError::Protocol(format!(
+                "replica delta k {} from rank {} does not match run k {k}",
+                p.k, p.rank
+            )));
+        }
+        if self.ready & bit(p.rank as usize) == 0
+            || self.replica_epoch[p.rank as usize] != p.base_epoch
+        {
+            return Ok(false);
+        }
+        for (rows, bound, what) in [(&p.w_rows, nrows, "user"), (&p.h_rows, ncols, "item")] {
+            for row in rows.iter() {
+                if row.factors.len() != k {
+                    return Err(NetError::Protocol(format!(
+                        "replica delta {what} row {} carries {} values, expected {k}",
+                        row.row,
+                        row.factors.len()
+                    )));
+                }
+                if row.row as usize >= bound {
+                    return Err(NetError::Protocol(format!(
+                        "replica delta {what} row {} overruns {bound}",
+                        row.row
+                    )));
+                }
+            }
+        }
+        for row in &p.w_rows {
+            self.replica.w.set_row(row.row as usize, &row.factors);
+            self.row_updates_at[row.row as usize] = p.updates_at;
+        }
+        for row in &p.h_rows {
+            self.replica.h.set_row(row.row as usize, &row.factors);
+        }
+        self.replica_epoch[p.rank as usize] = p.epoch;
+        self.snap = None;
+        Ok(true)
     }
 
     /// Answers a query from the replica: `(updates_at, staleness, recs)`
@@ -780,6 +852,24 @@ fn run_driver_impl<T: Transport>(
                 );
                 serve.merge(&payload, k)?;
             }
+            Message::ReplicaDelta(payload) => {
+                let r = payload.rank as usize;
+                if r >= capacity || r != src {
+                    return Err(NetError::Protocol(format!(
+                        "replica delta for rank {r} from endpoint {src}"
+                    )));
+                }
+                if serve.merge_delta(&payload, k)? {
+                    st.telemetry.events.record(
+                        EventKind::Publish,
+                        payload.rank as u64,
+                        payload.updates_at,
+                    );
+                    st.telemetry
+                        .delta_rows
+                        .add((payload.w_rows.len() + payload.h_rows.len()) as u64);
+                }
+            }
             Message::QueryReply {
                 id,
                 status,
@@ -1011,6 +1101,7 @@ fn make_setup(
         heartbeat_timeout_ms: cfg.heartbeat_timeout_ms,
         abort_after_updates: abort_after,
         serve_publish_every: cfg.serve_publish_every,
+        serve_nprobe: cfg.serve_nprobe,
         epoch,
         active_ranks: active_ranks.to_vec(),
         w_rows: Vec::new(),
@@ -1693,5 +1784,200 @@ impl DistributedNomad {
         router: &ServeRouter,
     ) -> Result<DistOutput, NetError> {
         crate::process::run_processes(&self.cfg, data, self.ranks, Some(router))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireDeltaRow;
+    use nomad_sgd::FactorModel;
+
+    const K: usize = 3;
+
+    fn serve_state(nrows: usize, ncols: usize, capacity: usize) -> ServeState {
+        ServeState::new(&FactorModel::init(nrows, ncols, K, 7), nrows, capacity)
+    }
+
+    /// A full frame from `rank` covering rows `[start, start+count)`,
+    /// with every value derived from `epoch` so frames are distinguishable.
+    fn full_frame(
+        rank: u32,
+        epoch: u64,
+        start: usize,
+        count: usize,
+        ncols: usize,
+    ) -> ReplicaPayload {
+        let val = |row: usize, c: usize| (epoch * 1000 + row as u64 * 10 + c as u64) as f64;
+        ReplicaPayload {
+            rank,
+            k: K as u32,
+            epoch,
+            updates_at: epoch * 100,
+            segments: vec![WireSegment {
+                row_start: start as u64,
+                rows: (start..start + count)
+                    .flat_map(|r| (0..K).map(move |c| val(r, c)))
+                    .collect(),
+            }],
+            items: (0..ncols)
+                .flat_map(|j| (0..K).map(move |c| -val(j, c)))
+                .collect(),
+        }
+    }
+
+    fn delta_row(row: usize, vals: [f64; K]) -> WireDeltaRow {
+        WireDeltaRow {
+            row: row as u64,
+            factors: vals.to_vec(),
+        }
+    }
+
+    /// A delta applied on a matching base advances exactly the carried
+    /// rows and leaves everything else bit-identical — the unit-scale
+    /// version of what the `delta_equiv` suite pins end-to-end.
+    #[test]
+    fn delta_on_matching_base_applies_carried_rows_only() {
+        let mut st = serve_state(6, 4, 2);
+        st.merge(&full_frame(0, 1, 0, 3, 4), K).unwrap();
+        let before = st.replica.clone();
+        let delta = ReplicaDeltaPayload {
+            rank: 0,
+            k: K as u32,
+            epoch: 2,
+            base_epoch: 1,
+            updates_at: 250,
+            w_rows: vec![delta_row(1, [9.0, 8.0, 7.0])],
+            h_rows: vec![delta_row(3, [-1.5, 2.5, -3.5])],
+        };
+        assert!(st.merge_delta(&delta, K).unwrap());
+        assert_eq!(st.replica.w.row(1), &[9.0, 8.0, 7.0]);
+        assert_eq!(st.replica.h.row(3), &[-1.5, 2.5, -3.5]);
+        assert_eq!(st.row_updates_at[1], 250);
+        for r in [0usize, 2, 3, 4, 5] {
+            assert_eq!(
+                st.replica.w.row(r),
+                before.w.row(r),
+                "user row {r} must not move"
+            );
+        }
+        for j in [0usize, 1, 2] {
+            assert_eq!(
+                st.replica.h.row(j),
+                before.h.row(j),
+                "item row {j} must not move"
+            );
+        }
+        assert_eq!(st.replica_epoch[0], 2);
+        assert!(
+            st.snap.is_none(),
+            "merge must invalidate the cached snapshot"
+        );
+    }
+
+    /// A delta whose base epoch does not match the last applied frame —
+    /// a lost frame, or a rank that never published here — is dropped
+    /// whole, and the next full frame re-chains the rank.
+    #[test]
+    fn delta_with_broken_chain_is_dropped_until_full_resync() {
+        let mut st = serve_state(4, 3, 2);
+        let orphan = ReplicaDeltaPayload {
+            rank: 1,
+            k: K as u32,
+            epoch: 5,
+            base_epoch: 4,
+            updates_at: 10,
+            w_rows: vec![delta_row(0, [1.0, 2.0, 3.0])],
+            h_rows: vec![],
+        };
+        // Never published: dropped (the ready bit is down).
+        assert!(!st.merge_delta(&orphan, K).unwrap());
+        assert_eq!(st.ready, 0);
+
+        st.merge(&full_frame(1, 2, 2, 2, 3), K).unwrap();
+        let before = st.replica.clone();
+        // Chains onto epoch 4, but the last applied frame is epoch 2.
+        assert!(!st.merge_delta(&orphan, K).unwrap());
+        assert_eq!(
+            st.replica.w.row(0),
+            before.w.row(0),
+            "dropped delta must not touch the replica"
+        );
+        assert_eq!(st.replica_epoch[1], 2);
+
+        // The periodic full frame self-heals: after it, deltas chain again.
+        st.merge(&full_frame(1, 4, 2, 2, 3), K).unwrap();
+        assert!(st.merge_delta(&orphan, K).unwrap());
+        assert_eq!(st.replica.w.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    /// Malformed deltas — wrong k, out-of-range rows, ragged factor rows
+    /// — are protocol errors, not silent corruption.
+    #[test]
+    fn malformed_deltas_are_protocol_errors() {
+        let mut st = serve_state(4, 3, 1);
+        st.merge(&full_frame(0, 1, 0, 4, 3), K).unwrap();
+        let base = ReplicaDeltaPayload {
+            rank: 0,
+            k: K as u32,
+            epoch: 2,
+            base_epoch: 1,
+            updates_at: 10,
+            w_rows: vec![],
+            h_rows: vec![],
+        };
+        let bad_k = ReplicaDeltaPayload {
+            k: K as u32 + 1,
+            ..base.clone()
+        };
+        assert!(st.merge_delta(&bad_k, K).is_err());
+        let bad_user = ReplicaDeltaPayload {
+            w_rows: vec![delta_row(4, [0.0; K])],
+            ..base.clone()
+        };
+        assert!(st.merge_delta(&bad_user, K).is_err());
+        let bad_item = ReplicaDeltaPayload {
+            h_rows: vec![delta_row(3, [0.0; K])],
+            ..base.clone()
+        };
+        assert!(st.merge_delta(&bad_item, K).is_err());
+        let ragged = ReplicaDeltaPayload {
+            h_rows: vec![WireDeltaRow {
+                row: 0,
+                factors: vec![1.0],
+            }],
+            ..base.clone()
+        };
+        assert!(st.merge_delta(&ragged, K).is_err());
+        // The replica survived every rejected frame and still chains.
+        assert!(st.merge_delta(&base, K).unwrap());
+    }
+
+    /// Chains are per rank: rank A's deltas keep applying while rank B
+    /// waits for its resync, and an applied chain equals re-merging the
+    /// same rows as full frames.
+    #[test]
+    fn delta_chains_are_independent_per_rank() {
+        let mut st = serve_state(6, 2, 2);
+        st.merge(&full_frame(0, 1, 0, 3, 2), K).unwrap();
+        st.merge(&full_frame(1, 7, 3, 3, 2), K).unwrap();
+        let delta0 = ReplicaDeltaPayload {
+            rank: 0,
+            k: K as u32,
+            epoch: 2,
+            base_epoch: 1,
+            updates_at: 300,
+            w_rows: vec![delta_row(2, [4.0, 5.0, 6.0])],
+            h_rows: vec![],
+        };
+        let stale1 = ReplicaDeltaPayload {
+            rank: 1,
+            base_epoch: 6,
+            ..delta0.clone()
+        };
+        assert!(st.merge_delta(&delta0, K).unwrap());
+        assert!(!st.merge_delta(&stale1, K).unwrap());
+        assert_eq!(st.replica_epoch[0], 2);
+        assert_eq!(st.replica_epoch[1], 7);
     }
 }

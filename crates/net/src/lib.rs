@@ -72,7 +72,7 @@ pub use serve_router::{Answer, RouterConfig, RouterStats, ServeError, ServeRoute
 pub use tcp::TcpTransport;
 pub use transport::{DelayedTransport, Loopback, NetError, Transport};
 pub use wire::{
-    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, TelemetryPayload,
-    WireError, WireSegment, WireToken, QUERY_NOT_READY, QUERY_OK, QUERY_RUN_OVER,
-    QUERY_UNKNOWN_USER,
+    Message, ReplicaDeltaPayload, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload,
+    TelemetryPayload, WireDeltaRow, WireError, WireSegment, WireToken, QUERY_NOT_READY, QUERY_OK,
+    QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
 };

@@ -55,7 +55,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::queue::SegQueue;
@@ -64,19 +64,33 @@ use nomad_core::slab::FactorSlab;
 use nomad_core::worker::WorkerData;
 use nomad_core::RoutingPolicy;
 use nomad_matrix::{Idx, RatingMatrix, RowPartition, TripletMatrix};
-use nomad_serve::SnapshotPublisher;
+use nomad_serve::{IvfIndex, IvfParams, ModelSnapshot, SnapshotPublisher};
 use nomad_sgd::{FactorMatrix, HyperParams, StepSchedule};
 
 use nomad_telemetry::{names, CounterHandle, GaugeHandle, HistogramHandle, Registry};
 
 use crate::transport::{NetError, Transport};
 use crate::wire::{
-    Message, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload, TelemetryPayload,
-    WireSegment, WireToken, QUERY_NOT_READY, QUERY_OK, QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
+    Message, ReplicaDeltaPayload, ReplicaPayload, SetupPayload, ShardPayload, ShardTransferPayload,
+    TelemetryPayload, WireDeltaRow, WireSegment, WireToken, QUERY_NOT_READY, QUERY_OK,
+    QUERY_RUN_OVER, QUERY_UNKNOWN_USER,
 };
 
 /// How long the communication loop blocks on the transport per iteration.
 const COMM_POLL: Duration = Duration::from_micros(200);
+
+/// Ship a full replica frame after this many consecutive delta frames
+/// even when a delta would do.  A delta lost to a chaos partition leaves
+/// the driver's chain broken (it drops every delta whose `base_epoch`
+/// does not match); the periodic full frame bounds how long that state
+/// can last without any explicit ack traffic.
+const DELTA_RESYNC_EVERY: u32 = 8;
+
+/// Per-query wall-clock budget for the IVF exact-rerank scan.  A query
+/// that exceeds it is answered from the raw shortlist (centroid proxy
+/// scores) instead of timing out at the router — a worse answer beats a
+/// missed deadline.
+const QUERY_RERANK_BUDGET: Duration = Duration::from_millis(250);
 
 /// Largest mesh capacity the membership bitmaps can track.
 const MAX_CAPACITY: usize = 64;
@@ -113,6 +127,48 @@ enum WorkerCmd {
         row_start: usize,
         row_count: usize,
     },
+}
+
+/// Bit-exact row comparison: the replica chain promises *bit* identity,
+/// so `-0.0`/`0.0` and NaN payloads must count as differences where
+/// `==` on floats would not.
+fn rows_differ(a: &[f64], b: &[f64]) -> bool {
+    a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
+/// Assembles a full replica frame: the owned user segments plus the
+/// complete item matrix of `snap`.
+fn full_replica_frame(
+    rank: usize,
+    snap: &ModelSnapshot,
+    owned: &[(usize, usize)],
+) -> ReplicaPayload {
+    let k = snap.k();
+    let segments = owned
+        .iter()
+        .map(|&(start, count)| {
+            let mut rows = Vec::with_capacity(count * k);
+            for r in start..start + count {
+                rows.extend_from_slice(snap.user_factor(r as Idx));
+            }
+            WireSegment {
+                row_start: start as u64,
+                rows,
+            }
+        })
+        .collect();
+    let mut items = Vec::with_capacity(snap.num_items() * k);
+    for j in 0..snap.num_items() {
+        items.extend_from_slice(snap.item_factor(j as Idx));
+    }
+    ReplicaPayload {
+        rank: rank as u32,
+        k: k as u32,
+        epoch: snap.epoch(),
+        updates_at: snap.updates_at(),
+        segments,
+        items,
+    }
 }
 
 /// Decodes the routing byte of a [`SetupPayload`].
@@ -665,6 +721,9 @@ struct RankTelemetry {
     frames_recv: CounterHandle,
     bytes_sent: CounterHandle,
     retries: CounterHandle,
+    /// Posting lists probed answering queries through the IVF index
+    /// ([`names::SERVE_IVF_PROBES`]); stays 0 on the exact path.
+    ivf_probes: CounterHandle,
     /// Report sequence number (first frame is 1); the driver drops
     /// frames arriving out of order.
     seq: u64,
@@ -687,6 +746,7 @@ impl RankTelemetry {
             frames_recv: registry.counter(names::FRAMES_RECV),
             bytes_sent: registry.counter(names::BYTES_SENT),
             retries: registry.counter(names::RETRIES),
+            ivf_probes: registry.counter(names::SERVE_IVF_PROBES),
             seq: 0,
             synced_updates: 0,
             synced_tokens: 0,
@@ -720,6 +780,11 @@ impl RankTelemetry {
     }
 }
 
+/// The diff base for [`Message::ReplicaDelta`] frames: the snapshot
+/// behind the last shipped replica frame plus the owned user segments it
+/// covered.
+type ShippedFrame = (Arc<ModelSnapshot>, Vec<(usize, usize)>);
+
 /// An in-progress eviction census (see the module docs).
 struct CensusWait {
     epoch: u64,
@@ -743,6 +808,21 @@ struct CommState {
     last_reported: u64,
     /// Publisher epoch of the last replica frame shipped to the driver.
     last_replica_epoch: u64,
+    /// The snapshot behind that frame plus the owned segments it
+    /// covered — the diff base for [`Message::ReplicaDelta`] frames.
+    /// `None` until the first (necessarily full) frame ships.
+    last_shipped: Option<ShippedFrame>,
+    /// Consecutive delta frames since the last full one (see
+    /// [`DELTA_RESYNC_EVERY`]).
+    replicas_since_full: u32,
+    /// Serving knob from setup: probe this many IVF posting lists per
+    /// query; `0` answers with the exact brute-force scan.
+    serve_nprobe: u32,
+    /// The IVF shortlist cache behind [`CommState::answer_query`]:
+    /// `(epoch, updates_at, index)` of the snapshot it was last
+    /// refreshed against.  Patched forward between epochs from
+    /// [`SnapshotPublisher::changed_items_since`] rather than rebuilt.
+    ivf: Option<(u64, u64, IvfIndex)>,
     remote_sends: u64,
     /// Active-membership bitmap (authoritative copy; mirrored into
     /// `Shared` for the worker).
@@ -802,6 +882,10 @@ impl CommState {
             fins_sent: false,
             last_reported: 0,
             last_replica_epoch: 0,
+            last_shipped: None,
+            replicas_since_full: 0,
+            serve_nprobe: setup.serve_nprobe,
+            ivf: None,
             remote_sends: 0,
             members,
             evicted: 0,
@@ -1129,11 +1213,13 @@ impl CommState {
         }
     }
 
-    /// Ships the latest published snapshot to the driver as a replica
-    /// frame (owned user segments + the full item matrix) whenever the
-    /// publisher has advanced an epoch.  The driver keeps the newest
-    /// replica per rank and fails queries over to it when the rank is
-    /// dead or mid-census, with a staleness bound instead of an error.
+    /// Ships the latest published snapshot to the driver whenever the
+    /// publisher has advanced an epoch — as a [`Message::ReplicaDelta`]
+    /// (only the rows that changed since the previous frame) when a
+    /// valid diff base exists, as a full [`Message::Replica`] otherwise.
+    /// The driver keeps the newest replica per rank and fails queries
+    /// over to it when the rank is dead or mid-census, with a staleness
+    /// bound instead of an error.
     fn replica_tick<T: Transport>(&mut self, t: &T, shared: &Shared) -> Result<(), NetError> {
         let Some(publisher) = &shared.publisher else {
             return Ok(());
@@ -1150,44 +1236,123 @@ impl CommState {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone();
-        let k = snap.k();
-        let segments = owned
-            .iter()
-            .map(|&(start, count)| {
-                let mut rows = Vec::with_capacity(count * k);
-                for r in start..start + count {
-                    rows.extend_from_slice(snap.user_factor(r as Idx));
-                }
-                WireSegment {
-                    row_start: start as u64,
-                    rows,
-                }
-            })
-            .collect();
-        let mut items = Vec::with_capacity(snap.num_items() * k);
-        for j in 0..snap.num_items() {
-            items.extend_from_slice(snap.item_factor(j as Idx));
-        }
-        let msg = Message::Replica(Box::new(ReplicaPayload {
-            rank: self.rank as u32,
-            k: k as u32,
-            epoch: snap.epoch(),
-            updates_at: snap.updates_at(),
-            segments,
-            items,
-        }));
+        let msg = match self.delta_frame(publisher, &snap, &owned) {
+            Some(delta) => {
+                self.replicas_since_full += 1;
+                Message::ReplicaDelta(Box::new(delta))
+            }
+            None => {
+                self.replicas_since_full = 0;
+                Message::Replica(Box::new(full_replica_frame(self.rank, &snap, &owned)))
+            }
+        };
+        self.last_shipped = Some((snap, owned));
         self.note_sent(self.driver);
         let n = t.send(self.driver, &msg)?;
         self.telemetry.note_frame(n);
         Ok(())
     }
 
-    /// Answers a routed top-k query from the latest published snapshot.
+    /// Builds the delta between `snap` and the last shipped frame, or
+    /// `None` when a full frame must ship instead: the first publish,
+    /// changed dimensions (a `grow`), changed row ownership (eviction
+    /// takeover or rebalance — the driver must resync the whole
+    /// segment list), the periodic [`DELTA_RESYNC_EVERY`] resync, or a
+    /// delta carrying most of the rows anyway.
+    ///
+    /// The candidate item rows come from the publisher's per-row update
+    /// clocks ([`SnapshotPublisher::changed_items_since`]), which
+    /// over-approximate (inclusive stamp, clocks keep advancing past the
+    /// snapshot); each candidate is refined by an exact bit-compare
+    /// against the shipped base so the frame carries only real changes —
+    /// and, crucially, never misses one (the `delta_equiv` suite pins
+    /// chain-vs-full bit-identity).
+    fn delta_frame(
+        &self,
+        publisher: &SnapshotPublisher,
+        snap: &ModelSnapshot,
+        owned: &[(usize, usize)],
+    ) -> Option<ReplicaDeltaPayload> {
+        let (prev, prev_owned) = self.last_shipped.as_ref()?;
+        if self.replicas_since_full >= DELTA_RESYNC_EVERY
+            || snap.num_users() != prev.num_users()
+            || snap.num_items() != prev.num_items()
+            || snap.k() != prev.k()
+            || prev_owned != owned
+        {
+            return None;
+        }
+        let delta_row = |row: usize, factors: &[f64]| WireDeltaRow {
+            row: row as u64,
+            factors: factors.to_vec(),
+        };
+        let mut w_rows = Vec::new();
+        for &(start, count) in owned {
+            for r in start..start + count {
+                let row = snap.user_factor(r as Idx);
+                if rows_differ(row, prev.user_factor(r as Idx)) {
+                    w_rows.push(delta_row(r, row));
+                }
+            }
+        }
+        let mut h_rows = Vec::new();
+        for j in publisher.changed_items_since(prev.updates_at()) {
+            let row = snap.item_factor(j);
+            if rows_differ(row, prev.item_factor(j)) {
+                h_rows.push(delta_row(j as usize, row));
+            }
+        }
+        let full_rows = owned.iter().map(|&(_, c)| c).sum::<usize>() + snap.num_items();
+        if (w_rows.len() + h_rows.len()) * 10 >= full_rows * 7 {
+            return None;
+        }
+        Some(ReplicaDeltaPayload {
+            rank: self.rank as u32,
+            k: snap.k() as u32,
+            epoch: snap.epoch(),
+            base_epoch: prev.epoch(),
+            updates_at: snap.updates_at(),
+            w_rows,
+            h_rows,
+        })
+    }
+
+    /// Brings the IVF cache up to `snap`: a cache hit is an epoch +
+    /// dimension match; a stale cache is patched forward with exactly
+    /// the item rows whose update clock advanced since it was built
+    /// (the same change set the delta frames ship); anything else is a
+    /// fresh seeded build.
+    fn refresh_ivf(&mut self, shared: &Shared, snap: &ModelSnapshot) {
+        if matches!(&self.ivf, Some((epoch, _, index))
+            if *epoch == snap.epoch() && !index.dims_mismatch(snap))
+        {
+            return;
+        }
+        let publisher = shared
+            .publisher
+            .as_ref()
+            .expect("IVF path only runs with a publisher");
+        let index = match self.ivf.take() {
+            Some((_, updates_at, mut index)) => {
+                let changed = publisher.changed_items_since(updates_at);
+                index.refresh(snap, &changed);
+                index
+            }
+            None => IvfIndex::build(snap, IvfParams::default()),
+        };
+        self.ivf = Some((snap.epoch(), snap.updates_at(), index));
+    }
+
+    /// Answers a routed top-k query from the latest published snapshot —
+    /// through the IVF shortlist index when the setup enabled it
+    /// (`serve_nprobe > 0`), the exact brute-force scan otherwise.
     /// Every path produces a reply — the router's deadline accounting
     /// depends on a quiesced or not-yet-published rank *saying so*
-    /// rather than going silent.
+    /// rather than going silent — and the IVF path additionally bounds
+    /// its own rerank work by [`QUERY_RERANK_BUDGET`], degrading to the
+    /// raw shortlist rather than blowing the router deadline.
     fn answer_query(
-        &self,
+        &mut self,
         shared: &Shared,
         id: u64,
         user: u32,
@@ -1218,7 +1383,18 @@ impl CommState {
         }
         seen.sort_unstable();
         seen.dedup();
-        let top = snap.top_k(user, k as usize, &seen);
+        let top = if self.serve_nprobe > 0 {
+            self.refresh_ivf(shared, &snap);
+            let (_, _, index) = self.ivf.as_ref().expect("ivf cache just refreshed");
+            let nprobe = (self.serve_nprobe as usize).min(index.n_centroids());
+            self.telemetry.ivf_probes.add(nprobe as u64);
+            let deadline = Instant::now() + QUERY_RERANK_BUDGET;
+            index
+                .top_k_within(&snap, user, k as usize, nprobe, &seen, Some(deadline))
+                .0
+        } else {
+            snap.top_k(user, k as usize, &seen)
+        };
         let now = shared.local_updates.load(Ordering::Acquire);
         Message::QueryReply {
             id,

@@ -128,6 +128,11 @@ pub struct SetupPayload {
     /// publishing roughly every this many local updates (`0` = serving
     /// disabled; queries answer `NotReady`).
     pub serve_publish_every: u64,
+    /// Serving knob: answer queries through the approximate IVF
+    /// shortlist index, probing this many centroid posting lists per
+    /// query (`0` = exact brute-force scan).  Clamped to the index's
+    /// centroid count, where the answer is bit-identical to the scan.
+    pub serve_nprobe: u32,
     /// Membership epoch this setup belongs to (bumped by every eviction
     /// and join).
     pub epoch: u64,
@@ -194,6 +199,46 @@ pub struct ReplicaPayload {
     pub segments: Vec<WireSegment>,
     /// The snapshot's full item matrix, row-major (`ncols * k` values).
     pub items: Vec<f64>,
+}
+
+/// One factor row of a delta frame: a global row index plus its `k`
+/// values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDeltaRow {
+    /// Global row index (user row for `w_rows`, item row for `h_rows`).
+    pub row: u64,
+    /// The row's factor values (`k` of them).
+    pub factors: Vec<f64>,
+}
+
+/// A rank's **incremental** replica publish: only the rows that changed
+/// since the last frame the rank shipped, chained to that frame by
+/// `base_epoch`.  The receiver applies a delta only when its last
+/// applied epoch for the rank equals `base_epoch` — any gap (a dropped
+/// frame, a fresh receiver) makes it wait for the next full
+/// [`ReplicaPayload`], which the rank sends as the first publish, after
+/// ownership changes, when the delta would not be smaller than the full
+/// frame, and periodically as a self-healing resync.  Applying the
+/// chain is **bit-identical** to applying every full frame (pinned by
+/// the `delta_equiv` suite and the driver's merge tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaDeltaPayload {
+    /// The publishing rank.
+    pub rank: u32,
+    /// Latent dimension (for framing the rows).
+    pub k: u32,
+    /// Publisher epoch of the snapshot this delta advances to.
+    pub epoch: u64,
+    /// Publisher epoch the delta applies on top of (the epoch of the
+    /// previous frame this rank shipped).
+    pub base_epoch: u64,
+    /// Cumulative update clock when the snapshot was initiated.
+    pub updates_at: u64,
+    /// Changed user-factor rows (within the rank's owned segments).
+    pub w_rows: Vec<WireDeltaRow>,
+    /// Changed item-factor rows (update clock advanced *and* bits
+    /// actually differ from the previous shipped snapshot).
+    pub h_rows: Vec<WireDeltaRow>,
 }
 
 /// Hard cap on a metric name's byte length in a `Telemetry` frame.
@@ -419,6 +464,10 @@ pub enum Message {
     /// Rank → driver: a copy of the rank's latest published snapshot,
     /// kept driver-side as the failover replica for this shard.
     Replica(Box<ReplicaPayload>),
+    /// Rank → driver: an incremental replica publish — only the rows
+    /// that changed since the rank's previous frame (see
+    /// [`ReplicaDeltaPayload`] for the chaining contract).
+    ReplicaDelta(Box<ReplicaDeltaPayload>),
     /// Rank → driver: a periodic cumulative telemetry snapshot (see
     /// [`TelemetryPayload`] for the exactly-once fold contract).
     Telemetry(Box<TelemetryPayload>),
@@ -447,6 +496,7 @@ const TAG_QUERY: u8 = 20;
 const TAG_QUERY_REPLY: u8 = 21;
 const TAG_REPLICA: u8 = 22;
 const TAG_TELEMETRY: u8 = 23;
+const TAG_REPLICA_DELTA: u8 = 24;
 
 // ---------------------------------------------------------------------------
 // Primitive writers/readers.
@@ -678,6 +728,7 @@ impl Message {
                 put_u32(&mut buf, s.heartbeat_timeout_ms);
                 put_u64(&mut buf, s.abort_after_updates);
                 put_u64(&mut buf, s.serve_publish_every);
+                put_u32(&mut buf, s.serve_nprobe);
                 put_u64(&mut buf, s.epoch);
                 put_u32(&mut buf, seq_len(s.active_ranks.len())?);
                 for &r in &s.active_ranks {
@@ -832,6 +883,21 @@ impl Message {
                 }
                 put_f64s(&mut buf, &p.items)?;
             }
+            Message::ReplicaDelta(p) => {
+                buf.push(TAG_REPLICA_DELTA);
+                put_u32(&mut buf, p.rank);
+                put_u32(&mut buf, p.k);
+                put_u64(&mut buf, p.epoch);
+                put_u64(&mut buf, p.base_epoch);
+                put_u64(&mut buf, p.updates_at);
+                for rows in [&p.w_rows, &p.h_rows] {
+                    put_u32(&mut buf, seq_len(rows.len())?);
+                    for row in rows.iter() {
+                        put_u64(&mut buf, row.row);
+                        put_f64s(&mut buf, &row.factors)?;
+                    }
+                }
+            }
             Message::Telemetry(p) => {
                 buf.push(TAG_TELEMETRY);
                 put_u32(&mut buf, p.rank);
@@ -905,6 +971,7 @@ impl Message {
                 let heartbeat_timeout_ms = r.u32()?;
                 let abort_after_updates = r.u64()?;
                 let serve_publish_every = r.u64()?;
+                let serve_nprobe = r.u32()?;
                 let epoch = r.u64()?;
                 let n = r.seq(4)?;
                 let mut active_ranks = Vec::with_capacity(n);
@@ -932,6 +999,7 @@ impl Message {
                     heartbeat_timeout_ms,
                     abort_after_updates,
                     serve_publish_every,
+                    serve_nprobe,
                     epoch,
                     active_ranks,
                     w_rows,
@@ -1074,6 +1142,35 @@ impl Message {
                     updates_at,
                     segments,
                     items: r.f64s()?,
+                }))
+            }
+            TAG_REPLICA_DELTA => {
+                let rank = r.u32()?;
+                let k = r.u32()?;
+                let epoch = r.u64()?;
+                let base_epoch = r.u64()?;
+                let updates_at = r.u64()?;
+                // Minimum 12 bytes per row (row index + empty factors).
+                let mut lists = [Vec::new(), Vec::new()];
+                for rows in lists.iter_mut() {
+                    let n = r.seq(12)?;
+                    rows.reserve_exact(n);
+                    for _ in 0..n {
+                        rows.push(WireDeltaRow {
+                            row: r.u64()?,
+                            factors: r.f64s()?,
+                        });
+                    }
+                }
+                let [w_rows, h_rows] = lists;
+                Message::ReplicaDelta(Box::new(ReplicaDeltaPayload {
+                    rank,
+                    k,
+                    epoch,
+                    base_epoch,
+                    updates_at,
+                    w_rows,
+                    h_rows,
                 }))
             }
             TAG_TELEMETRY => {
@@ -1251,6 +1348,7 @@ mod tests {
             heartbeat_timeout_ms: 10_000,
             abort_after_updates: 0,
             serve_publish_every: 2_000,
+            serve_nprobe: 8,
             epoch: 3,
             active_ranks: vec![0, 1, 3],
             w_rows: vec![0.125; 16],
@@ -1361,6 +1459,36 @@ mod tests {
                 },
             ],
             items: vec![0.5, -0.5, 1.5, -1.5],
+        })));
+        roundtrip(&Message::ReplicaDelta(Box::new(ReplicaDeltaPayload {
+            rank: 1,
+            k: 2,
+            epoch: 6,
+            base_epoch: 5,
+            updates_at: 11_000,
+            w_rows: vec![WireDeltaRow {
+                row: 701,
+                factors: vec![5.5, 6.5],
+            }],
+            h_rows: vec![
+                WireDeltaRow {
+                    row: 0,
+                    factors: vec![0.25, -0.25],
+                },
+                WireDeltaRow {
+                    row: u64::from(u32::MAX),
+                    factors: vec![f64::MIN_POSITIVE, -0.0],
+                },
+            ],
+        })));
+        roundtrip(&Message::ReplicaDelta(Box::new(ReplicaDeltaPayload {
+            rank: 0,
+            k: 0,
+            epoch: 1,
+            base_epoch: 0,
+            updates_at: 0,
+            w_rows: vec![],
+            h_rows: vec![],
         })));
     }
 
@@ -1501,6 +1629,7 @@ mod tests {
             heartbeat_timeout_ms: 0,
             abort_after_updates: 0,
             serve_publish_every: 0,
+            serve_nprobe: 0,
             epoch: 0,
             active_ranks: vec![0],
             w_rows: vec![0.0],

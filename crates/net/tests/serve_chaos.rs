@@ -37,7 +37,10 @@ fn tiny() -> RatingMatrix {
 /// fault granularity, a short heartbeat so evictions (and therefore
 /// failovers) happen well inside the query deadline — plus a publish
 /// cadence fast enough that fresh answers exist within the first few
-/// hundred updates.
+/// hundred updates.  Ranks answer through the approximate IVF shortlist
+/// (`serve_nprobe`), so the sweep also pins that the approximate path —
+/// index refresh across delta-published epochs included — never turns a
+/// fault into a hang or a deadline miss.
 fn serve_chaos_config(seed: u64) -> NetConfig {
     let nomad = NomadConfig::new(HyperParams::netflix().with_k(8))
         .with_stop(StopCondition::Updates(20_000))
@@ -46,6 +49,7 @@ fn serve_chaos_config(seed: u64) -> NetConfig {
     let mut cfg = NetConfig::new(nomad);
     cfg.heartbeat_timeout_ms = 300;
     cfg.serve_publish_every = 500;
+    cfg.serve_nprobe = 2;
     cfg
 }
 

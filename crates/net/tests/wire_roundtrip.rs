@@ -10,8 +10,8 @@
 use proptest::prelude::*;
 
 use nomad_net::{
-    Message, ReplicaPayload, SetupPayload, ShardPayload, TelemetryPayload, WireError, WireSegment,
-    WireToken, QUERY_UNKNOWN_USER,
+    Message, ReplicaDeltaPayload, ReplicaPayload, SetupPayload, ShardPayload, TelemetryPayload,
+    WireDeltaRow, WireError, WireSegment, WireToken, QUERY_UNKNOWN_USER,
 };
 use nomad_telemetry::{HistSnapshot, TelemetrySnapshot, HIST_BUCKETS};
 
@@ -169,6 +169,7 @@ proptest! {
             heartbeat_timeout_ms: 10_000,
             abort_after_updates: 0,
             serve_publish_every: budget / 7,
+            serve_nprobe: rank * 4,
             epoch: 3,
             active_ranks: (0..ranks).collect(),
             w_rows: w,
@@ -258,6 +259,80 @@ proptest! {
         }));
         let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
         assert_bit_identical(&msg, &decoded);
+    }
+
+    /// Replica *delta* frames (changed rows only, chained by epoch)
+    /// survive the wire bit-identically — NaN payloads and signed zeros
+    /// included, since the delta chain promises the driver a replica
+    /// byte-identical to full-frame publishing.
+    #[test]
+    fn replica_deltas_round_trip(
+        rank in 0u32..64,
+        k in 0u32..8,
+        clocks in (any::<u64>(), any::<u64>(), any::<u64>()),
+        w_rows in proptest::collection::vec((any::<u64>(), arb_factor()), 0..6),
+        h_rows in proptest::collection::vec((any::<u64>(), arb_factor()), 0..6),
+    ) {
+        let rows = |list: Vec<(u64, Vec<f64>)>| {
+            list.into_iter()
+                .map(|(row, factors)| WireDeltaRow { row, factors })
+                .collect::<Vec<_>>()
+        };
+        let msg = Message::ReplicaDelta(Box::new(ReplicaDeltaPayload {
+            rank,
+            k,
+            epoch: clocks.0,
+            base_epoch: clocks.1,
+            updates_at: clocks.2,
+            w_rows: rows(w_rows),
+            h_rows: rows(h_rows),
+        }));
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        assert_bit_identical(&msg, &decoded);
+    }
+
+    /// Truncating or byte-flipping a replica delta frame is total: an
+    /// error or a different valid message, never a panic.
+    #[test]
+    fn replica_delta_corruption_is_total(
+        h_rows in proptest::collection::vec((any::<u64>(), arb_factor()), 0..4),
+        cut_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let msg = Message::ReplicaDelta(Box::new(ReplicaDeltaPayload {
+            rank: 2,
+            k: 4,
+            epoch: 9,
+            base_epoch: 8,
+            updates_at: 77,
+            w_rows: vec![WireDeltaRow { row: 3, factors: vec![1.0, -0.0, f64::NAN, 2.5] }],
+            h_rows: h_rows
+                .into_iter()
+                .map(|(row, factors)| WireDeltaRow { row, factors })
+                .collect(),
+        }));
+        let bytes = msg.encode().unwrap();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        let mut flipped = bytes.clone();
+        let pos = (cut_seed % bytes.len() as u64) as usize;
+        flipped[pos] ^= flip;
+        let _ = Message::decode(&flipped); // must not panic
+    }
+
+    /// Pure random garbage never decodes to a replica delta that would
+    /// allocate more factor storage than the input itself contained.
+    #[test]
+    fn garbage_deltas_never_over_allocate(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(Message::ReplicaDelta(p)) = Message::decode(&bytes) {
+            let decoded_f64s: usize = p
+                .w_rows
+                .iter()
+                .chain(&p.h_rows)
+                .map(|r| r.factors.len())
+                .sum();
+            prop_assert!(decoded_f64s * 8 <= bytes.len());
+        }
     }
 
     /// Telemetry frames — cumulative counter/gauge/histogram snapshots a

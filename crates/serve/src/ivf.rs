@@ -1,0 +1,515 @@
+//! The approximate top-k path: a cluster-pruned IVF shortlist index.
+//!
+//! An [`IvfIndex`] partitions the item catalog with a seeded k-means over
+//! the item factor rows and keeps one posting list per centroid.  A query
+//! scores the user against every *centroid* (cheap: `n_centroids ≈
+//! √items`), probes the `nprobe` nearest centroids' posting lists, and
+//! exact-reranks the resulting shortlist with the same blocked
+//! [`nomad_linalg::dot`] kernel and the same strict total order
+//! (`snapshot::ranks_higher`) the brute-force scan uses.  Scored
+//! work drops from `items·k` to roughly `(n_centroids + shortlist)·k`.
+//!
+//! # The equivalence contract
+//!
+//! Every item is assigned to exactly one centroid, so with
+//! `nprobe == n_centroids` the shortlist *is* the whole catalog and the
+//! rerank visits the same candidates under the same total order as
+//! [`ModelSnapshot::top_k`] — the answer is **bit-identical** (scores and
+//! tie order), regardless of how good the clustering is.  With a smaller
+//! `nprobe` the answer is a subset selection: every returned score is a
+//! real `⟨w_user, h_item⟩` (never an estimate), so approximation can only
+//! *miss* items, never mis-score them.  The `ivf_approx` test suite pins
+//! both properties.
+//!
+//! # Freshness under live training
+//!
+//! The index is built from one published snapshot and patched forward
+//! from epoch deltas: [`IvfIndex::refresh`] re-assigns only the item rows
+//! whose update clock advanced (see
+//! [`crate::SnapshotPublisher::changed_items_since`]), moving each
+//! between posting lists in place.  Centroids are *not* re-fit on a
+//! patch — they drift from the data until a refresh decides the churn
+//! (or a dimension change) warrants a full rebuild.  Stale centroids
+//! degrade only recall, never correctness: the rerank always scores
+//! against the *current* snapshot's rows.
+//!
+//! # Deadline fallback
+//!
+//! [`IvfIndex::top_k_within`] enforces a per-query rerank budget: when
+//! the deadline trips mid-rerank, the query falls back to the **raw
+//! shortlist** — candidates ordered by their centroid's proxy score
+//! (probe order, ascending item within a centroid), each reported with
+//! the centroid proxy score instead of an exact dot.  The fallback is a
+//! strictly-bounded amount of work (`n_centroids` dots plus a k-item
+//! copy), so a query always resolves inside its budget.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use nomad_linalg::SmallRng64;
+use nomad_matrix::Idx;
+
+use crate::snapshot::{ranks_higher, ModelSnapshot, Recommendation, TopK, Weakest};
+
+/// Lloyd iterations for a (re)build.  k-means quality saturates fast on
+/// factor rows, and the index only needs *locality*, not optimality.
+const KMEANS_ITERS: usize = 4;
+
+/// A [`IvfIndex::refresh`] whose changed set exceeds this fraction of
+/// the catalog rebuilds from scratch instead of patching: past this
+/// point, patching costs as much as rebuilding and leaves drifted
+/// centroids behind.
+const REBUILD_FRACTION: f64 = 0.5;
+
+/// Deadline-check stride during the rerank (an `Instant::now` per
+/// candidate would dominate small dot products).
+const DEADLINE_STRIDE: usize = 64;
+
+/// Build parameters for the IVF index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of k-means centroids; `0` picks `≈ √items` automatically.
+    pub n_centroids: usize,
+    /// Seed for the k-means initialization (deterministic builds).
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self {
+            n_centroids: 0,
+            seed: 0x1f5,
+        }
+    }
+}
+
+impl IvfParams {
+    /// The centroid count for an `items`-row catalog: the explicit
+    /// setting, or `≈ √items` (the classic IVF balance point between
+    /// centroid-scan and posting-scan work), at least 1.
+    pub fn centroids_for(&self, items: usize) -> usize {
+        let want = if self.n_centroids > 0 {
+            self.n_centroids
+        } else {
+            (items as f64).sqrt().ceil() as usize
+        };
+        want.clamp(1, items.max(1))
+    }
+}
+
+/// A cluster-pruned shortlist index over one snapshot's item rows (see
+/// the module docs).
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    /// Latent dimension of the indexed rows.
+    k: usize,
+    /// Catalog size the index was built for.
+    items: usize,
+    params: IvfParams,
+    /// Centroid rows, `n_centroids × k`, row-major.
+    centroids: Vec<f64>,
+    /// `assign[j]` = centroid owning item `j`.
+    assign: Vec<u32>,
+    /// Per-centroid posting lists, each sorted ascending by item — the
+    /// sort makes patches deterministic and keeps the full-probe rerank
+    /// order independent of update history.
+    postings: Vec<Vec<Idx>>,
+}
+
+impl IvfIndex {
+    /// Builds the index from a published snapshot's item rows with a
+    /// seeded k-means (deterministic for a given snapshot + params).
+    ///
+    /// # Panics
+    /// Panics if the snapshot has no items.
+    pub fn build(snap: &ModelSnapshot, params: IvfParams) -> Self {
+        let items = snap.num_items();
+        assert!(items > 0, "cannot index an empty catalog");
+        let k = snap.k();
+        let n = params.centroids_for(items);
+        let mut rng = SmallRng64::new(params.seed);
+        // Seeded init: n distinct rows, chosen by a partial Fisher-Yates
+        // over the item indices.
+        let mut order: Vec<usize> = (0..items).collect();
+        for i in 0..n {
+            let j = i + rng.next_below(items - i);
+            order.swap(i, j);
+        }
+        let mut centroids = vec![0.0; n * k];
+        for (c, &j) in order[..n].iter().enumerate() {
+            centroids[c * k..(c + 1) * k].copy_from_slice(snap.item_factor(j as Idx));
+        }
+        let mut index = Self {
+            k,
+            items,
+            params,
+            centroids,
+            assign: vec![0; items],
+            postings: vec![Vec::new(); n],
+        };
+        for _ in 0..KMEANS_ITERS {
+            index.assign_all(snap);
+            index.refit_centroids(snap);
+        }
+        index.assign_all(snap);
+        index.rebuild_postings();
+        index
+    }
+
+    /// Number of centroids (the `nprobe` ceiling).
+    #[inline]
+    pub fn n_centroids(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Catalog size the index currently covers.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.items
+    }
+
+    /// `true` when the index no longer fits the snapshot's dimensions
+    /// (a `grow` happened) and must be rebuilt rather than patched.
+    pub fn dims_mismatch(&self, snap: &ModelSnapshot) -> bool {
+        self.items != snap.num_items() || self.k != snap.k()
+    }
+
+    /// Brings the index up to date with `snap`: re-assigns exactly the
+    /// `changed` item rows, moving each between posting lists in place.
+    /// Falls back to a full rebuild when the dimensions changed or the
+    /// churn exceeds `REBUILD_FRACTION` (half the catalog).  Returns `true` when it
+    /// rebuilt.
+    pub fn refresh(&mut self, snap: &ModelSnapshot, changed: &[Idx]) -> bool {
+        if self.dims_mismatch(snap) || changed.len() as f64 > self.items as f64 * REBUILD_FRACTION {
+            *self = Self::build(snap, self.params);
+            return true;
+        }
+        for &j in changed {
+            debug_assert!((j as usize) < self.items);
+            let new_c = self.nearest_centroid(snap.item_factor(j));
+            let old_c = self.assign[j as usize] as usize;
+            if new_c != old_c {
+                let old = &mut self.postings[old_c];
+                if let Ok(pos) = old.binary_search(&j) {
+                    old.remove(pos);
+                }
+                let new = &mut self.postings[new_c];
+                if let Err(pos) = new.binary_search(&j) {
+                    new.insert(pos, j);
+                }
+                self.assign[j as usize] = new_c as u32;
+            }
+        }
+        false
+    }
+
+    /// Approximate top-k with a full exact rerank of the shortlist.
+    /// With `nprobe >= n_centroids` this is bit-identical to
+    /// [`ModelSnapshot::top_k`] (see the module docs).
+    ///
+    /// `seen` must be sorted ascending without duplicates, exactly as
+    /// for the exact scan.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of bounds, `seen` is unsorted, or the
+    /// index does not match the snapshot's dimensions.
+    pub fn top_k(
+        &self,
+        snap: &ModelSnapshot,
+        user: Idx,
+        k: usize,
+        nprobe: usize,
+        seen: &[Idx],
+    ) -> TopK {
+        self.top_k_within(snap, user, k, nprobe, seen, None).0
+    }
+
+    /// [`IvfIndex::top_k`] with an optional rerank deadline.  Returns
+    /// `(answer, reranked)`: `reranked == false` means the deadline
+    /// tripped and the answer is the raw shortlist with centroid proxy
+    /// scores (see the module docs on the fallback contract).
+    ///
+    /// # Panics
+    /// Same conditions as [`IvfIndex::top_k`].
+    pub fn top_k_within(
+        &self,
+        snap: &ModelSnapshot,
+        user: Idx,
+        k: usize,
+        nprobe: usize,
+        seen: &[Idx],
+        deadline: Option<Instant>,
+    ) -> (TopK, bool) {
+        assert!(
+            !self.dims_mismatch(snap),
+            "index over {}×{} queried against a {}×{} snapshot",
+            self.items,
+            self.k,
+            snap.num_items(),
+            snap.k()
+        );
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "seen must be sorted ascending without duplicates"
+        );
+        let wu = snap.user_factor(user);
+        let probes = self.probe_order(wu, nprobe);
+        let mut heap: BinaryHeap<Weakest> = BinaryHeap::with_capacity(k.min(self.items) + 1);
+        let mut scored = 0usize;
+        for &(_, c) in &probes {
+            for &item in &self.postings[c] {
+                if !seen.is_empty() && seen.binary_search(&item).is_ok() {
+                    continue;
+                }
+                if let Some(at) = deadline {
+                    if scored.is_multiple_of(DEADLINE_STRIDE) && Instant::now() >= at {
+                        return (self.raw_shortlist(snap, k, &probes, seen), false);
+                    }
+                }
+                scored += 1;
+                let score = nomad_linalg::dot(wu, snap.item_factor(item));
+                let cand = Recommendation { item, score };
+                if heap.len() < k {
+                    heap.push(Weakest(cand));
+                } else if k > 0 && ranks_higher(&cand, &heap.peek().expect("k > 0").0) {
+                    heap.pop();
+                    heap.push(Weakest(cand));
+                }
+            }
+        }
+        let recs = heap.into_sorted_vec().into_iter().map(|w| w.0).collect();
+        (
+            TopK {
+                epoch: snap.epoch(),
+                updates_at: snap.updates_at(),
+                recs,
+            },
+            true,
+        )
+    }
+
+    /// The centroids to probe for this user, best first: descending
+    /// proxy score `⟨w_user, centroid⟩`, ties broken by ascending
+    /// centroid index (total order via `total_cmp`).
+    fn probe_order(&self, wu: &[f64], nprobe: usize) -> Vec<(f64, usize)> {
+        let n = self.n_centroids();
+        let mut scored: Vec<(f64, usize)> = (0..n)
+            .map(|c| {
+                (
+                    nomad_linalg::dot(wu, &self.centroids[c * self.k..(c + 1) * self.k]),
+                    c,
+                )
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(nprobe.clamp(1, n));
+        scored
+    }
+
+    /// The deadline-fallback answer: the first `k` unseen shortlist
+    /// candidates in probe order, scored with their centroid's proxy.
+    fn raw_shortlist(
+        &self,
+        snap: &ModelSnapshot,
+        k: usize,
+        probes: &[(f64, usize)],
+        seen: &[Idx],
+    ) -> TopK {
+        let mut recs = Vec::with_capacity(k);
+        'outer: for &(proxy, c) in probes {
+            for &item in &self.postings[c] {
+                if !seen.is_empty() && seen.binary_search(&item).is_ok() {
+                    continue;
+                }
+                recs.push(Recommendation { item, score: proxy });
+                if recs.len() == k {
+                    break 'outer;
+                }
+            }
+        }
+        TopK {
+            epoch: snap.epoch(),
+            updates_at: snap.updates_at(),
+            recs,
+        }
+    }
+
+    /// The centroid nearest to `row` in L2, ties to the lowest index.
+    /// `argmin ‖row − c‖²` = `argmin ‖c‖² − 2⟨row, c⟩` (the `‖row‖²`
+    /// term is constant across centroids).
+    fn nearest_centroid(&self, row: &[f64]) -> usize {
+        let n = self.n_centroids();
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..n {
+            let cent = &self.centroids[c * self.k..(c + 1) * self.k];
+            let d = nomad_linalg::dot(cent, cent) - 2.0 * nomad_linalg::dot(row, cent);
+            if d.total_cmp(&best_d) == std::cmp::Ordering::Less {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn assign_all(&mut self, snap: &ModelSnapshot) {
+        for j in 0..self.items {
+            self.assign[j] = self.nearest_centroid(snap.item_factor(j as Idx)) as u32;
+        }
+    }
+
+    /// Lloyd update: each centroid moves to the mean of its assigned
+    /// rows; an empty centroid keeps its position (it may capture rows
+    /// in a later iteration).
+    fn refit_centroids(&mut self, snap: &ModelSnapshot) {
+        let n = self.n_centroids();
+        let mut sums = vec![0.0; n * self.k];
+        let mut counts = vec![0usize; n];
+        for j in 0..self.items {
+            let c = self.assign[j] as usize;
+            counts[c] += 1;
+            let row = snap.item_factor(j as Idx);
+            for (s, &v) in sums[c * self.k..(c + 1) * self.k].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..n {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                for (dst, &s) in self.centroids[c * self.k..(c + 1) * self.k]
+                    .iter_mut()
+                    .zip(&sums[c * self.k..(c + 1) * self.k])
+                {
+                    *dst = s * inv;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the posting lists from `assign` (ascending item order by
+    /// construction — the scan visits items in order).
+    fn rebuild_postings(&mut self) {
+        for p in &mut self.postings {
+            p.clear();
+        }
+        for j in 0..self.items {
+            self.postings[self.assign[j] as usize].push(j as Idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomad_sgd::FactorModel;
+
+    fn snap(users: usize, items: usize, k: usize, seed: u64) -> ModelSnapshot {
+        ModelSnapshot::from_model(&FactorModel::init(users, items, k, seed), 1, 100)
+    }
+
+    fn params(n: usize) -> IvfParams {
+        IvfParams {
+            n_centroids: n,
+            ..IvfParams::default()
+        }
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_posting() {
+        let s = snap(3, 57, 5, 7);
+        let idx = IvfIndex::build(&s, params(8));
+        let mut all: Vec<Idx> = idx.postings.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..57).collect::<Vec<Idx>>());
+        for p in &idx.postings {
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "postings stay sorted");
+        }
+    }
+
+    #[test]
+    fn full_probe_is_bit_identical_to_exact() {
+        for seed in 0..5u64 {
+            let s = snap(4, 40, 6, seed);
+            let idx = IvfIndex::build(&s, params(6));
+            for user in 0..4 {
+                let exact = s.top_k(user, 10, &[]);
+                let approx = idx.top_k(&s, user, 10, idx.n_centroids(), &[]);
+                assert_eq!(exact.recs.len(), approx.recs.len());
+                for (e, a) in exact.recs.iter().zip(&approx.recs) {
+                    assert_eq!(e.item, a.item, "seed {seed} user {user}");
+                    assert_eq!(e.score.to_bits(), a.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_probe_returns_real_scores_bounded_by_the_winner() {
+        let s = snap(4, 64, 6, 3);
+        let idx = IvfIndex::build(&s, params(8));
+        let exact = s.top_k(1, 5, &[]);
+        let winner = exact.recs[0].score;
+        let approx = idx.top_k(&s, 1, 5, 2, &[]);
+        for r in &approx.recs {
+            assert_eq!(r.score.to_bits(), s.score(1, r.item).to_bits());
+            assert!(r.score.total_cmp(&winner) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn refresh_patches_changed_rows_between_postings() {
+        let s = snap(2, 30, 4, 11);
+        let mut idx = IvfIndex::build(&s, params(5));
+        // A "trained" snapshot with a few rows replaced wholesale.
+        let mut m = s.to_model();
+        for &j in &[3usize, 17, 28] {
+            let row: Vec<f64> = m.h.row(j).iter().map(|v| v * -3.0 + 1.0).collect();
+            m.h.set_row(j, &row);
+        }
+        let s2 = ModelSnapshot::from_model(&m, 2, 200);
+        let rebuilt = idx.refresh(&s2, &[3, 17, 28]);
+        assert!(!rebuilt, "small churn patches in place");
+        // Patched index answers full-probe queries bit-identically.
+        let exact = s2.top_k(0, 8, &[]);
+        let approx = idx.top_k(&s2, 0, 8, idx.n_centroids(), &[]);
+        assert_eq!(exact.recs, approx.recs);
+        // And the assignment matches a from-scratch assignment pass.
+        for &j in &[3u32, 17, 28] {
+            let fresh = idx.nearest_centroid(s2.item_factor(j));
+            assert_eq!(idx.assign[j as usize] as usize, fresh);
+            assert!(idx.postings[fresh].binary_search(&j).is_ok());
+        }
+    }
+
+    #[test]
+    fn refresh_rebuilds_on_grow() {
+        let s = snap(2, 20, 4, 1);
+        let mut idx = IvfIndex::build(&s, params(4));
+        let bigger = snap(2, 33, 4, 2);
+        assert!(idx.refresh(&bigger, &[]));
+        assert_eq!(idx.num_items(), 33);
+    }
+
+    #[test]
+    fn expired_deadline_falls_back_to_the_raw_shortlist() {
+        let s = snap(2, 50, 4, 9);
+        let idx = IvfIndex::build(&s, params(5));
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let (top, reranked) = idx.top_k_within(&s, 0, 5, 3, &[], Some(past));
+        assert!(!reranked);
+        assert_eq!(top.recs.len(), 5);
+        // Fallback still respects the seen filter.
+        let seen: Vec<Idx> = (0..50).filter(|j| j % 2 == 0).collect();
+        let (top, _) = idx.top_k_within(&s, 0, 5, 5, &seen, Some(past));
+        assert!(top.recs.iter().all(|r| r.item % 2 == 1));
+    }
+
+    #[test]
+    fn auto_centroids_scale_with_the_catalog() {
+        let p = IvfParams::default();
+        assert_eq!(p.centroids_for(1), 1);
+        assert_eq!(p.centroids_for(100), 10);
+        assert_eq!(p.centroids_for(16384), 128);
+        assert_eq!(params(9).centroids_for(4), 4, "clamped to the catalog");
+    }
+}

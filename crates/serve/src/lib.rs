@@ -24,6 +24,15 @@
 //!   threads (small batches answer inline rather than paying a spawn),
 //!   with per-query user-factor lookup and seen-item filtering.  A batch
 //!   is answered from a single consistent epoch.
+//! * [`IvfIndex`] — the approximate path for large catalogs: a seeded
+//!   k-means shortlist index probed by [`QueryEngine::top_k_approx`],
+//!   exact-reranked so every returned score is a real `⟨w, h⟩`, and
+//!   **bit-identical** to the exact scan when every centroid is probed.
+//!   The index is patched forward across epochs from the publisher's
+//!   per-row update clocks
+//!   ([`SnapshotPublisher::changed_items_since`]) — the same delta set
+//!   `nomad-net` ships as `ReplicaDelta` frames — instead of rebuilt
+//!   from scratch.  See [`ivf`] for the recall and fallback contracts.
 //!
 //! Freshness: every snapshot carries the update-clock stamp it was
 //! initiated at ([`ModelSnapshot::updates_at`]); the publisher tracks the
@@ -40,10 +49,12 @@
 
 #![warn(missing_docs)]
 
+pub mod ivf;
 pub mod publisher;
 pub mod query;
 pub mod snapshot;
 
+pub use ivf::{IvfIndex, IvfParams};
 pub use publisher::SnapshotPublisher;
 pub use query::{QueryEngine, ServeError, UserQuery};
 pub use snapshot::{ModelSnapshot, Recommendation, TopK};

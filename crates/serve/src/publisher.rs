@@ -164,6 +164,15 @@ struct CoopBuild {
     /// Per-worker build generation for the user-block copy; only worker
     /// `q` touches entry `q`.
     workers_gen: UnsafeCell<Box<[AtomicU64]>>,
+    /// Per-item-row **update clock**: the update count at the last hop
+    /// that (may have) changed row `j`.  This is what delta publishing
+    /// reads — a consumer holding the snapshot published at `u` needs
+    /// only the rows with `row_clocks[j] >= u` to advance to the next
+    /// epoch (see [`SnapshotPublisher::changed_items_since`]).  Written
+    /// by the worker holding token `j` (one relaxed `fetch_max` per
+    /// hop) and by the exact-publish content diff; replaced only at
+    /// quiesce under the `shared` lock.
+    row_clocks: UnsafeCell<Box<[AtomicU64]>>,
 }
 
 /// Dimensions of the model being trained, bound at [`SnapshotPublisher::begin_run`].
@@ -243,6 +252,7 @@ impl SnapshotPublisher {
                 buf: UnsafeCell::new(None),
                 rows_gen: UnsafeCell::new(Box::new([])),
                 workers_gen: UnsafeCell::new(Box::new([])),
+                row_clocks: UnsafeCell::new(Box::new([])),
             },
             published: AtomicU64::new(0),
             last_updates_at: AtomicU64::new(0),
@@ -288,6 +298,34 @@ impl SnapshotPublisher {
             .map(|s| now_updates.saturating_sub(s.updates_at()))
     }
 
+    /// The item rows whose update clock reached `since` or later — the
+    /// **delta set**: a consumer holding the snapshot published at
+    /// update count `since` needs only these rows (plus its own user-row
+    /// bookkeeping) to reproduce the latest snapshot's item matrix.
+    ///
+    /// The comparison is inclusive (`>=`) and the clocks are stamped at
+    /// or after the hop that changed a row, so the set **over**-
+    /// approximates: it may name rows whose bits did not change (the
+    /// consumer re-ships identical bits — harmless), but never misses a
+    /// row that did.  The `delta_equiv` suite pins that soundness
+    /// invariant against interleaved train/publish/grow histories.
+    ///
+    /// Ascending item order.  Empty before anything was published or
+    /// bound (no clocks exist to compare).
+    pub fn changed_items_since(&self, since: u64) -> Vec<Idx> {
+        let _shared = self.shared.lock().expect("publisher state poisoned");
+        // SAFETY: the clock array is only replaced under the `shared`
+        // lock held here (`begin_run`/`grow`/lazy sizing); element reads
+        // are atomic.
+        let clocks = unsafe { &*self.coop.row_clocks.get() };
+        clocks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) >= since)
+            .map(|(j, _)| j as Idx)
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Engine-side API.  Everything below is called by the training
     // engines, never by query threads.
@@ -314,10 +352,12 @@ impl SnapshotPublisher {
             workers,
         });
         // SAFETY: contract above — no workers running, so nobody reads the
-        // generation arrays concurrently.
+        // generation arrays concurrently; the `shared` lock held here
+        // excludes `changed_items_since` readers from the clock array.
         unsafe {
             *self.coop.rows_gen.get() = (0..items).map(|_| AtomicU64::new(0)).collect();
             *self.coop.workers_gen.get() = (0..workers).map(|_| AtomicU64::new(0)).collect();
+            *self.coop.row_clocks.get() = (0..items).map(|_| AtomicU64::new(0)).collect();
         }
         self.coop
             .next_at
@@ -338,10 +378,15 @@ impl SnapshotPublisher {
         let dims = shared.dims.as_mut().expect("begin_run before grow");
         dims.users = users;
         dims.items = items;
+        // Every row counts as changed after a grow (the old clocks are
+        // gone and the catalog itself moved), so stamp the fresh array
+        // one past the last publish — any `since` a consumer could hold.
+        let stamp = self.last_updates_at.load(Ordering::SeqCst) + 1;
         // SAFETY: quiesce contract, as in `begin_run`.  Generation marks
         // only matter during a build, so fresh zeros are fine.
         unsafe {
             *self.coop.rows_gen.get() = (0..items).map(|_| AtomicU64::new(0)).collect();
+            *self.coop.row_clocks.get() = (0..items).map(|_| AtomicU64::new(stamp)).collect();
         }
     }
 
@@ -352,6 +397,7 @@ impl SnapshotPublisher {
     /// flight (call [`SnapshotPublisher::abort_build`] first at a threaded
     /// quiesce) and no concurrent `publish_model`.
     pub fn publish_model(&self, model: &FactorModel, updates: u64) {
+        self.stamp_changed_rows(model, updates);
         let buf = self.obtain_buffer(model.num_users(), model.num_items(), model.k());
         // SAFETY: `obtain_buffer` returns a snapshot unreachable by readers
         // (fresh, or recycled with a strong count of 1).
@@ -391,6 +437,16 @@ impl SnapshotPublisher {
         users: &FactorMatrix,
         item: Option<(Idx, &[f64])>,
     ) {
+        if let Some((j, _)) = item {
+            // Delta clock: the hop that just processed token `j` may have
+            // changed row `j`.  One relaxed RMW on a line only this
+            // worker writes (token ownership), so the hot path stays
+            // contention-free.
+            // SAFETY: the clock array is only replaced at quiesce
+            // (begin_run/grow contract), never while workers tick.
+            let clocks = unsafe { &*self.coop.row_clocks.get() };
+            clocks[j as usize].fetch_max(updates_now, Ordering::Relaxed);
+        }
         let mut g = self.coop.active_gen.load(Ordering::Acquire);
         if g == 0 {
             if updates_now < self.coop.next_at.load(Ordering::Relaxed) {
@@ -500,6 +556,51 @@ impl SnapshotPublisher {
             self.coop.active_gen.store(0, Ordering::Release);
             self.do_publish(buf, updates);
             self.coop.building.store(false, Ordering::Release);
+        }
+    }
+
+    /// Advances the item-row update clocks for an exact publish: a
+    /// content diff against the previous published snapshot stamps
+    /// **only the rows whose bits changed** at `updates`.  A quiesced
+    /// re-publish of an untouched model therefore advances no clocks —
+    /// the property that makes steady-state deltas empty.  With no
+    /// previous snapshot (or after a dimension change) every row is
+    /// stamped.
+    ///
+    /// Engine-side (single-publisher contract), so the clock array
+    /// cannot be concurrently replaced; the `shared` lock excludes
+    /// `changed_items_since` readers while it is resized.
+    fn stamp_changed_rows(&self, model: &FactorModel, updates: u64) {
+        let items = model.num_items();
+        let k = model.k();
+        let prev = self.latest();
+        let _shared = self.shared.lock().expect("publisher state poisoned");
+        // SAFETY: lock held (readers excluded) + single-publisher
+        // contract (no concurrent coop ticks while `publish_model` runs).
+        let clocks = unsafe { &mut *self.coop.row_clocks.get() };
+        if clocks.len() != items {
+            *clocks = (0..items).map(|_| AtomicU64::new(updates)).collect();
+            return;
+        }
+        match prev {
+            Some(p) if p.dims_match(model.num_users(), items, k) => {
+                for (j, clock) in clocks.iter().enumerate() {
+                    let same = model
+                        .h
+                        .row(j)
+                        .iter()
+                        .zip(p.item_factor(j as Idx))
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !same {
+                        clock.fetch_max(updates, Ordering::Relaxed);
+                    }
+                }
+            }
+            _ => {
+                for clock in clocks.iter() {
+                    clock.fetch_max(updates, Ordering::Relaxed);
+                }
+            }
         }
     }
 

@@ -1,5 +1,5 @@
-//! The query side: exact top-k answers, single or batched, against the
-//! latest published snapshot.
+//! The query side: exact or approximate top-k answers, single or
+//! batched, against the latest published snapshot.
 //!
 //! A [`QueryEngine`] is a thin, `Sync` front over a
 //! [`SnapshotPublisher`]: every query grabs the latest epoch once (one
@@ -7,11 +7,26 @@
 //! batch of queries is answered from a **single consistent epoch** no
 //! matter how many times the trainers publish mid-batch — and query
 //! threads never take a lock the trainers contend on.
+//!
+//! The approximate path ([`QueryEngine::top_k_approx`]) maintains a
+//! cached [`IvfIndex`] over the served catalog, patched forward across
+//! epochs from the publisher's delta clocks
+//! ([`SnapshotPublisher::changed_items_since`]) instead of rebuilt from
+//! scratch.  The cache sits behind a mutex, but the lock covers only the
+//! refresh bookkeeping — the probe/rerank runs on an `Arc` clone outside
+//! it, so concurrent approximate queries do not serialize.
+//!
+//! `seen` lists are normalized (sorted, deduplicated) on entry: callers
+//! may pass them in any order, with duplicates.  Pre-sorted input takes
+//! an O(len) verification pass and no copy.
 
-use std::sync::Arc;
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use nomad_matrix::Idx;
 
+use crate::ivf::{IvfIndex, IvfParams};
 use crate::publisher::SnapshotPublisher;
 use crate::snapshot::{ModelSnapshot, TopK};
 
@@ -52,7 +67,9 @@ impl std::error::Error for ServeError {}
 pub struct UserQuery {
     /// The user to recommend for.
     pub user: Idx,
-    /// Items to exclude (already seen/rated), sorted ascending.
+    /// Items to exclude (already seen/rated).  Any order and duplicates
+    /// are fine — the engine normalizes on entry; pre-sorted lists
+    /// (e.g. from [`UserQuery::with_seen`]) skip the copy.
     pub seen: Vec<Idx>,
 }
 
@@ -73,25 +90,53 @@ impl UserQuery {
     }
 }
 
+/// The cached approximate index and the snapshot it was refreshed
+/// against.
+#[derive(Debug)]
+struct IvfState {
+    index: Arc<IvfIndex>,
+    epoch: u64,
+    updates_at: u64,
+}
+
 /// Answers top-k recommendation queries from the latest published epoch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct QueryEngine<'p> {
     publisher: &'p SnapshotPublisher,
     query_workers: usize,
+    ivf_params: IvfParams,
+    ivf: Mutex<Option<IvfState>>,
 }
 
 impl<'p> QueryEngine<'p> {
     /// Creates an engine that fans sufficiently large batches over up to
     /// `query_workers` scoped threads (1 answers everything inline; see
     /// [`QueryEngine::batch_top_k`] for when fan-out actually engages).
+    /// Approximate queries use [`IvfParams::default`] (≈√items
+    /// centroids); see [`QueryEngine::with_ivf_params`] to pin them.
     ///
     /// # Panics
     /// Panics if `query_workers == 0`.
     pub fn new(publisher: &'p SnapshotPublisher, query_workers: usize) -> Self {
+        Self::with_ivf_params(publisher, query_workers, IvfParams::default())
+    }
+
+    /// [`QueryEngine::new`] with explicit IVF build parameters (tests and
+    /// benches pin the centroid count to control `nprobe` sweeps).
+    ///
+    /// # Panics
+    /// Panics if `query_workers == 0`.
+    pub fn with_ivf_params(
+        publisher: &'p SnapshotPublisher,
+        query_workers: usize,
+        ivf_params: IvfParams,
+    ) -> Self {
         assert!(query_workers > 0, "need at least one query worker");
         Self {
             publisher,
             query_workers,
+            ivf_params,
+            ivf: Mutex::new(None),
         }
     }
 
@@ -100,16 +145,97 @@ impl<'p> QueryEngine<'p> {
         self.publisher.latest().ok_or(ServeError::NoSnapshot)
     }
 
-    /// Exact top-k for one user against the latest epoch.  `seen` must be
-    /// sorted ascending without duplicates (see
-    /// [`UserQuery::with_seen`]); those items are excluded.
-    ///
-    /// # Panics
-    /// Panics if `seen` is not sorted — see [`ModelSnapshot::top_k`].
+    /// Exact top-k for one user against the latest epoch.  `seen` items
+    /// are excluded; any order and duplicates are fine — the engine
+    /// normalizes on entry (sorted input is detected in O(len) and not
+    /// copied).
     pub fn top_k(&self, user: Idx, k: usize, seen: &[Idx]) -> Result<TopK, ServeError> {
         let snap = self.snapshot()?;
         check_user(&snap, user)?;
-        Ok(snap.top_k(user, k, seen))
+        let seen = normalize_seen(seen);
+        Ok(snap.top_k(user, k, &seen))
+    }
+
+    /// Approximate top-k via the IVF shortlist index: probes the
+    /// `nprobe` nearest centroid posting lists and exact-reranks the
+    /// shortlist.  With `nprobe >= ` [`QueryEngine::ivf_centroids`] the
+    /// answer is **bit-identical** to [`QueryEngine::top_k`]; smaller
+    /// values trade recall for a proportional cut in scoring work (every
+    /// returned score is still an exact `⟨w, h⟩`).  `nprobe` is clamped
+    /// to `1..=n_centroids`.
+    ///
+    /// The index is cached across calls and patched forward from the
+    /// publisher's delta clocks when the epoch advances.
+    pub fn top_k_approx(
+        &self,
+        user: Idx,
+        k: usize,
+        nprobe: usize,
+        seen: &[Idx],
+    ) -> Result<TopK, ServeError> {
+        let snap = self.snapshot()?;
+        check_user(&snap, user)?;
+        let seen = normalize_seen(seen);
+        let index = self.ivf_index(&snap);
+        Ok(index.top_k(&snap, user, k, nprobe, &seen))
+    }
+
+    /// [`QueryEngine::top_k_approx`] under a per-query budget: if the
+    /// exact rerank cannot finish inside `budget`, the answer falls back
+    /// to the raw shortlist (centroid proxy scores, probe order — see
+    /// [`crate::ivf`] on the fallback contract).  Returns the answer and
+    /// whether it was fully reranked.
+    pub fn top_k_approx_within(
+        &self,
+        user: Idx,
+        k: usize,
+        nprobe: usize,
+        seen: &[Idx],
+        budget: Duration,
+    ) -> Result<(TopK, bool), ServeError> {
+        let snap = self.snapshot()?;
+        check_user(&snap, user)?;
+        let seen = normalize_seen(seen);
+        let index = self.ivf_index(&snap);
+        let deadline = Instant::now() + budget;
+        Ok(index.top_k_within(&snap, user, k, nprobe, &seen, Some(deadline)))
+    }
+
+    /// Centroid count of the approximate index over the current catalog
+    /// (the `nprobe` value at which [`QueryEngine::top_k_approx`] is
+    /// bit-identical to the exact scan).  Builds the index if needed.
+    pub fn ivf_centroids(&self) -> Result<usize, ServeError> {
+        let snap = self.snapshot()?;
+        Ok(self.ivf_index(&snap).n_centroids())
+    }
+
+    /// The cached index, refreshed against `snap`: reused as-is when the
+    /// epoch matches, patched from the publisher's changed-row clocks
+    /// when it advanced, rebuilt when the dimensions changed (or on
+    /// first use).  The lock covers only this bookkeeping; the returned
+    /// `Arc` is probed outside it.
+    fn ivf_index(&self, snap: &ModelSnapshot) -> Arc<IvfIndex> {
+        let mut guard = self.ivf.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(state) = guard.as_ref() {
+            if state.epoch == snap.epoch() && !state.index.dims_mismatch(snap) {
+                return Arc::clone(&state.index);
+            }
+        }
+        let index = match guard.take() {
+            Some(state) => {
+                let changed = self.publisher.changed_items_since(state.updates_at);
+                let mut index = (*state.index).clone();
+                index.refresh(snap, &changed);
+                Arc::new(index)
+            }
+            None => Arc::new(IvfIndex::build(snap, self.ivf_params)),
+        };
+        *guard = Some(IvfState {
+            index: Arc::clone(&index),
+            epoch: snap.epoch(),
+            updates_at: snap.updates_at(),
+        });
+        index
     }
 
     /// Exact top-k for a batch of users, all answered from **one**
@@ -144,7 +270,7 @@ impl<'p> QueryEngine<'p> {
         if workers == 1 {
             return Ok(queries
                 .iter()
-                .map(|q| snap.top_k(q.user, k, &q.seen))
+                .map(|q| snap.top_k(q.user, k, &normalize_seen(&q.seen)))
                 .collect());
         }
         let chunk = queries.len().div_ceil(workers);
@@ -156,7 +282,7 @@ impl<'p> QueryEngine<'p> {
                     let snap = &snap;
                     scope.spawn(move || {
                         part.iter()
-                            .map(|q| snap.top_k(q.user, k, &q.seen))
+                            .map(|q| snap.top_k(q.user, k, &normalize_seen(&q.seen)))
                             .collect::<Vec<TopK>>()
                     })
                 })
@@ -166,6 +292,24 @@ impl<'p> QueryEngine<'p> {
             }
         });
         Ok(results.into_iter().flatten().collect())
+    }
+}
+
+/// The sorted-strict view of a seen list the scoring kernels require:
+/// already-normalized input (the common case — [`UserQuery::with_seen`]
+/// produces it) is borrowed as-is after an O(len) check; anything else
+/// is sorted and deduplicated into an owned copy.  This is the fix for
+/// the latent "seen must be pre-sorted" assumption: an unsorted filter
+/// would silently *leak* already-rated items past the binary search, so
+/// the engine normalizes at the boundary instead of trusting callers.
+fn normalize_seen(seen: &[Idx]) -> Cow<'_, [Idx]> {
+    if seen.windows(2).all(|w| w[0] < w[1]) {
+        Cow::Borrowed(seen)
+    } else {
+        let mut sorted = seen.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Cow::Owned(sorted)
     }
 }
 

@@ -349,9 +349,11 @@ impl fmt::Debug for ModelSnapshot {
 
 /// `true` when `a` ranks strictly higher than `b`: higher score first,
 /// equal scores broken by ascending item index.  Built on `total_cmp`, so
-/// this is a strict total order over all candidates.
+/// this is a strict total order over all candidates.  Shared with the IVF
+/// rerank ([`crate::ivf`]) — using one ordering everywhere is what makes
+/// "probe everything" bit-identical to the exact scan.
 #[inline]
-fn ranks_higher(a: &Recommendation, b: &Recommendation) -> bool {
+pub(crate) fn ranks_higher(a: &Recommendation, b: &Recommendation) -> bool {
     match a.score.total_cmp(&b.score) {
         Ordering::Greater => true,
         Ordering::Less => false,
@@ -363,7 +365,7 @@ fn ranks_higher(a: &Recommendation, b: &Recommendation) -> bool {
 /// "ranks lower", so a max-[`BinaryHeap`] of `Weakest` peeks the weakest
 /// kept candidate and `into_sorted_vec` yields rank order (best first).
 /// Total because [`ranks_higher`] is built on `total_cmp`.
-struct Weakest(Recommendation);
+pub(crate) struct Weakest(pub(crate) Recommendation);
 
 impl Ord for Weakest {
     fn cmp(&self, other: &Self) -> Ordering {

@@ -111,4 +111,13 @@ pub mod names {
     /// End-to-end query latency in microseconds (log-scale histogram;
     /// successful answers only).
     pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+    /// Centroid posting lists probed by approximate (IVF) top-k answers
+    /// (counter; `nprobe` per IVF-served query).
+    pub const SERVE_IVF_PROBES: &str = "serve.ivf_probes";
+    /// Queries whose approximate answer was sampled against the exact
+    /// scan for recall measurement (counter; bench scope).
+    pub const SERVE_RECALL_SAMPLES: &str = "serve.recall_samples";
+    /// Factor rows shipped in `ReplicaDelta` frames instead of full
+    /// replica copies (counter).
+    pub const SNAPSHOT_DELTA_ROWS: &str = "snapshot.delta_rows";
 }

@@ -136,12 +136,24 @@
 //! let (model, _) = trainer.join().unwrap();
 //! assert_eq!(publisher.latest().unwrap().to_model(), model);
 //! assert!(engine.top_k(0, 8, &[]).unwrap().updates_at >= 40_000);
+//!
+//! // Approximate serving: probe only 4 cells of the IVF shortlist index
+//! // and exact-rerank — every returned score is still the true ⟨w, h⟩,
+//! // so nothing can outscore the exact winner (probing every centroid
+//! // would be bit-identical to the exact scan).
+//! let exact = engine.top_k(0, 8, &[]).unwrap();
+//! let approx = engine.top_k_approx(0, 8, 4, &[]).unwrap();
+//! assert!(approx.recs.iter().all(|r| r.score <= exact.recs[0].score));
 //! ```
 //!
 //! The threaded engine serves the same way (`run_serving` /
 //! `run_online_serving`); its mid-run snapshots are built cooperatively by
 //! the training workers so the hot path stays allocation-free —
-//! `examples/live_serving.rs` runs it end to end.
+//! `examples/live_serving.rs` runs it end to end.  The approximate path
+//! ([`serve::QueryEngine::top_k_approx`]) shortlists via seeded k-means
+//! posting lists, reranks exactly, and degrades to the raw shortlist
+//! under a per-query deadline; `DESIGN.md` § Approximate serving covers
+//! the index and the delta-snapshot publishing that keeps it fresh.
 //!
 //! ## Distributed (multi-process) runs
 //!
